@@ -1,0 +1,231 @@
+(* The benchmark harness: regenerates every table and in-text measurement
+   of the paper's evaluation, plus this reproduction's own ablations.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe -- table1       -- one artifact
+     dune exec bench/main.exe -- table3 quick -- Table 3 at P in {1,8} only
+
+   A Bechamel group (one Test.make per table) measures the host-side cost
+   of regenerating each artifact; run it with `bechamel`. *)
+
+let hr title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* Paper values for side-by-side printing. *)
+let paper_table1 =
+  [
+    (0, (0.53, 0.62, 1.56, 1.27, 1.67, 1.44));
+    (1024, (1.50, 1.58, 2.53, 2.23, 3.59, 3.38));
+    (2048, (2.50, 2.55, 3.60, 3.40, 3.67, 3.44));
+    (3072, (3.72, 3.74, 4.77, 4.48, 4.84, 4.56));
+    (4096, (4.18, 4.23, 5.27, 5.06, 5.35, 5.25));
+  ]
+
+let paper_table3 =
+  (* app -> impl -> [P1; P8; P16; P32] *)
+  [
+    ("tsp", [ ("kernel", [ 790.; 87.; 44.; 23. ]); ("user", [ 783.; 92.; 46.; 24. ]) ]);
+    ("asp", [ ("kernel", [ 213.; 30.; 17.; 11. ]); ("user", [ 216.; 31.; 18.; 11. ]) ]);
+    ("ab", [ ("kernel", [ 565.; 106.; 78.; 60. ]); ("user", [ 567.; 106.; 78.; 59. ]) ]);
+    ("rl", [ ("kernel", [ 759.; 132.; 115.; 114. ]); ("user", [ 767.; 133.; 119.; 108. ]) ]);
+    ("sor", [ ("kernel", [ 118.; 20.; 14.; 13. ]); ("user", [ 118.; 19.; 13.; 11. ]) ]);
+    ( "leq",
+      [
+        ("kernel", [ 521.; 102.; 91.; 127. ]);
+        ("user", [ 527.; 113.; 112.; 164. ]);
+        ("user-dedicated", [ 527.; 116.; 94.; 128. ]);
+      ] );
+  ]
+
+let print_table1 () =
+  hr "Table 1: communication latencies [ms] (paper values in parentheses)";
+  Printf.printf
+    "%6s  %-14s %-14s %-14s %-14s %-14s %-14s\n"
+    "size" "unicast/user" "mcast/user" "RPC/user" "RPC/kernel" "group/user" "group/kernel";
+  let rows = Core.Experiments.table1 () in
+  List.iter2
+    (fun r (_, (pu, pm, pru, prk, pgu, pgk)) ->
+      Printf.printf
+        "%6d  %5.2f (%4.2f)   %5.2f (%4.2f)   %5.2f (%4.2f)   %5.2f (%4.2f)   %5.2f (%4.2f)   %5.2f (%4.2f)\n"
+        r.Core.Experiments.lr_size r.Core.Experiments.lr_unicast pu
+        r.Core.Experiments.lr_multicast pm r.Core.Experiments.lr_rpc_user pru
+        r.Core.Experiments.lr_rpc_kernel prk r.Core.Experiments.lr_grp_user pgu
+        r.Core.Experiments.lr_grp_kernel pgk)
+    rows paper_table1
+
+let print_table2 () =
+  hr "Table 2: communication throughputs [KB/s] (paper values in parentheses)";
+  let paper = [ ("RPC", (825., 897.)); ("group", (941., 941.)) ] in
+  List.iter2
+    (fun r (_, (pu, pk)) ->
+      Printf.printf "%-6s  user %5.0f (%4.0f)   kernel %5.0f (%4.0f)\n"
+        r.Core.Experiments.tr_proto r.Core.Experiments.tr_user pu
+        r.Core.Experiments.tr_kernel pk)
+    (Core.Experiments.table2 ())
+    paper
+
+let paper_time app impl procs =
+  match List.assoc_opt app paper_table3 with
+  | None -> None
+  | Some impls -> (
+      match List.assoc_opt impl impls with
+      | None -> None
+      | Some times -> (
+          match List.assoc_opt procs [ (1, 0); (8, 1); (16, 2); (32, 3) ] with
+          | Some idx -> List.nth_opt times idx
+          | None -> None))
+
+let print_table3 ?(procs = [ 1; 8; 16; 32 ]) () =
+  hr "Table 3: Orca application runtimes [s] (paper values in parentheses)";
+  Printf.printf "%-4s %-15s" "app" "implementation";
+  List.iter (fun p -> Printf.printf "  %12s" (Printf.sprintf "P=%d" p)) procs;
+  Printf.printf "  %8s\n" "speedup";
+  let outcomes = Core.Experiments.table3 ~procs () in
+  let by_key = Hashtbl.create 64 in
+  List.iter
+    (fun o ->
+      Hashtbl.replace by_key
+        (o.Core.Runner.o_app, Core.Cluster.impl_label o.Core.Runner.o_impl, o.Core.Runner.o_procs)
+        o)
+    outcomes;
+  let any_invalid = ref false in
+  List.iter
+    (fun (app, impls) ->
+      List.iter
+        (fun (impl, _) ->
+          let times =
+            List.filter_map (fun p -> Hashtbl.find_opt by_key (app, impl, p)) procs
+          in
+          if times <> [] then begin
+            Printf.printf "%-4s %-15s" app impl;
+            List.iter
+              (fun o ->
+                if not o.Core.Runner.o_valid then any_invalid := true;
+                match paper_time app impl o.Core.Runner.o_procs with
+                | Some pt ->
+                  Printf.printf "  %6.1f (%4.0f)" o.Core.Runner.o_seconds pt
+                | None -> Printf.printf "  %6.1f       " o.Core.Runner.o_seconds)
+              times;
+            (match (times, List.rev times) with
+             | first :: _, last :: _ when List.length times > 1 ->
+               Printf.printf "  %8.1f"
+                 (first.Core.Runner.o_seconds /. last.Core.Runner.o_seconds)
+             | _ -> ());
+            Printf.printf "\n"
+          end)
+        impls)
+    paper_table3;
+  if !any_invalid then
+    Printf.printf "WARNING: some runs produced checksums differing from the sequential reference!\n"
+  else
+    Printf.printf "(all runs validated against host-side sequential results)\n"
+
+let print_breakdown () =
+  hr "RPC null-latency gap breakdown [us] (paper, Sec. 4.2)";
+  let paper =
+    [
+      ("total user-kernel gap", 300.);
+      ("context switches", 140.);
+      ("register-window traps", 50.);
+      ("double fragmentation", 40.);
+      ("header size difference", 16.);
+      ("untuned user-level FLIP interface", 54.);
+    ]
+  in
+  List.iter2
+    (fun (label, v) (_, pv) -> Printf.printf "  %-36s %6.0f (paper ~%3.0f)\n" label v pv)
+    (Core.Experiments.rpc_breakdown ())
+    paper;
+  hr "Group breakdown [us]: total gap + user-path mechanism costs (paper, Sec. 4.3)";
+  let paper =
+    [
+      ("total user-kernel gap", 230.);
+      ("context switches", 110.);
+      ("register-window traps", 50.);
+      ("double fragmentation", 20.);
+      ("header size difference", -24.);
+      ("untuned user-level FLIP interface", 30.);
+    ]
+  in
+  List.iter2
+    (fun (label, v) (_, pv) ->
+      Printf.printf "  %-48s %6.0f (paper's differential ~%4.0f)\n" label v pv)
+    (Core.Experiments.group_breakdown ())
+    paper
+
+let print_ablations () =
+  hr "Ablation: dedicated sequencer for LEQ [s]";
+  List.iter
+    (fun o -> Format.printf "  %a@." Core.Runner.pp_outcome o)
+    (Core.Experiments.ablation_dedicated_sequencer ~procs:[ 8; 16; 32 ] ());
+  hr "Ablation: nonblocking broadcast (paper Sec. 6 extension)";
+  List.iter
+    (fun (label, ms) -> Printf.printf "  %-28s %6.3f ms\n" label ms)
+    (Core.Experiments.ablation_nonblocking ());
+  hr "Ablation: adaptive object placement (Sec. 2 runtime heuristic)";
+  List.iter
+    (fun (label, v) -> Printf.printf "  %-40s %8.1f\n" label v)
+    (Core.Experiments.ablation_migration ());
+  hr "Ablation: user-level network access (the paper's Sec. 6 projection)";
+  List.iter
+    (fun (label, v) -> Printf.printf "  %-42s %6.3f ms\n" label v)
+    (Core.Experiments.ablation_user_level_network ());
+  hr "Ablation: continuations vs blocked server threads (RL, P=16)";
+  List.iter
+    (fun (label, s) -> Printf.printf "  %-40s %6.1f s\n" label s)
+    (Core.Experiments.ablation_continuations ~procs:16 ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel: host-side cost of regenerating each artifact. *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let t1 =
+    Test.make ~name:"table1"
+      (Staged.stage (fun () -> ignore (Core.Experiments.table1 ())))
+  in
+  let t2 =
+    Test.make ~name:"table2"
+      (Staged.stage (fun () -> ignore (Core.Experiments.table2 ())))
+  in
+  let t3 =
+    Test.make ~name:"table3-tsp-P4"
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Runner.run ~impl:Core.Cluster.User ~procs:4
+                (Core.Runner.app_named "tsp"))))
+  in
+  let tb =
+    Test.make ~name:"breakdown-rpc"
+      (Staged.stage (fun () -> ignore (Core.Experiments.rpc_breakdown ())))
+  in
+  Test.make_grouped ~name:"repro" [ t1; t2; t3; tb ]
+
+let run_bechamel () =
+  hr "Bechamel: host cost of regenerating each artifact";
+  let open Bechamel in
+  let open Toolkit in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 3.0) () in
+  let raw = Benchmark.all cfg instances (bechamel_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some (est :: _) -> Printf.printf "  %-24s %10.3f ms/run\n" name (est /. 1e6)
+      | Some [] | None -> Printf.printf "  %-24s (no estimate)\n" name)
+    results
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "quick" args in
+  let procs = if quick then [ 1; 8 ] else [ 1; 8; 16; 32 ] in
+  let wants name = args = [] || List.mem name args || args = [ "quick" ] in
+  if wants "table1" then print_table1 ();
+  if wants "table2" then print_table2 ();
+  if wants "breakdown" then print_breakdown ();
+  if wants "table3" then print_table3 ~procs ();
+  if wants "ablation" then print_ablations ();
+  if List.mem "bechamel" args || args = [] then run_bechamel ()

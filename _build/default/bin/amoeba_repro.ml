@@ -1,0 +1,113 @@
+(* Command-line driver for the reproduction: run any experiment of the
+   paper's evaluation individually, with parameters. *)
+
+open Cmdliner
+
+let impl_conv =
+  let parse = function
+    | "kernel" -> Ok Core.Cluster.Kernel
+    | "user" -> Ok Core.Cluster.User
+    | "user-dedicated" -> Ok Core.Cluster.User_dedicated
+    | s -> Error (`Msg (Printf.sprintf "unknown implementation %S" s))
+  in
+  Arg.conv (parse, fun fmt i -> Format.pp_print_string fmt (Core.Cluster.impl_label i))
+
+let impl_arg =
+  Arg.(value & opt impl_conv Core.Cluster.User & info [ "impl" ] ~doc:"kernel | user | user-dedicated")
+
+let procs_arg =
+  Arg.(value & opt int 8 & info [ "procs"; "p" ] ~doc:"Number of processors")
+
+let size_arg = Arg.(value & opt int 0 & info [ "size" ] ~doc:"Message payload bytes")
+
+(* --- latency --- *)
+
+let latency_cmd =
+  let run impl size =
+    let impl2 = match impl with Core.Cluster.Kernel -> `Kernel | _ -> `User in
+    Printf.printf "RPC   %-6s %5d B: %.3f ms\n" (Core.Cluster.impl_label impl) size
+      (Core.Experiments.rpc_latency ~impl:impl2 ~size ());
+    Printf.printf "group %-6s %5d B: %.3f ms\n" (Core.Cluster.impl_label impl) size
+      (Core.Experiments.group_latency ~impl:impl2 ~size ())
+  in
+  Cmd.v (Cmd.info "latency" ~doc:"Measure RPC and group latency (Table 1 entries)")
+    Term.(const run $ impl_arg $ size_arg)
+
+(* --- throughput --- *)
+
+let throughput_cmd =
+  let run () =
+    List.iter
+      (fun r ->
+        Printf.printf "%-6s user %6.0f KB/s   kernel %6.0f KB/s\n"
+          r.Core.Experiments.tr_proto r.Core.Experiments.tr_user
+          r.Core.Experiments.tr_kernel)
+      (Core.Experiments.table2 ())
+  in
+  Cmd.v (Cmd.info "throughput" ~doc:"Measure RPC and group throughput (Table 2)")
+    Term.(const run $ const ())
+
+(* --- app --- *)
+
+let app_cmd =
+  let app_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum (List.map (fun a -> (a.Core.Runner.app_name, a)) Core.Runner.apps))) None
+      & info [] ~docv:"APP" ~doc:"tsp | asp | ab | rl | sor | leq")
+  in
+  let stats_arg =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print protocol and utilization counters")
+  in
+  let run app impl procs stats =
+    let o = Core.Runner.run ~impl ~procs app in
+    Format.printf "%a@." Core.Runner.pp_outcome o;
+    if stats then Format.printf "  %a@." Core.Runner.pp_stats o.Core.Runner.o_stats
+  in
+  Cmd.v
+    (Cmd.info "app" ~doc:"Run one Orca application (a Table 3 cell)")
+    Term.(const run $ app_arg $ impl_arg $ procs_arg $ stats_arg)
+
+(* --- tables --- *)
+
+let table_cmd name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
+
+let table1 () =
+  List.iter
+    (fun r ->
+      Printf.printf "%5d  uni %.2f  mcast %.2f  rpcU %.2f  rpcK %.2f  grpU %.2f  grpK %.2f\n"
+        r.Core.Experiments.lr_size r.Core.Experiments.lr_unicast
+        r.Core.Experiments.lr_multicast r.Core.Experiments.lr_rpc_user
+        r.Core.Experiments.lr_rpc_kernel r.Core.Experiments.lr_grp_user
+        r.Core.Experiments.lr_grp_kernel)
+    (Core.Experiments.table1 ())
+
+let breakdown () =
+  List.iter
+    (fun (l, v) -> Printf.printf "rpc: %-40s %7.1f us\n" l v)
+    (Core.Experiments.rpc_breakdown ());
+  List.iter
+    (fun (l, v) -> Printf.printf "grp: %-40s %7.1f us\n" l v)
+    (Core.Experiments.group_breakdown ())
+
+let default =
+  Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  let info =
+    Cmd.info "amoeba_repro" ~version:"1.0"
+      ~doc:
+        "Reproduction of 'Comparing Kernel-Space and User-Space Communication \
+         Protocols on Amoeba' (ICDCS 1995) as a discrete-event simulation"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            latency_cmd;
+            throughput_cmd;
+            app_cmd;
+            table_cmd "table1" "Regenerate Table 1 (latencies)" table1;
+            table_cmd "breakdown" "Regenerate the Sec. 4 overhead breakdowns" breakdown;
+          ]))

@@ -1,0 +1,1 @@
+examples/bound_and_branch.ml: Apps Core List Orca Printf Sim

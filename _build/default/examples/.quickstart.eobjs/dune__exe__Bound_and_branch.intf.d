@@ -1,0 +1,1 @@
+examples/bound_and_branch.mli:

@@ -1,0 +1,1 @@
+examples/guarded_pipeline.ml: Core List Orca Printf Queue Sim String

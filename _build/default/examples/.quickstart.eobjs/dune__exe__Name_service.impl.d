@@ -1,0 +1,1 @@
+examples/name_service.ml: Amoeba Array Core Format Machine Printf Sim String

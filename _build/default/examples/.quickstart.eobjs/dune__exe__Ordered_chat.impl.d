@@ -1,0 +1,1 @@
+examples/ordered_chat.ml: Amoeba Array Core List Machine Panda Printf Sim

@@ -1,0 +1,77 @@
+(* A three-stage pipeline built from guarded bounded-buffer objects — the
+   communication pattern of the paper's RL/SOR applications, and the one
+   where the two protocol stacks differ structurally: a blocked guarded
+   operation parks a kernel server thread under Amoeba RPC (costing an
+   extra context switch when it resumes), but becomes a continuation under
+   the user-space protocols.
+
+     dune exec examples/guarded_pipeline.exe *)
+
+type Sim.Payload.t += Num of int
+
+let capacity = 4
+let items = 12
+
+let bounded_buffer dom ~name ~owner =
+  let od =
+    Orca.Rts.declare dom ~name ~placement:(Orca.Rts.Owned owner) ~init:(fun ~rank:_ ->
+        Queue.create ())
+  in
+  let put =
+    Orca.Rts.defop od ~name:"put" ~kind:`Write
+      ~guard:(fun q _ -> Queue.length q < capacity)
+      (fun q arg ->
+        (match arg with Num v -> Queue.push v q | _ -> ());
+        Sim.Payload.Empty)
+  in
+  let get =
+    Orca.Rts.defop od ~name:"get" ~kind:`Write
+      ~guard:(fun q _ -> not (Queue.is_empty q))
+      (fun q _ -> Num (Queue.pop q))
+  in
+  (put, get)
+
+let run impl =
+  let cluster = Core.Cluster.create ~n:3 () in
+  let dom = Core.Cluster.domain cluster impl in
+  let put1, get1 = bounded_buffer dom ~name:"stage1" ~owner:1 in
+  let put2, get2 = bounded_buffer dom ~name:"stage2" ~owner:2 in
+  let results = ref [] in
+  (* Source on machine 0: produces 1..n. *)
+  ignore
+    (Orca.Rts.spawn dom ~rank:0 "source" (fun ~rank:_ ->
+         for i = 1 to items do
+           ignore (Orca.Rts.invoke put1 (Num i))
+         done));
+  (* Transformer on machine 1: squares. *)
+  ignore
+    (Orca.Rts.spawn dom ~rank:1 "square" (fun ~rank:_ ->
+         for _ = 1 to items do
+           match Orca.Rts.invoke get1 Sim.Payload.Empty with
+           | Num v -> ignore (Orca.Rts.invoke put2 (Num (v * v)))
+           | _ -> ()
+         done));
+  (* Sink on machine 2. *)
+  ignore
+    (Orca.Rts.spawn dom ~rank:2 "sink" (fun ~rank:_ ->
+         for _ = 1 to items do
+           match Orca.Rts.invoke get2 Sim.Payload.Empty with
+           | Num v -> results := v :: !results
+           | _ -> ()
+         done));
+  Sim.Engine.run cluster.Core.Cluster.eng;
+  Printf.printf "  [%s] pipeline output: %s\n" (Core.Cluster.impl_label impl)
+    (String.concat ", " (List.rev_map string_of_int !results));
+  Printf.printf "  [%s] finished at %.2f ms; blocked guarded ops: %d\n"
+    (Core.Cluster.impl_label impl)
+    (Sim.Time.to_ms (Sim.Engine.now cluster.Core.Cluster.eng))
+    (Orca.Rts.parked_total dom)
+
+let () =
+  print_endline "Guarded bounded-buffer pipeline (squares of 1..12):";
+  run Core.Cluster.Kernel;
+  run Core.Cluster.User;
+  print_endline
+    "Note: both give the same answer; the kernel-space run pays Amoeba's\n\
+     same-thread-reply workaround for every blocked get, the user-space run\n\
+     resolves them as continuations."

@@ -1,0 +1,59 @@
+(* Quickstart: a replicated shared counter on a simulated 4-machine Amoeba
+   pool, exercised under both protocol implementations.
+
+     dune exec examples/quickstart.exe
+
+   Shows the essentials of the public API: build a cluster, pick a
+   protocol stack, declare a shared data-object with read and write
+   operations, spawn Orca processes, run the simulation, read the clock. *)
+
+type Sim.Payload.t += Num of int
+
+let run impl =
+  (* A pool of 4 machines on one Ethernet segment, running FLIP. *)
+  let cluster = Core.Cluster.create ~n:4 () in
+  let dom = Core.Cluster.domain cluster impl in
+
+  (* A replicated counter: reads are local, increments are totally-ordered
+     broadcasts, so every replica sees the same sequence of updates. *)
+  let counter =
+    Orca.Rts.declare dom ~name:"counter" ~placement:Orca.Rts.Replicated
+      ~init:(fun ~rank:_ -> ref 0)
+  in
+  let read = Orca.Rts.defop counter ~name:"read" ~kind:`Read (fun st _ -> Num !st) in
+  let incr =
+    Orca.Rts.defop counter ~name:"incr" ~kind:`Write (fun st _ ->
+        Stdlib.incr st;
+        Num !st)
+  in
+
+  (* Four Orca processes, each incrementing 5 times. *)
+  let app_done = ref Sim.Time.zero in
+  for rank = 0 to 3 do
+    ignore
+      (Orca.Rts.spawn dom ~rank "worker" (fun ~rank ->
+           for _ = 1 to 5 do
+             ignore (Orca.Rts.invoke incr Sim.Payload.Empty)
+           done;
+           (match Orca.Rts.invoke read Sim.Payload.Empty with
+            | Num v ->
+              Printf.printf "  [%s] rank %d sees counter >= %d at t=%.2f ms\n"
+                (Core.Cluster.impl_label impl) rank v
+                (Sim.Time.to_ms (Sim.Engine.now cluster.Core.Cluster.eng))
+            | _ -> ());
+           let now = Sim.Engine.now cluster.Core.Cluster.eng in
+           if now > !app_done then app_done := now))
+  done;
+
+  (* Run to quiescence (the tail past [app_done] is the sequencer's idle
+     catch-up verifying everyone is up to date). *)
+  Sim.Engine.run cluster.Core.Cluster.eng;
+  let final = !(Orca.Rts.peek counter ~rank:0) in
+  Printf.printf "  [%s] final counter = %d (expected 20), finished at %.2f ms\n"
+    (Core.Cluster.impl_label impl) final (Sim.Time.to_ms !app_done)
+
+let () =
+  print_endline "Replicated counter over kernel-space protocols:";
+  run Core.Cluster.Kernel;
+  print_endline "Replicated counter over user-space protocols:";
+  run Core.Cluster.User

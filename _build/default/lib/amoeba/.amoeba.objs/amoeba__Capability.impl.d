@@ -1,0 +1,1 @@
+lib/amoeba/capability.ml: Format Int64

@@ -1,0 +1,1 @@
+lib/amoeba/directory.ml: Capability Flip Hashtbl List Machine Rpc Sim String

@@ -1,0 +1,1 @@
+lib/amoeba/directory.mli: Capability Flip Rpc Sim

@@ -1,0 +1,1 @@
+lib/amoeba/group.ml: Array Flip Hashtbl List Machine Queue Sim

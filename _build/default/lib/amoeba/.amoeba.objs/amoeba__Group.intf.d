@@ -1,0 +1,1 @@
+lib/amoeba/group.mli: Flip Sim

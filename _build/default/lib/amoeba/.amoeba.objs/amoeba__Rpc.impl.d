@@ -1,0 +1,1 @@
+lib/amoeba/rpc.ml: Flip Hashtbl Machine Queue Sim

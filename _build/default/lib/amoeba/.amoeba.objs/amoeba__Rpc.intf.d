@@ -1,0 +1,1 @@
+lib/amoeba/rpc.mli: Flip Sim

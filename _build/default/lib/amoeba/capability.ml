@@ -1,0 +1,74 @@
+(* 64-bit one-way mixing (splitmix finalizer), used for the port
+   derivation and the rights check fields. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let mix2 a b = mix (Int64.logxor (mix a) (Int64.mul b 0x9E3779B97F4A7C15L))
+
+type private_port = int64
+type port = int64
+
+let create_port ~seed = mix (Int64.of_int (seed lxor 0x5eed))
+let public priv = mix priv
+let port_equal = Int64.equal
+let pp_port fmt p = Format.fprintf fmt "port:%08Lx" (Int64.logand p 0xFFFFFFFFL)
+
+type rights = int
+
+let all_rights = 0xFF
+let right_read = 0x01
+let right_write = 0x02
+let right_admin = 0x80
+
+type t = {
+  cap_port : port;
+  cap_obj : int;
+  cap_rights : rights;
+  cap_check : int;
+}
+
+(* The check field for (object, rights) under a server secret.  The owner
+   capability's check is keyed directly; restricted capabilities fold the
+   removed-rights mask in one way. *)
+let owner_check priv ~obj =
+  Int64.to_int (Int64.logand (mix2 priv (Int64.of_int obj)) 0x3FFFFFFFFFFFFFFFL)
+
+let restrict_check check ~rights =
+  Int64.to_int
+    (Int64.logand
+       (mix2 (Int64.of_int check) (Int64.of_int rights))
+       0x3FFFFFFFFFFFFFFFL)
+
+let mint priv ~obj =
+  {
+    cap_port = public priv;
+    cap_obj = obj;
+    cap_rights = all_rights;
+    cap_check = owner_check priv ~obj;
+  }
+
+let restrict cap ~rights =
+  let rights = cap.cap_rights land rights in
+  if rights = cap.cap_rights then cap
+  else
+    {
+      cap with
+      cap_rights = rights;
+      cap_check = restrict_check cap.cap_check ~rights;
+    }
+
+let validate priv cap =
+  if not (port_equal cap.cap_port (public priv)) then false
+  else if cap.cap_rights = all_rights then
+    cap.cap_check = owner_check priv ~obj:cap.cap_obj
+  else
+    (* A restricted capability must be derivable from the owner one. *)
+    cap.cap_check
+    = restrict_check (owner_check priv ~obj:cap.cap_obj) ~rights:cap.cap_rights
+
+let has_rights cap r = cap.cap_rights land r = r
+
+let pp fmt cap =
+  Format.fprintf fmt "cap[%a/%d r=%02x]" pp_port cap.cap_port cap.cap_obj cap.cap_rights

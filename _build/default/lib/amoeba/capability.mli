@@ -1,0 +1,68 @@
+(** Amoeba ports, capabilities and rights.
+
+    Amoeba names every service by a {e port} and every object by a
+    {e capability} — (port, object number, rights, check field).  Servers
+    listen on the private form of a port; clients address the public form,
+    derived through a one-way function, so knowing where to send requests
+    does not let you impersonate the server.  Rights are protected by the
+    check field: the owner capability carries [F(check)]-style proof, and
+    {!restrict} derives capabilities with fewer rights that cannot be
+    upgraded back.
+
+    The one-way function is a 64-bit mixing hash — collision-resistant
+    enough for a simulation; the structure and the checking rules are the
+    real ones. *)
+
+type port
+(** A public (put-)port: what clients use. *)
+
+type private_port
+(** A private (get-)port: what the owning server holds. *)
+
+val create_port : seed:int -> private_port
+(** Derives a fresh server port from entropy. *)
+
+val public : private_port -> port
+(** The one-way derivation F(private) = public. *)
+
+val port_equal : port -> port -> bool
+val pp_port : Format.formatter -> port -> unit
+
+(** {1 Rights} *)
+
+type rights = int
+(** A bit mask; bit [i] set = operation class [i] permitted. *)
+
+val all_rights : rights
+val right_read : rights
+val right_write : rights
+val right_admin : rights
+
+(** {1 Capabilities} *)
+
+type t = {
+  cap_port : port;
+  cap_obj : int;
+  cap_rights : rights;
+  cap_check : int;
+}
+
+val mint : private_port -> obj:int -> t
+(** The owner capability for an object: all rights.  Only the holder of
+    the private port can mint (the check field is keyed by it). *)
+
+val restrict : t -> rights:rights -> t
+(** Derives a capability with [rights] masked down from an {e owner}
+    capability; the result's check field proves the reduced rights.  As in
+    real Amoeba, only the owner capability can be restricted offline —
+    restricting an already-restricted capability yields one the server
+    rejects. *)
+
+val validate : private_port -> t -> bool
+(** Server-side check that a presented capability is genuine and its
+    rights mask matches its check field. *)
+
+val has_rights : t -> rights -> bool
+(** [has_rights cap r]: all bits of [r] present in the capability. *)
+
+val pp : Format.formatter -> t -> unit

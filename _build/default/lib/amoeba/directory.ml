@@ -1,0 +1,97 @@
+module Thread = Machine.Thread
+
+type Sim.Payload.t +=
+  | Dir_register of { dr_cap : Capability.t; dr_name : string; dr_value : Capability.t }
+  | Dir_lookup of { dl_cap : Capability.t; dl_name : string }
+  | Dir_list of { dls_cap : Capability.t }
+  | Dir_ok
+  | Dir_cap of Capability.t
+  | Dir_names of string list
+  | Dir_denied
+
+type t = {
+  port : Rpc.port;
+  priv : Capability.private_port;
+  root : Capability.t;
+  table : (string, Capability.t) Hashtbl.t;
+}
+
+exception Denied
+
+let address t = Rpc.address t.port
+let root t = t.root
+
+(* Rough marshalled sizes: a capability is 16 bytes on Amoeba's wire. *)
+let cap_bytes = 16
+let name_bytes name = String.length name + 4
+
+let authorized t cap rights =
+  Capability.validate t.priv cap && Capability.has_rights cap rights
+
+let serve t request =
+  match request with
+  | Dir_register { dr_cap; dr_name; dr_value } ->
+    if authorized t dr_cap Capability.right_write then begin
+      Hashtbl.replace t.table dr_name dr_value;
+      (cap_bytes, Dir_ok)
+    end
+    else (4, Dir_denied)
+  | Dir_lookup { dl_cap; dl_name } ->
+    if authorized t dl_cap Capability.right_read then
+      match Hashtbl.find_opt t.table dl_name with
+      | Some cap -> (cap_bytes, Dir_cap cap)
+      | None -> (4, Dir_denied)
+    else (4, Dir_denied)
+  | Dir_list { dls_cap } ->
+    if authorized t dls_cap Capability.right_read then begin
+      let names = Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] in
+      let names = List.sort compare names in
+      (List.fold_left (fun acc n -> acc + name_bytes n) 4 names, Dir_names names)
+    end
+    else (4, Dir_denied)
+  | _ -> (4, Dir_denied)
+
+let start rpc =
+  let port = Rpc.export rpc ~name:"soap" in
+  let mach = Flip.Flip_iface.machine (Rpc.flip rpc) in
+  let priv = Capability.create_port ~seed:(Machine.Mach.id mach + 0xd1e) in
+  let t =
+    { port; priv; root = Capability.mint priv ~obj:0; table = Hashtbl.create 32 }
+  in
+  ignore
+    (Thread.spawn mach ~prio:Thread.Daemon "soap" (fun () ->
+         while true do
+           let r = Rpc.get_request port in
+           (* Table work: a hash probe plus the capability check. *)
+           Thread.compute (Sim.Time.us 25);
+           let size, reply = serve t (Rpc.request_payload r) in
+           Rpc.put_reply port r ~size reply
+         done));
+  t
+
+let transact rpc ~dir ~size request =
+  let _size, reply = Rpc.trans rpc ~dst:dir ~size request in
+  reply
+
+let register rpc ~dir ~cap ~name value =
+  match
+    transact rpc ~dir
+      ~size:((2 * cap_bytes) + name_bytes name)
+      (Dir_register { dr_cap = cap; dr_name = name; dr_value = value })
+  with
+  | Dir_ok -> ()
+  | _ -> raise Denied
+
+let lookup rpc ~dir ~cap ~name =
+  match
+    transact rpc ~dir
+      ~size:(cap_bytes + name_bytes name)
+      (Dir_lookup { dl_cap = cap; dl_name = name })
+  with
+  | Dir_cap c -> c
+  | _ -> raise Denied
+
+let list_names rpc ~dir ~cap =
+  match transact rpc ~dir ~size:cap_bytes (Dir_list { dls_cap = cap }) with
+  | Dir_names names -> names
+  | _ -> raise Denied

@@ -1,0 +1,48 @@
+(** The Amoeba directory service (a simplified SOAP): maps names to
+    capabilities, itself an ordinary RPC server built on {!Rpc} — services
+    in Amoeba are user-level processes on top of the kernel primitives.
+
+    Registering and looking up require the matching rights on the
+    directory capability; the server validates check fields with its
+    private port, so forged or over-claimed capabilities are refused. *)
+
+type t
+(** A running directory server. *)
+
+type Sim.Payload.t +=
+  | Dir_register of { dr_cap : Capability.t; dr_name : string; dr_value : Capability.t }
+  | Dir_lookup of { dl_cap : Capability.t; dl_name : string }
+  | Dir_list of { dls_cap : Capability.t }
+  | Dir_ok
+  | Dir_cap of Capability.t
+  | Dir_names of string list
+  | Dir_denied
+
+val start : Rpc.t -> t
+(** Starts the directory server on the RPC instance's machine: spawns its
+    server thread and exports its port. *)
+
+val address : t -> Flip.Address.t
+(** Where clients send directory transactions (what a well-known FLIP
+    address provides in a real pool). *)
+
+val root : t -> Capability.t
+(** The owner capability of the directory itself; restrict it before
+    handing it out. *)
+
+(** {1 Client operations} — each one Amoeba RPC transaction. *)
+
+exception Denied
+
+val register :
+  Rpc.t -> dir:Flip.Address.t -> cap:Capability.t -> name:string -> Capability.t -> unit
+(** Binds [name]; requires write rights on [cap].  @raise Denied *)
+
+val lookup :
+  Rpc.t -> dir:Flip.Address.t -> cap:Capability.t -> name:string -> Capability.t
+(** Resolves [name]; requires read rights.  @raise Denied (also when the
+    name is unbound). *)
+
+val list_names :
+  Rpc.t -> dir:Flip.Address.t -> cap:Capability.t -> string list
+(** All bound names; requires read rights.  @raise Denied *)

@@ -1,0 +1,1 @@
+lib/apps/ab.ml: List Machine Orca Sim Workload

@@ -1,0 +1,1 @@
+lib/apps/asp.ml: Array Hashtbl Machine Orca Sim Workload

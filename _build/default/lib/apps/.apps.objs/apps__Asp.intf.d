@@ -1,0 +1,1 @@
+lib/apps/asp.mli: Orca Sim

@@ -1,0 +1,1 @@
+lib/apps/convergence.ml: Hashtbl Orca Sim Workload

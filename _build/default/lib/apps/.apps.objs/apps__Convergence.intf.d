@@ -1,0 +1,1 @@
+lib/apps/convergence.mli: Orca

@@ -1,0 +1,1 @@
+lib/apps/exchange.ml: Array Hashtbl Orca Printf Sim Workload

@@ -1,0 +1,1 @@
+lib/apps/exchange.mli: Orca Sim

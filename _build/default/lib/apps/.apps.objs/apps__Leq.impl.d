@@ -1,0 +1,1 @@
+lib/apps/leq.ml: Array Float Hashtbl List Machine Orca Sim Workload

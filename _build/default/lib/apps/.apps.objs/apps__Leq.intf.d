@@ -1,0 +1,1 @@
+lib/apps/leq.mli: Orca Sim

@@ -1,0 +1,1 @@
+lib/apps/rl.ml: Array Convergence Exchange Machine Orca Sim Workload

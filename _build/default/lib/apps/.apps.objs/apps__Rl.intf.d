@@ -1,0 +1,1 @@
+lib/apps/rl.mli: Orca Sim

@@ -1,0 +1,1 @@
+lib/apps/sor.ml: Array Convergence Exchange Float Machine Orca Sim Workload

@@ -1,0 +1,1 @@
+lib/apps/sor.mli: Orca Sim

@@ -1,0 +1,1 @@
+lib/apps/tsp.ml: Array List Machine Orca Sim Workload

@@ -1,0 +1,102 @@
+module Thread = Machine.Thread
+
+type params = {
+  branching : int;
+  depth : int;
+  seed : int;
+  node_cost : Sim.Time.span;
+}
+
+let inf = 1 lsl 40
+
+let default_params = { branching = 20; depth = 6; seed = 3; node_cost = Sim.Time.us 350 }
+let test_params = { branching = 4; depth = 3; seed = 3; node_cost = Sim.Time.us 5 }
+
+(* Leaf evaluation: a hash of the root-to-leaf path, deterministic and
+   cheap, standing in for a position evaluator. *)
+let leaf_value p path =
+  let h = ref (0x9E3779B9 + p.seed) in
+  List.iter (fun m -> h := (!h * 0x01000193) lxor m) path;
+  (!h land 0xFFFF) - 0x8000
+
+(* Negamax alpha-beta on the synthetic tree; counts expanded nodes. *)
+let rec search p path depth alpha beta nodes =
+  incr nodes;
+  if depth = 0 then leaf_value p path
+  else begin
+    let alpha = ref alpha in
+    let best = ref (- inf) in
+    let m = ref 0 in
+    while !m < p.branching && !best < beta do
+      let v = - search p (!m :: path) (depth - 1) (- beta) (- !alpha) nodes in
+      if v > !best then best := v;
+      if v > !alpha then alpha := v;
+      incr m
+    done;
+    !best
+  end
+
+let sequential_pair p =
+  let nodes = ref 0 in
+  let alpha = ref (- inf) in
+  for m = 0 to p.branching - 1 do
+    let v = - search p [ m ] (p.depth - 1) (- inf) (- !alpha) nodes in
+    if v > !alpha then alpha := v
+  done;
+  (!alpha, !nodes)
+
+let sequential p = fst (sequential_pair p)
+let sequential_nodes p = snd (sequential_pair p)
+
+let make dom p =
+  let queue =
+    Orca.Rts.declare dom ~name:"ab.queue" ~placement:(Orca.Rts.Owned 0)
+      ~init:(fun ~rank:_ -> ref 0)
+  in
+  let next_move =
+    Orca.Rts.defop queue ~name:"next" ~kind:`Write
+      ~arg_size:(fun _ -> 4)
+      ~res_size:(fun _ -> 8)
+      (fun st _ ->
+        let k = !st in
+        st := k + 1;
+        Workload.Int_v (if k < p.branching then k else -1))
+  in
+  let best =
+    Orca.Rts.declare dom ~name:"ab.best" ~placement:Orca.Rts.Replicated
+      ~init:(fun ~rank:_ -> ref (- inf))
+  in
+  let read_best =
+    Orca.Rts.defop best ~name:"read" ~kind:`Read
+      ~res_size:(fun _ -> 8)
+      (fun st _ -> Workload.Int_v !st)
+  in
+  let update_best =
+    Orca.Rts.defop best ~name:"max" ~kind:`Write
+      ~arg_size:(fun _ -> 8)
+      (fun st arg ->
+        (match arg with
+         | Workload.Int_v v -> if v > !st then st := v
+         | _ -> ());
+        Sim.Payload.Empty)
+  in
+  let body ~rank =
+    ignore rank;
+    let running = ref true in
+    while !running do
+      match Orca.Rts.invoke next_move Sim.Payload.Empty with
+      | Workload.Int_v m when m >= 0 ->
+        let alpha =
+          match Orca.Rts.invoke read_best Sim.Payload.Empty with
+          | Workload.Int_v v -> v
+          | _ -> - inf
+        in
+        let nodes = ref 0 in
+        let v = - search p [ m ] (p.depth - 1) (- inf) (- alpha) nodes in
+        Thread.compute (!nodes * p.node_cost);
+        if v > alpha then ignore (Orca.Rts.invoke update_best (Workload.Int_v v))
+      | _ -> running := false
+    done
+  in
+  let result () = !(Orca.Rts.peek best ~rank:0) in
+  (body, result)

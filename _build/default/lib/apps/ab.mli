@@ -1,0 +1,25 @@
+(** Alpha-Beta game-tree search over a synthetic tree.
+
+    Root moves are jobs handed out by a central queue (owned by rank 0);
+    the best root score so far is a replicated object read locally at job
+    start and improved by broadcast.  Coarse-grained and light on
+    communication — the paper's poor speedups come from {e search
+    overhead}: parallel workers start without the alpha bounds sequential
+    search would already have, and genuinely expand more nodes here. *)
+
+type params = {
+  branching : int;
+  depth : int;
+  seed : int;
+  node_cost : Sim.Time.span;
+}
+
+val default_params : params
+val test_params : params
+val make : Orca.Rts.domain -> params -> (rank:int -> unit) * (unit -> int)
+
+val sequential : params -> int
+(** Host-side sequential alpha-beta root value. *)
+
+val sequential_nodes : params -> int
+(** Nodes the sequential search expands (for search-overhead reporting). *)

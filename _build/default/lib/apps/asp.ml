@@ -1,0 +1,116 @@
+module Thread = Machine.Thread
+
+type params = {
+  n : int;
+  seed : int;
+  cell_cost : Sim.Time.span;
+}
+
+let default_params = { n = 768; seed = 7; cell_cost = Sim.Time.ns 470 }
+let test_params = { n = 48; seed = 7; cell_cost = Sim.Time.ns 100 }
+
+let initial_matrix p =
+  let rng = Sim.Rng.create ~seed:p.seed in
+  let inf = 1_000_000 in
+  Array.init p.n (fun i ->
+      Array.init p.n (fun j ->
+          if i = j then 0
+          else if Sim.Rng.int rng 100 < 20 then 1 + Sim.Rng.int rng 100
+          else inf))
+
+let checksum c =
+  Array.fold_left (fun acc row -> Array.fold_left (fun a v -> a + v) acc row) 0 c
+
+let sequential p =
+  let c = initial_matrix p in
+  let n = p.n in
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      let cik = c.(i).(k) in
+      let rowk = c.(k) in
+      let rowi = c.(i) in
+      for j = 0 to n - 1 do
+        let via = cik + rowk.(j) in
+        if via < rowi.(j) then rowi.(j) <- via
+      done
+    done
+  done;
+  checksum c
+
+(* The replicated row board: iteration k's pivot row, awaited with a
+   guarded local operation and consumed exactly once per rank. *)
+type board = { rows : (int, int array) Hashtbl.t }
+
+let make dom p =
+  let n = p.n in
+  let parts = Orca.Rts.size dom in
+  let full = initial_matrix p in
+  (* Each rank owns the block of rows [lo, hi). *)
+  let blocks =
+    Array.init parts (fun rank ->
+        let lo, hi = Workload.block_range ~n ~parts ~rank in
+        (lo, hi, Array.init (hi - lo) (fun i -> full.(lo + i))))
+  in
+  let board =
+    Orca.Rts.declare dom ~name:"asp.board" ~placement:Orca.Rts.Replicated
+      ~init:(fun ~rank:_ -> { rows = Hashtbl.create 32 })
+  in
+  let add_row =
+    Orca.Rts.defop board ~name:"add" ~kind:`Write
+      ~arg_size:(fun _ -> 4 * n)
+      (fun st arg ->
+        (match arg with
+         | Workload.Row (k, row) -> Hashtbl.replace st.rows k row
+         | _ -> ());
+        Sim.Payload.Empty)
+  in
+  let await_row =
+    Orca.Rts.defop board ~name:"await" ~kind:`Read
+      ~guard:(fun st arg ->
+        match arg with Workload.Int_v k -> Hashtbl.mem st.rows k | _ -> false)
+      ~res_size:(fun _ -> 4 * n)
+      (fun st arg ->
+        match arg with
+        | Workload.Int_v k ->
+          let row = Hashtbl.find st.rows k in
+          (* Consumed exactly once per replica: drop it to bound memory. *)
+          Hashtbl.remove st.rows k;
+          Workload.Row (k, row)
+        | _ -> Sim.Payload.Empty)
+  in
+  let owner_of k =
+    let rec find rank =
+      let lo, hi, _ = blocks.(rank) in
+      if k >= lo && k < hi then rank else find (rank + 1)
+    in
+    find 0
+  in
+  let body ~rank =
+    let lo, hi, mine = blocks.(rank) in
+    for k = 0 to n - 1 do
+      if owner_of k = rank then
+        ignore
+          (Orca.Rts.invoke add_row (Workload.Row (k, Array.copy mine.(k - lo))));
+      let rowk =
+        match Orca.Rts.invoke await_row (Workload.Int_v k) with
+        | Workload.Row (_, row) -> row
+        | _ -> assert false
+      in
+      for i = 0 to hi - lo - 1 do
+        let rowi = mine.(i) in
+        let cik = rowi.(k) in
+        for j = 0 to n - 1 do
+          let via = cik + rowk.(j) in
+          if via < rowi.(j) then rowi.(j) <- via
+        done
+      done;
+      Thread.compute ((hi - lo) * n * p.cell_cost)
+    done
+  in
+  let result () =
+    Array.fold_left
+      (fun acc (_, _, mine) ->
+        Array.fold_left (fun a row -> Array.fold_left ( + ) a row) acc mine)
+      0 blocks
+  in
+  (body, result)

@@ -1,0 +1,23 @@
+(** All-Pairs Shortest Paths (Floyd-Warshall), rows block-distributed.
+
+    At iteration [k] the owner of row [k] broadcasts it through a
+    replicated row-board object (a totally-ordered group message per
+    iteration — the paper's 768 messages of 3200 bytes); every process
+    waits for the pivot row with a guarded local operation and updates its
+    own rows.  The matrix computation really executes. *)
+
+type params = {
+  n : int;  (** vertices; one broadcast of [4n] bytes per iteration *)
+  seed : int;
+  cell_cost : Sim.Time.span;  (** CPU time per min-plus cell update *)
+}
+
+val default_params : params
+(** n = 768, as the paper's message count and size imply. *)
+
+val test_params : params
+
+val make : Orca.Rts.domain -> params -> (rank:int -> unit) * (unit -> int)
+(** [result ()] is the sum of all shortest distances (a checksum). *)
+
+val sequential : params -> int

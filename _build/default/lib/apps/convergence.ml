@@ -1,0 +1,63 @@
+type poll = {
+  votes : (int, int ref * bool ref) Hashtbl.t; (* iter -> (count, any-changed) *)
+}
+
+type t = {
+  parts : int;
+  op_vote : poll Orca.Rts.opref;
+  op_await : poll Orca.Rts.opref;
+}
+
+let slot st iter =
+  match Hashtbl.find_opt st.votes iter with
+  | Some s -> s
+  | None ->
+    let s = (ref 0, ref false) in
+    Hashtbl.add st.votes iter s;
+    s
+
+let make dom ~name =
+  let parts = Orca.Rts.size dom in
+  let od =
+    Orca.Rts.declare dom ~name ~placement:Orca.Rts.Replicated ~init:(fun ~rank:_ ->
+        { votes = Hashtbl.create 8 })
+  in
+  let op_vote =
+    Orca.Rts.defop od ~name:"vote" ~kind:`Write
+      ~arg_size:(fun _ -> 8)
+      (fun st arg ->
+        (match arg with
+         | Workload.Int2 (iter, changed) ->
+           let count, any = slot st iter in
+           incr count;
+           if changed <> 0 then any := true
+         | _ -> ());
+        Sim.Payload.Empty)
+  in
+  let op_await =
+    Orca.Rts.defop od ~name:"await" ~kind:`Read
+      ~guard:(fun st arg ->
+        match arg with
+        | Workload.Int_v iter ->
+          let count, _ = slot st iter in
+          !count = parts
+        | _ -> false)
+      ~res_size:(fun _ -> 8)
+      (fun st arg ->
+        match arg with
+        | Workload.Int_v iter ->
+          let _, any = slot st iter in
+          let result = !any in
+          (* Each process consumes each iteration exactly once. *)
+          Hashtbl.remove st.votes (iter - 2);
+          Workload.Int_v (if result then 1 else 0)
+        | _ -> Sim.Payload.Empty)
+  in
+  { parts; op_vote; op_await }
+
+let vote t ~iter ~changed =
+  ignore t.parts;
+  ignore (Orca.Rts.invoke t.op_vote (Workload.Int2 (iter, if changed then 1 else 0)));
+  match Orca.Rts.invoke t.op_await (Workload.Int_v iter) with
+  | Workload.Int_v 1 -> true
+  | _ -> false

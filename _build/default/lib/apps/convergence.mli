@@ -1,0 +1,16 @@
+(** Distributed termination detection, Orca style: a replicated poll
+    object.  Every process broadcasts a per-iteration "did my block
+    change?" vote and waits (guarded local read) until all votes for the
+    iteration are in; the iteration's OR decides termination.
+
+    This is how the real Orca applications detect convergence, and its one
+    broadcast per process per iteration is a large part of the Ethernet
+    load that flattens RL/SOR speedups in the paper. *)
+
+type t
+
+val make : Orca.Rts.domain -> name:string -> t
+
+val vote : t -> iter:int -> changed:bool -> bool
+(** Cast this process's vote for [iter]; blocks until every process has
+    voted, then returns whether anyone reported a change. *)

@@ -1,0 +1,60 @@
+type ops = {
+  o_put : unit Orca.Rts.opref;
+  o_get : unit Orca.Rts.opref;
+}
+
+(* One buffer object per (rank, direction), owned by the producing rank;
+   state is a table iteration -> payload, consumed once. *)
+type t = {
+  up : ops array;
+  down : ops array;
+}
+
+let make_buffer dom ~name ~owner ~row_bytes =
+  let slots : (int, Sim.Payload.t) Hashtbl.t = Hashtbl.create 8 in
+  let od =
+    Orca.Rts.declare dom ~name ~placement:(Orca.Rts.Owned owner) ~init:(fun ~rank:_ -> ())
+  in
+  let o_put =
+    Orca.Rts.defop od ~name:"put" ~kind:`Write
+      ~arg_size:(fun _ -> row_bytes + 8)
+      (fun () arg ->
+        (match arg with
+         | Workload.Tagged (iter, payload) -> Hashtbl.replace slots iter payload
+         | _ -> ());
+        Sim.Payload.Empty)
+  in
+  let o_get =
+    Orca.Rts.defop od ~name:"get" ~kind:`Write
+      ~guard:(fun () arg ->
+        match arg with Workload.Int_v iter -> Hashtbl.mem slots iter | _ -> false)
+      ~arg_size:(fun _ -> 8)
+      ~res_size:(fun _ -> row_bytes)
+      (fun () arg ->
+        match arg with
+        | Workload.Int_v iter ->
+          let payload = Hashtbl.find slots iter in
+          Hashtbl.remove slots iter;
+          payload
+        | _ -> Sim.Payload.Empty)
+  in
+  { o_put; o_get }
+
+let create dom ~name ~row_bytes =
+  let parts = Orca.Rts.size dom in
+  {
+    up =
+      Array.init parts (fun r ->
+          make_buffer dom ~name:(Printf.sprintf "%s.up%d" name r) ~owner:r ~row_bytes);
+    down =
+      Array.init parts (fun r ->
+          make_buffer dom ~name:(Printf.sprintf "%s.down%d" name r) ~owner:r ~row_bytes);
+  }
+
+let bufs t dir = match dir with `Up -> t.up | `Down -> t.down
+
+let put t ~rank ~dir ~iter payload =
+  ignore (Orca.Rts.invoke (bufs t dir).(rank).o_put (Workload.Tagged (iter, payload)))
+
+let get t ~owner ~dir ~iter =
+  Orca.Rts.invoke (bufs t dir).(owner).o_get (Workload.Int_v iter)

@@ -1,0 +1,21 @@
+(** Boundary exchange between neighbouring ranks via shared buffer
+    objects — the RL/SOR communication pattern the paper highlights.
+
+    Each rank owns two buffer objects, one per direction; a neighbour
+    fetches from them with a remote {e guarded} BufGet that blocks until
+    the owner's BufPut of the wanted iteration has arrived.  On the
+    kernel-space implementation every such blocked get costs the extra
+    context switch of Amoeba's same-thread-reply restriction. *)
+
+type t
+
+val create : Orca.Rts.domain -> name:string -> row_bytes:int -> t
+
+val put : t -> rank:int -> dir:[ `Up | `Down ] -> iter:int -> Sim.Payload.t -> unit
+(** Deposit this rank's boundary row for the neighbour in direction
+    [dir].  Local operation on the calling rank's own buffer. *)
+
+val get : t -> owner:int -> dir:[ `Up | `Down ] -> iter:int -> Sim.Payload.t
+(** Fetch [owner]'s deposited row (its [dir]-direction buffer) for
+    iteration [iter]; blocks until it is there.  Remote when [owner] is
+    another rank. *)

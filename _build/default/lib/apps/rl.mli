@@ -1,0 +1,33 @@
+(** Region Labelling: iterative connected-component labelling of a binary
+    image, rows block-distributed.
+
+    Each iteration every rank updates its block (minimum label over the
+    4-neighbourhood) and exchanges boundary rows with its neighbours
+    through guarded buffer objects — many small remote guarded operations,
+    the pattern on which the paper's user-space implementation beats the
+    kernel-space one.  The iteration count is the real convergence count
+    of the input, precomputed sequentially. *)
+
+type params = {
+  h : int;
+  w : int;
+  seed : int;
+  density_pct : int;
+  scan_cost : Sim.Time.span;  (** per cell visited *)
+  change_cost : Sim.Time.span;  (** extra work per label actually updated *)
+  check_every : int;  (** iterations between convergence votes *)
+}
+
+val default_params : params
+val test_params : params
+
+val iterations : params -> int
+(** Iterations until the labelling converges (host-side run). *)
+
+val total_changes : params -> int
+(** Total label updates over the whole run (calibration aid). *)
+
+val make : Orca.Rts.domain -> params -> (rank:int -> unit) * (unit -> int)
+(** [result ()] is the sum of final labels (a checksum). *)
+
+val sequential : params -> int

@@ -1,0 +1,27 @@
+(** Successive Overrelaxation: red/black Gauss-Seidel with overrelaxation
+    on a 2-D grid, rows block-distributed.
+
+    Two half-sweeps per iteration, each preceded by a boundary-row
+    exchange through guarded buffer objects — the finest-grained of the
+    six applications, saturating the Ethernet at large processor counts
+    exactly as the paper reports.  The iteration count is the input's real
+    convergence count, precomputed sequentially. *)
+
+type params = {
+  h : int;
+  w : int;
+  seed : int;
+  epsilon : float;
+  omega : float;
+  cell_cost : Sim.Time.span;
+}
+
+val default_params : params
+val test_params : params
+
+val iterations : params -> int
+
+val make : Orca.Rts.domain -> params -> (rank:int -> unit) * (unit -> int)
+(** [result ()] is a rounded checksum of the converged grid. *)
+
+val sequential : params -> int

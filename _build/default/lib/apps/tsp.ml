@@ -1,0 +1,187 @@
+module Thread = Machine.Thread
+
+type params = {
+  n_cities : int;
+  job_depth : int;
+  seed : int;
+  node_cost : Sim.Time.span;
+}
+
+let default_params =
+  { n_cities = 15; job_depth = 3; seed = 42; node_cost = Sim.Time.us 40 }
+
+let test_params = { n_cities = 9; job_depth = 2; seed = 42; node_cost = Sim.Time.us 10 }
+
+let jobs_of p =
+  let rec go n k = if k = 0 then 1 else n * go (n - 1) (k - 1) in
+  go (p.n_cities - 1) p.job_depth
+
+(* Decode job index [k] into the [job_depth] cities visited after city 0.
+   Digit d picks among the cities not yet used. *)
+let decode_job p k =
+  let n = p.n_cities in
+  let avail = Array.init (n - 1) (fun i -> i + 1) in
+  let navail = ref (n - 1) in
+  let k = ref k in
+  let radix = ref 1 in
+  for d = 0 to p.job_depth - 1 do
+    radix := !radix * (n - 1 - d)
+  done;
+  let cities = ref [] in
+  for d = 0 to p.job_depth - 1 do
+    radix := !radix / (n - 1 - d);
+    let idx = !k / !radix in
+    k := !k mod !radix;
+    let city = avail.(idx) in
+    for i = idx to !navail - 2 do
+      avail.(i) <- avail.(i + 1)
+    done;
+    decr navail;
+    cities := city :: !cities
+  done;
+  List.rev !cities
+
+let greedy_tour dist n =
+  let visited = Array.make n false in
+  visited.(0) <- true;
+  let total = ref 0 and current = ref 0 in
+  for _ = 1 to n - 1 do
+    let best = ref (-1) and bestd = ref max_int in
+    for c = 0 to n - 1 do
+      if (not visited.(c)) && dist.(!current).(c) < !bestd then begin
+        best := c;
+        bestd := dist.(!current).(c)
+      end
+    done;
+    visited.(!best) <- true;
+    total := !total + !bestd;
+    current := !best
+  done;
+  !total + dist.(!current).(0)
+
+(* Depth-first branch and bound from a prefix; [best] is the pruning bound
+   (updated in place when improved); counts expanded nodes.  [sync] is
+   called every [sync_interval] nodes so a parallel worker can exchange
+   bounds mid-job — the source of the paper's superlinear speedups. *)
+let sync_interval = 2048
+
+let expand ?(sync = fun () -> ()) dist n prefix best nodes =
+  let visited = Array.make n false in
+  let rec go current len depth =
+    incr nodes;
+    if !nodes land (sync_interval - 1) = 0 then sync ();
+    if len >= !best then ()
+    else if depth = n then begin
+      let total = len + dist.(current).(0) in
+      if total < !best then best := total
+    end
+    else
+      for c = 0 to n - 1 do
+        if not visited.(c) then begin
+          visited.(c) <- true;
+          go c (len + dist.(current).(c)) (depth + 1);
+          visited.(c) <- false
+        end
+      done
+  in
+  match prefix with
+  | [] -> invalid_arg "Tsp.expand: empty prefix"
+  | first :: rest ->
+    assert (first = 0);
+    visited.(0) <- true;
+    let current = ref 0 and len = ref 0 in
+    List.iter
+      (fun c ->
+        visited.(c) <- true;
+        len := !len + dist.(!current).(c);
+        current := c)
+      rest;
+    go !current !len (1 + List.length rest)
+
+let sequential_pair p =
+  let dist = Workload.dist_matrix ~seed:p.seed ~n:p.n_cities ~lo:1 ~hi:100 in
+  let best = ref (greedy_tour dist p.n_cities) in
+  let nodes = ref 0 in
+  for k = 0 to jobs_of p - 1 do
+    expand dist p.n_cities (0 :: decode_job p k) best nodes
+  done;
+  (!best, !nodes)
+
+let sequential p = fst (sequential_pair p)
+let sequential_nodes p = snd (sequential_pair p)
+
+let make dom p =
+  let dist = Workload.dist_matrix ~seed:p.seed ~n:p.n_cities ~lo:1 ~hi:100 in
+  let initial = greedy_tour dist p.n_cities in
+  let n_jobs = jobs_of p in
+  (* Central job queue, owned by rank 0: a counter handing out job ids. *)
+  let queue =
+    Orca.Rts.declare dom ~name:"tsp.queue" ~placement:(Orca.Rts.Owned 0)
+      ~init:(fun ~rank:_ -> ref 0)
+  in
+  let next_job =
+    Orca.Rts.defop queue ~name:"next" ~kind:`Write
+      ~arg_size:(fun _ -> 4)
+      ~res_size:(fun _ -> 8)
+      (fun st _ ->
+        let k = !st in
+        st := k + 1;
+        Workload.Int_v (if k < n_jobs then k else -1))
+  in
+  (* Replicated global bound: read locally, improved by broadcast. *)
+  let bound =
+    Orca.Rts.declare dom ~name:"tsp.bound" ~placement:Orca.Rts.Replicated
+      ~init:(fun ~rank:_ -> ref initial)
+  in
+  let read_bound =
+    Orca.Rts.defop bound ~name:"read" ~kind:`Read
+      ~res_size:(fun _ -> 8)
+      (fun st _ -> Workload.Int_v !st)
+  in
+  let update_min =
+    Orca.Rts.defop bound ~name:"min" ~kind:`Write
+      ~arg_size:(fun _ -> 8)
+      (fun st arg ->
+        (match arg with
+         | Workload.Int_v v -> if v < !st then st := v
+         | _ -> ());
+        Sim.Payload.Empty)
+  in
+  let body ~rank =
+    ignore rank;
+    let running = ref true in
+    while !running do
+      match Orca.Rts.invoke next_job Sim.Payload.Empty with
+      | Workload.Int_v k when k >= 0 ->
+        let local_best =
+          match Orca.Rts.invoke read_bound Sim.Payload.Empty with
+          | Workload.Int_v v -> ref v
+          | _ -> ref initial
+        in
+        let published = ref !local_best in
+        let nodes = ref 0 in
+        let charged = ref 0 in
+        (* Exchange bounds mid-job: pick up other workers' improvements
+           (a local read of the replicated object) and broadcast our own
+           as soon as they appear.  The simulated clock advances with the
+           node count at each exchange point. *)
+        let sync () =
+          Thread.compute ((!nodes - !charged) * p.node_cost);
+          charged := !nodes;
+          if !local_best < !published then begin
+            ignore (Orca.Rts.invoke update_min (Workload.Int_v !local_best));
+            published := !local_best
+          end;
+          (match Orca.Rts.invoke read_bound Sim.Payload.Empty with
+           | Workload.Int_v v -> if v < !local_best then local_best := v
+           | _ -> ())
+        in
+        expand ~sync dist p.n_cities (0 :: decode_job p k) local_best nodes;
+        Thread.compute ((!nodes - !charged) * p.node_cost);
+        if !local_best < !published then
+          ignore (Orca.Rts.invoke update_min (Workload.Int_v !local_best))
+      | _ -> running := false
+    done
+  in
+  let result () = !(Orca.Rts.peek bound ~rank:0) in
+  (body, result)

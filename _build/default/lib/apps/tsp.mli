@@ -1,0 +1,39 @@
+(** Travelling Salesman Problem: replicated branch-and-bound.
+
+    A central job queue (owned by rank 0) hands out fixed-depth prefix
+    tours; the best tour length lives in a replicated object that workers
+    read locally for pruning and update by broadcast when they improve it.
+    The paper's run used 2184 jobs; with [job_depth] 3 that corresponds to
+    15 cities ((n-1)(n-2)(n-3) prefixes).
+
+    The search really executes, so the parallel runs explore the tree in a
+    different order than the sequential one — the source of the paper's
+    superlinear speedups. *)
+
+type params = {
+  n_cities : int;
+  job_depth : int;
+  seed : int;
+  node_cost : Sim.Time.span;  (** CPU time per expanded search node *)
+}
+
+val default_params : params
+(** 15 cities (2184 jobs), calibrated to the paper's single-processor
+    runtime.  Workers exchange bounds every couple of thousand nodes, so
+    parallel runs can prune harder than the sequential one — the paper's
+    superlinear speedups. *)
+
+val test_params : params
+
+val jobs_of : params -> int
+(** Number of jobs the parameters generate. *)
+
+val make : Orca.Rts.domain -> params -> (rank:int -> unit) * (unit -> int)
+(** [make dom p] is [(body, result)]: run [body] on every rank, then
+    [result ()] is the optimal tour length found. *)
+
+val sequential : params -> int
+(** Host-side sequential solution, for validating the parallel result. *)
+
+val sequential_nodes : params -> int
+(** Nodes the sequential search expands (calibration aid). *)

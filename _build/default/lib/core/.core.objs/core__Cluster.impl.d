@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Flip Machine Net Orca Params Printf Sim

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Amoeba Array Cluster Flip Fun List Machine Net Orca Panda Params Printf Runner Sim

@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Amoeba Flip Machine Net Panda Runner

@@ -1,0 +1,1 @@
+lib/core/runner.ml: Apps Array Cluster Float Format Lazy List Machine Net Orca Printf Sim

@@ -1,0 +1,61 @@
+type t = {
+  eng : Sim.Engine.t;
+  machines : Machine.Mach.t array;
+  topo : Net.Topology.t;
+  flips : Flip.Flip_iface.t array;
+  extra : Flip.Flip_iface.t option;
+}
+
+type impl = Kernel | User | User_dedicated
+
+let impl_label = function
+  | Kernel -> "kernel"
+  | User -> "user"
+  | User_dedicated -> "user-dedicated"
+
+let all_impls = [ Kernel; User; User_dedicated ]
+
+let create ?(extra_machine = false) ~n () =
+  let eng = Sim.Engine.create () in
+  let total = n + if extra_machine then 1 else 0 in
+  let machines =
+    Array.init total (fun i ->
+        Machine.Mach.create eng ~id:i ~name:(Printf.sprintf "m%d" i) Params.machine)
+  in
+  let topo =
+    Net.Topology.build eng ~machines ~per_segment:8 ~segment_config:Params.segment
+      ~nic_config:Params.nic ~switch_latency:Params.switch_latency ()
+  in
+  let all_flips =
+    Array.mapi
+      (fun i mach -> Flip.Flip_iface.create mach ~config:Params.flip (Net.Topology.nic topo i))
+      machines
+  in
+  {
+    eng;
+    machines = Array.sub machines 0 n;
+    topo;
+    flips = Array.sub all_flips 0 n;
+    extra = (if extra_machine then Some all_flips.(n) else None);
+  }
+
+let domain t impl =
+  let backends =
+    match impl with
+    | Kernel ->
+      Orca.Backend.kernel_stack ~rpc_config:Params.amoeba_rpc
+        ~group_config:Params.amoeba_group t.flips ()
+    | User ->
+      Orca.Backend.user_stack ~sys_config:Params.panda_system
+        ~rpc_config:Params.panda_rpc ~group_config:Params.panda_group t.flips ()
+    | User_dedicated ->
+      let extra =
+        match t.extra with
+        | Some flip -> flip
+        | None -> invalid_arg "Cluster.domain: no extra machine for the dedicated sequencer"
+      in
+      Orca.Backend.user_stack ~sys_config:Params.panda_system
+        ~rpc_config:Params.panda_rpc ~group_config:Params.panda_group t.flips
+        ~dedicated_sequencer:extra ()
+  in
+  Orca.Rts.create_domain ~rts_overhead:Params.rts_overhead backends

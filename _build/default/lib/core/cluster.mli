@@ -1,0 +1,24 @@
+(** Builds the paper's testbed: a pool of SPARC-like machines on 10 Mbit/s
+    Ethernet segments of eight, joined by a switch, each running FLIP. *)
+
+type t = {
+  eng : Sim.Engine.t;
+  machines : Machine.Mach.t array;
+  topo : Net.Topology.t;
+  flips : Flip.Flip_iface.t array;
+  extra : Flip.Flip_iface.t option;
+      (** an additional machine (on the last segment) for the
+          dedicated-sequencer experiments *)
+}
+
+val create : ?extra_machine:bool -> n:int -> unit -> t
+
+type impl = Kernel | User | User_dedicated
+
+val impl_label : impl -> string
+val all_impls : impl list
+
+val domain : t -> impl -> Orca.Rts.domain
+(** Builds the Orca domain over the cluster with the given protocol
+    implementation.  [User_dedicated] requires the cluster to have been
+    created with [extra_machine:true]. *)

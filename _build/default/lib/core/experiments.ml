@@ -1,0 +1,566 @@
+module Thread = Machine.Thread
+module Mach = Machine.Mach
+
+type profile = {
+  p_machine : Machine.Mach.config;
+  p_nic : Net.Nic.config;
+  p_segment : Net.Segment.config;
+  p_flip : Flip.Flip_iface.config;
+  p_arpc : Amoeba.Rpc.config;
+  p_agrp : Amoeba.Group.config;
+  p_psys : Panda.System_layer.config;
+  p_prpc : Panda.Rpc.config;
+  p_pgrp : Panda.Group.config;
+}
+
+let default_profile =
+  {
+    p_machine = Params.machine;
+    p_nic = Params.nic;
+    p_segment = Params.segment;
+    p_flip = Params.flip;
+    p_arpc = Params.amoeba_rpc;
+    p_agrp = Params.amoeba_group;
+    p_psys = Params.panda_system;
+    p_prpc = Params.panda_rpc;
+    p_pgrp = Params.panda_group;
+  }
+
+(* A small pool built from a profile (for the microbenchmarks; Table 3
+   uses Cluster, which reads Params directly). *)
+let micro_pool profile n =
+  let eng = Sim.Engine.create () in
+  let machines =
+    Array.init n (fun i ->
+        Mach.create eng ~id:i ~name:(Printf.sprintf "m%d" i) profile.p_machine)
+  in
+  let topo =
+    Net.Topology.build eng ~machines ~per_segment:8 ~segment_config:profile.p_segment
+      ~nic_config:profile.p_nic ~switch_latency:Params.switch_latency ()
+  in
+  let flips =
+    Array.mapi
+      (fun i mach ->
+        Flip.Flip_iface.create mach ~config:profile.p_flip (Net.Topology.nic topo i))
+      machines
+  in
+  (eng, machines, flips)
+
+type Sim.Payload.t += Ping
+
+let warmup_rounds = 2
+let measure_rounds = 10
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: system-layer unicast/multicast (user space only) *)
+
+(* Ping-pong between the two system-layer daemons: replies are sent from
+   within the upcall, so no context switch is in the measured path beyond
+   the daemon dispatch itself (paper §4.1). *)
+let raw_pingpong ~mcast profile ~size () =
+  let eng, machines, flips = micro_pool profile 2 in
+  let sys =
+    Array.mapi
+      (fun i flip ->
+        Panda.System_layer.create ~config:profile.p_psys ~name:(Printf.sprintf "s%d" i) flip)
+      flips
+  in
+  let gaddr = Flip.Address.fresh_group () in
+  if mcast then
+    Array.iteri
+      (fun i flip ->
+        Flip.Flip_iface.register flip gaddr (fun frag ->
+            (* The benchmark driver filters its own looped-back multicasts
+               before they reach the daemon. *)
+            if not (Flip.Address.equal frag.Flip.Fragment.src (Panda.System_layer.address sys.(i)))
+            then
+              match Panda.System_layer.unwrap frag with
+              | Some pan -> Panda.System_layer.inject sys.(i) pan
+              | None -> ()))
+      flips;
+  let rounds = warmup_rounds + measure_rounds in
+  let t_start = ref Sim.Time.zero and t_end = ref Sim.Time.zero and count = ref 0 in
+  let send_from_daemon i =
+    if mcast then Panda.System_layer.mcast_from_daemon sys.(i) ~group:gaddr ~size Ping
+    else
+      Panda.System_layer.send_from_daemon sys.(i)
+        ~dst:(Panda.System_layer.address sys.(1 - i))
+        ~size Ping
+  in
+  Array.iteri
+    (fun i s ->
+      Panda.System_layer.add_handler s (fun ~src ~size:_ payload ->
+          match payload with
+          | Ping when Flip.Address.equal src (Panda.System_layer.address s) ->
+            true (* own multicast looped back *)
+          | Ping ->
+            if i = 0 then begin
+              incr count;
+              if !count = warmup_rounds then t_start := Sim.Engine.now eng;
+              if !count = rounds then t_end := Sim.Engine.now eng
+              else send_from_daemon 0
+            end
+            else send_from_daemon 1;
+            true
+          | _ -> false))
+    sys;
+  ignore
+    (Thread.spawn machines.(0) "starter" (fun () ->
+         if mcast then Panda.System_layer.mcast sys.(0) ~group:gaddr ~size Ping
+         else
+           Panda.System_layer.send sys.(0)
+             ~dst:(Panda.System_layer.address sys.(1))
+             ~size Ping));
+  Sim.Engine.run eng;
+  (* Each round is two one-way messages. *)
+  Sim.Time.to_ms (!t_end - !t_start) /. float_of_int (2 * measure_rounds)
+
+let unicast_latency ?(profile = default_profile) ~size () =
+  raw_pingpong ~mcast:false profile ~size ()
+
+let multicast_latency ?(profile = default_profile) ~size () =
+  raw_pingpong ~mcast:true profile ~size ()
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: RPC latency *)
+
+let rpc_run profile ~impl ~size ~rounds =
+  let eng, machines, flips = micro_pool profile 2 in
+  let marks = ref [] in
+  (match impl with
+   | `Kernel ->
+     let srpc = Amoeba.Rpc.create ~config:profile.p_arpc flips.(1) in
+     let port = Amoeba.Rpc.export srpc ~name:"bench" in
+     ignore
+       (Thread.spawn machines.(1) ~prio:Thread.Daemon "server" (fun () ->
+            for _ = 1 to rounds do
+              let r = Amoeba.Rpc.get_request port in
+              Amoeba.Rpc.put_reply port r ~size:0 Sim.Payload.Empty
+            done));
+     let crpc = Amoeba.Rpc.create ~config:profile.p_arpc flips.(0) in
+     ignore
+       (Thread.spawn machines.(0) "client" (fun () ->
+            for _ = 1 to rounds do
+              ignore (Amoeba.Rpc.trans crpc ~dst:(Amoeba.Rpc.address port) ~size Ping);
+              marks := Sim.Engine.now eng :: !marks
+            done))
+   | `User ->
+     let sys =
+       Array.mapi
+         (fun i flip ->
+           Panda.System_layer.create ~config:profile.p_psys
+             ~name:(Printf.sprintf "s%d" i) flip)
+         flips
+     in
+     let srpc = Panda.Rpc.create ~config:profile.p_prpc sys.(1) in
+     Panda.Rpc.set_request_handler srpc (fun ~client:_ ~size:_ _ ~reply ->
+         reply ~size:0 Sim.Payload.Empty);
+     let crpc = Panda.Rpc.create ~config:profile.p_prpc sys.(0) in
+     ignore
+       (Thread.spawn machines.(0) "client" (fun () ->
+            for _ = 1 to rounds do
+              ignore (Panda.Rpc.trans crpc ~dst:(Panda.Rpc.address srpc) ~size Ping);
+              marks := Sim.Engine.now eng :: !marks
+            done)));
+  Sim.Engine.run eng;
+  List.rev !marks
+
+let rpc_latency ?(profile = default_profile) ~impl ~size () =
+  let rounds = warmup_rounds + measure_rounds in
+  let marks = rpc_run profile ~impl ~size ~rounds in
+  let t0 = List.nth marks (warmup_rounds - 1) in
+  let t1 = List.nth marks (rounds - 1) in
+  Sim.Time.to_ms (t1 - t0) /. float_of_int measure_rounds
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: group latency *)
+
+(* One sending member; the sequencer is on the other machine, as in the
+   paper's measurement. *)
+let group_run profile ~impl ~size ~rounds =
+  let eng, machines, flips = micro_pool profile 2 in
+  let marks = ref [] in
+  (match impl with
+   | `Kernel ->
+     let _grp, members =
+       Amoeba.Group.create_static ~config:profile.p_agrp ~name:"bench" ~sequencer:1 flips
+     in
+     Array.iteri
+       (fun i m ->
+         ignore
+           (Thread.spawn machines.(i) ~prio:Thread.Daemon "recv" (fun () ->
+                for _ = 1 to rounds do
+                  ignore (Amoeba.Group.receive m)
+                done)))
+       members;
+     ignore
+       (Thread.spawn machines.(0) "sender" (fun () ->
+            for _ = 1 to rounds do
+              Amoeba.Group.send members.(0) ~size Ping;
+              marks := Sim.Engine.now eng :: !marks
+            done))
+   | `User ->
+     let sys =
+       Array.mapi
+         (fun i flip ->
+           Panda.System_layer.create ~config:profile.p_psys
+             ~name:(Printf.sprintf "s%d" i) flip)
+         flips
+     in
+     let _grp, members =
+       Panda.Group.create_static ~config:profile.p_pgrp ~name:"bench"
+         ~sequencer:(Panda.Group.On_member 1) sys
+     in
+     Array.iter
+       (fun m -> Panda.Group.set_handler m (fun ~sender:_ ~size:_ _ -> ()))
+       members;
+     ignore
+       (Thread.spawn machines.(0) "sender" (fun () ->
+            for _ = 1 to rounds do
+              Panda.Group.send members.(0) ~size Ping;
+              marks := Sim.Engine.now eng :: !marks
+            done)));
+  Sim.Engine.run eng;
+  List.rev !marks
+
+let group_latency ?(profile = default_profile) ~impl ~size () =
+  let rounds = warmup_rounds + measure_rounds in
+  let marks = group_run profile ~impl ~size ~rounds in
+  let t0 = List.nth marks (warmup_rounds - 1) in
+  let t1 = List.nth marks (rounds - 1) in
+  Sim.Time.to_ms (t1 - t0) /. float_of_int measure_rounds
+
+type lat_row = {
+  lr_size : int;
+  lr_unicast : float;
+  lr_multicast : float;
+  lr_rpc_user : float;
+  lr_rpc_kernel : float;
+  lr_grp_user : float;
+  lr_grp_kernel : float;
+}
+
+let table1 ?(profile = default_profile) () =
+  List.map
+    (fun size ->
+      {
+        lr_size = size;
+        lr_unicast = unicast_latency ~profile ~size ();
+        lr_multicast = multicast_latency ~profile ~size ();
+        lr_rpc_user = rpc_latency ~profile ~impl:`User ~size ();
+        lr_rpc_kernel = rpc_latency ~profile ~impl:`Kernel ~size ();
+        lr_grp_user = group_latency ~profile ~impl:`User ~size ();
+        lr_grp_kernel = group_latency ~profile ~impl:`Kernel ~size ();
+      })
+    [ 0; 1024; 2048; 3072; 4096 ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: throughput *)
+
+let rpc_throughput profile ~impl =
+  let rounds = 40 in
+  let size = 8000 in
+  let marks = rpc_run profile ~impl ~size ~rounds in
+  let t0 = List.nth marks (warmup_rounds - 1) in
+  let t1 = List.nth marks (rounds - 1) in
+  let secs = Sim.Time.to_sec (t1 - t0) in
+  float_of_int ((rounds - warmup_rounds) * size) /. secs /. 1024.
+
+(* Several members stream large messages concurrently, saturating the
+   Ethernet; throughput is the ordered goodput. *)
+let group_throughput profile ~impl =
+  let n = 4 in
+  let per_member = 12 in
+  let size = 8000 in
+  let eng, machines, flips = micro_pool profile n in
+  let total = n * per_member in
+  let done_at = ref Sim.Time.zero in
+  let delivered = ref 0 in
+  let note_delivery () =
+    incr delivered;
+    if !delivered = total * n then done_at := Sim.Engine.now eng
+  in
+  (match impl with
+   | `Kernel ->
+     let _grp, members =
+       Amoeba.Group.create_static ~config:profile.p_agrp ~name:"tput" ~sequencer:0 flips
+     in
+     Array.iteri
+       (fun i m ->
+         ignore
+           (Thread.spawn machines.(i) ~prio:Thread.Daemon "recv" (fun () ->
+                for _ = 1 to total do
+                  ignore (Amoeba.Group.receive m);
+                  note_delivery ()
+                done)))
+       members;
+     Array.iteri
+       (fun i m ->
+         ignore
+           (Thread.spawn machines.(i) "sender" (fun () ->
+                for _ = 1 to per_member do
+                  Amoeba.Group.send m ~size Ping
+                done)))
+       members
+   | `User ->
+     let sys =
+       Array.mapi
+         (fun i flip ->
+           Panda.System_layer.create ~config:profile.p_psys
+             ~name:(Printf.sprintf "s%d" i) flip)
+         flips
+     in
+     let _grp, members =
+       Panda.Group.create_static ~config:profile.p_pgrp ~name:"tput"
+         ~sequencer:(Panda.Group.On_member 0) sys
+     in
+     Array.iter
+       (fun m ->
+         Panda.Group.set_handler m (fun ~sender:_ ~size:_ _ -> note_delivery ()))
+       members;
+     Array.iteri
+       (fun i m ->
+         ignore
+           (Thread.spawn machines.(i) "sender" (fun () ->
+                for _ = 1 to per_member do
+                  Panda.Group.send m ~size Ping
+                done)))
+       members);
+  Sim.Engine.run eng;
+  let secs = Sim.Time.to_sec !done_at in
+  float_of_int (total * size) /. secs /. 1024.
+
+type tput_row = {
+  tr_proto : string;
+  tr_user : float;
+  tr_kernel : float;
+}
+
+let table2 ?(profile = default_profile) () =
+  [
+    {
+      tr_proto = "RPC";
+      tr_user = rpc_throughput profile ~impl:`User;
+      tr_kernel = rpc_throughput profile ~impl:`Kernel;
+    };
+    {
+      tr_proto = "group";
+      tr_user = group_throughput profile ~impl:`User;
+      tr_kernel = group_throughput profile ~impl:`Kernel;
+    };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 3 *)
+
+let table3 ?(procs = [ 1; 8; 16; 32 ]) ?app_names () =
+  let apps =
+    match app_names with
+    | None -> Runner.apps
+    | Some names -> List.map Runner.app_named names
+  in
+  List.concat_map
+    (fun app ->
+      List.concat_map
+        (fun p ->
+          let impls =
+            if app.Runner.app_name = "leq" then
+              [ Cluster.Kernel; Cluster.User; Cluster.User_dedicated ]
+            else [ Cluster.Kernel; Cluster.User ]
+          in
+          List.map (fun impl -> Runner.run ~impl ~procs:p app) impls)
+        procs)
+    apps
+
+(* ------------------------------------------------------------------ *)
+(* Breakdowns: re-measure the user/kernel gap with one mechanism at a
+   time made free, mirroring the paper's §4.2/§4.3 accounting. *)
+
+let null_rpc_gap profile =
+  let user = rpc_latency ~profile ~impl:`User ~size:0 () in
+  let kernel = rpc_latency ~profile ~impl:`Kernel ~size:0 () in
+  (user -. kernel) *. 1000.
+
+let null_group_gap profile =
+  let user = group_latency ~profile ~impl:`User ~size:0 () in
+  let kernel = group_latency ~profile ~impl:`Kernel ~size:0 () in
+  (user -. kernel) *. 1000.
+
+let no_ctx_switches p =
+  { p with
+    p_machine =
+      { p.p_machine with Mach.ctx_warm = 0; ctx_cold_idle = 0; ctx_cold_preempt = 0 } }
+
+let no_traps p = { p with p_machine = { p.p_machine with Mach.trap_cost = 0 } }
+
+let no_double_frag p =
+  { p with p_psys = { p.p_psys with Panda.System_layer.frag_cost = 0 } }
+
+let equal_headers_rpc p =
+  { p with
+    p_prpc = { p.p_prpc with Panda.Rpc.header_bytes = p.p_arpc.Amoeba.Rpc.header_bytes } }
+
+let equal_headers_group p =
+  { p with
+    p_pgrp =
+      { p.p_pgrp with Panda.Group.header_bytes = p.p_agrp.Amoeba.Group.header_bytes } }
+
+let no_flip_extra p =
+  { p with p_psys = { p.p_psys with Panda.System_layer.user_flip_extra = 0 } }
+
+(* The RPC gap decomposes cleanly as a differential (re-measure the gap
+   with one mechanism free at a time). *)
+let rpc_breakdown () =
+  let base = null_rpc_gap default_profile in
+  let component transform = base -. null_rpc_gap (transform default_profile) in
+  [
+    ("total user-kernel gap", base);
+    ("context switches", component no_ctx_switches);
+    ("register-window traps", component no_traps);
+    ("double fragmentation", component no_double_frag);
+    ("header size difference", component equal_headers_rpc);
+    ("untuned user-level FLIP interface", component no_flip_extra);
+  ]
+
+(* The group paths interleave with the wire on both sides, so differential
+   gaps are unstable; decompose the user-space latency itself instead (how
+   much of it each mechanism costs), next to the measured total gap. *)
+let group_breakdown () =
+  let user transform =
+    group_latency ~profile:(transform default_profile) ~impl:`User ~size:0 () *. 1000.
+  in
+  let base = user Fun.id in
+  [
+    ("total user-kernel gap", null_group_gap default_profile);
+    ("context switches (user path)", base -. user no_ctx_switches);
+    ("register-window traps (user path)", base -. user no_traps);
+    ("double fragmentation (user path)", base -. user no_double_frag);
+    ("header size difference", base -. user equal_headers_group);
+    ("untuned user-level FLIP interface (user path)", base -. user no_flip_extra);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations *)
+
+let ablation_dedicated_sequencer ?(procs = [ 8; 16; 32 ]) () =
+  let app = Runner.app_named "leq" in
+  List.concat_map
+    (fun p ->
+      [
+        Runner.run ~impl:Cluster.User ~procs:p app;
+        Runner.run ~impl:Cluster.User_dedicated ~procs:p app;
+      ])
+    procs
+
+let ablation_nonblocking () =
+  (* Time the sender perceives per broadcast, blocking vs nonblocking. *)
+  let measure ~nonblocking =
+    let eng, machines, flips = micro_pool default_profile 2 in
+    let sys =
+      Array.mapi
+        (fun i flip ->
+          Panda.System_layer.create ~config:default_profile.p_psys
+            ~name:(Printf.sprintf "s%d" i) flip)
+        flips
+    in
+    let _grp, members =
+      Panda.Group.create_static ~config:default_profile.p_pgrp ~name:"nb"
+        ~sequencer:(Panda.Group.On_member 1) sys
+    in
+    Array.iter (fun m -> Panda.Group.set_handler m (fun ~sender:_ ~size:_ _ -> ())) members;
+    let rounds = warmup_rounds + measure_rounds in
+    let marks = ref [] in
+    ignore
+      (Thread.spawn machines.(0) "sender" (fun () ->
+           for _ = 1 to rounds do
+             if nonblocking then Panda.Group.send_nonblocking members.(0) ~size:64 Ping
+             else Panda.Group.send members.(0) ~size:64 Ping;
+             marks := Sim.Engine.now eng :: !marks
+           done));
+    Sim.Engine.run eng;
+    let marks = List.rev !marks in
+    let t0 = List.nth marks (warmup_rounds - 1) in
+    let t1 = List.nth marks (rounds - 1) in
+    Sim.Time.to_ms (t1 - t0) /. float_of_int measure_rounds
+  in
+  [
+    ("blocking send (ms)", measure ~nonblocking:false);
+    ("nonblocking send (ms)", measure ~nonblocking:true);
+  ]
+
+let ablation_migration () =
+  (* A central object accessed overwhelmingly by one remote process: with
+     static placement every access is an RPC; the adaptive heuristic
+     migrates the object to the accessor. *)
+  let run placement =
+    let eng, _machines, flips = micro_pool default_profile 2 in
+    let backends = Orca.Backend.user_stack ~sys_config:default_profile.p_psys
+        ~rpc_config:default_profile.p_prpc ~group_config:default_profile.p_pgrp flips () in
+    let dom = Orca.Rts.create_domain backends in
+    let od =
+      Orca.Rts.declare dom ~name:"cell" ~placement ~init:(fun ~rank:_ -> ref 0)
+    in
+    let add =
+      Orca.Rts.defop od ~name:"add" ~kind:`Write (fun st _ ->
+          incr st;
+          Sim.Payload.Empty)
+    in
+    let finish = ref Sim.Time.zero in
+    ignore
+      (Orca.Rts.spawn dom ~rank:1 "worker" (fun ~rank:_ ->
+           for _ = 1 to 400 do
+             ignore (Orca.Rts.invoke add Sim.Payload.Empty)
+           done;
+           finish := Sim.Engine.now eng));
+    Sim.Engine.run eng;
+    (Sim.Time.to_ms !finish, Orca.Rts.migrations dom)
+  in
+  let static_ms, _ = run (Orca.Rts.Owned 0) in
+  let adaptive_ms, migs = run (Orca.Rts.Adaptive { owner = 0; state_bytes = 128 }) in
+  [
+    ("static placement (remote owner), ms", static_ms);
+    ("adaptive placement, ms", adaptive_ms);
+    ("migrations", float_of_int migs);
+  ]
+
+(* The paper's closing point: "the performance of our user-space
+   implementation could be improved significantly if user-level access to
+   the network would be allowed, since such access would eliminate many
+   system calls."  Model that future: the user-space stack maps the
+   network interface, so its per-packet kernel crossings and the untuned
+   user-level FLIP interface go away (a trap-free fast path), while the
+   kernel stack is unchanged. *)
+let ablation_user_level_network () =
+  let user_mapped =
+    { default_profile with
+      p_psys =
+        { default_profile.p_psys with
+          Panda.System_layer.user_flip_extra = 0;
+          recv_fixed = Sim.Time.us 15 };
+      p_machine = { default_profile.p_machine with Mach.syscall_base = Sim.Time.us 3 } }
+  in
+  (* Only the user columns are meaningful under the modified machine: the
+     kernel numbers come from the untouched default profile. *)
+  let base_user = rpc_latency ~impl:`User ~size:0 () in
+  let base_kernel = rpc_latency ~impl:`Kernel ~size:0 () in
+  let mapped_user = rpc_latency ~profile:user_mapped ~impl:`User ~size:0 () in
+  let grp_base_user = group_latency ~impl:`User ~size:0 () in
+  let grp_base_kernel = group_latency ~impl:`Kernel ~size:0 () in
+  let grp_mapped_user = group_latency ~profile:user_mapped ~impl:`User ~size:0 () in
+  [
+    ("RPC user (today), ms", base_user);
+    ("RPC user with user-level network, ms", mapped_user);
+    ("RPC kernel (reference), ms", base_kernel);
+    ("group user (today), ms", grp_base_user);
+    ("group user with user-level network, ms", grp_mapped_user);
+    ("group kernel (reference), ms", grp_base_kernel);
+  ]
+
+let ablation_continuations ?(procs = 16) () =
+  let app = Runner.app_named "rl" in
+  let k = Runner.run ~impl:Cluster.Kernel ~procs app in
+  let u = Runner.run ~impl:Cluster.User ~procs app in
+  [
+    ("kernel (blocked server threads), s", k.Runner.o_seconds);
+    ("user (continuations), s", u.Runner.o_seconds);
+  ]

@@ -1,0 +1,88 @@
+(** Reproduction drivers for every table and in-text measurement of the
+    paper's evaluation (§4 and §5). *)
+
+(** A complete set of cost parameters; ablations run the same experiment
+    under modified profiles. *)
+type profile = {
+  p_machine : Machine.Mach.config;
+  p_nic : Net.Nic.config;
+  p_segment : Net.Segment.config;
+  p_flip : Flip.Flip_iface.config;
+  p_arpc : Amoeba.Rpc.config;
+  p_agrp : Amoeba.Group.config;
+  p_psys : Panda.System_layer.config;
+  p_prpc : Panda.Rpc.config;
+  p_pgrp : Panda.Group.config;
+}
+
+val default_profile : profile
+
+(** {1 Table 1: latencies} *)
+
+type lat_row = {
+  lr_size : int;  (** message payload bytes *)
+  lr_unicast : float;  (** ms, user-space system-layer unicast *)
+  lr_multicast : float;  (** ms, user-space system-layer multicast *)
+  lr_rpc_user : float;
+  lr_rpc_kernel : float;
+  lr_grp_user : float;
+  lr_grp_kernel : float;
+}
+
+val table1 : ?profile:profile -> unit -> lat_row list
+(** Sizes 0..4 KB, as the paper's Table 1. *)
+
+val unicast_latency : ?profile:profile -> size:int -> unit -> float
+val multicast_latency : ?profile:profile -> size:int -> unit -> float
+val rpc_latency : ?profile:profile -> impl:[ `User | `Kernel ] -> size:int -> unit -> float
+val group_latency : ?profile:profile -> impl:[ `User | `Kernel ] -> size:int -> unit -> float
+
+(** {1 Table 2: throughputs} *)
+
+type tput_row = {
+  tr_proto : string;
+  tr_user : float;  (** KB/s *)
+  tr_kernel : float;  (** KB/s *)
+}
+
+val table2 : ?profile:profile -> unit -> tput_row list
+
+(** {1 Table 3: the six applications} *)
+
+val table3 :
+  ?procs:int list -> ?app_names:string list -> unit -> Runner.outcome list
+(** Runs every application at each processor count under kernel-space and
+    user-space protocols, plus the dedicated-sequencer variant for LEQ
+    (the paper's extra row). *)
+
+(** {1 In-text breakdowns (§4.2, §4.3)} *)
+
+val rpc_breakdown : unit -> (string * float) list
+(** Overhead components of the user-kernel null-RPC gap, in µs, found by
+    re-measuring under profiles with single mechanisms disabled.  Labels
+    match the paper's accounting. *)
+
+val group_breakdown : unit -> (string * float) list
+
+(** {1 Ablations} *)
+
+val ablation_dedicated_sequencer : ?procs:int list -> unit -> Runner.outcome list
+(** LEQ under user-space protocols with and without a dedicated
+    sequencer. *)
+
+val ablation_nonblocking : unit -> (string * float) list
+(** Group latency perceived by the sender: blocking vs the §6 nonblocking
+    broadcast, microbenchmark. *)
+
+val ablation_migration : unit -> (string * float) list
+(** Adaptive object placement (the paper's §2 runtime heuristic) vs static
+    placement, for a heavily skewed access pattern. *)
+
+val ablation_user_level_network : unit -> (string * float) list
+(** The paper's §6 projection: give the user-space stack direct network
+    access (no per-packet system calls, no untuned FLIP interface) and
+    compare its null latencies against today's stacks. *)
+
+val ablation_continuations : ?procs:int -> unit -> (string * float) list
+(** RL with guarded operations: kernel (blocked server thread) vs user
+    (continuations), runtimes in seconds. *)

@@ -1,0 +1,96 @@
+let machine =
+  {
+    Machine.Mach.ctx_warm = Sim.Time.us 60;
+    ctx_cold_idle = Sim.Time.us 70;
+    ctx_cold_preempt = Sim.Time.us 110;
+    interrupt_entry = Sim.Time.us 15;
+    syscall_base = Sim.Time.us 25;
+    trap_cost = Sim.Time.us 6;
+    lock_cost = Sim.Time.us 1;
+    reg_windows = 6;
+  }
+
+let nic =
+  {
+    Net.Nic.rx_base = Sim.Time.us 110;
+    rx_byte = Sim.Time.ns 60;
+    rx_mcast_extra = Sim.Time.us 90;
+  }
+
+(* 10 Mbit/s Ethernet: 0.8 us per byte. *)
+let segment =
+  { Net.Segment.byte_time = Sim.Time.ns 800; framing_bytes = 38; min_payload = 46 }
+
+let switch_latency = Sim.Time.us 50
+
+let flip =
+  {
+    Flip.Flip_iface.header_bytes = 40;
+    mtu = 1460;
+    out_packet_cost = Sim.Time.us 60;
+    loopback_cost = Sim.Time.us 40;
+    locate_timeout = Sim.Time.ms 100;
+    locate_retries = 5;
+  }
+
+let amoeba_rpc =
+  {
+    Amoeba.Rpc.header_bytes = 56;
+    copy_byte = Sim.Time.ns 50;
+    deliver_fixed = Sim.Time.us 350;
+    call_depth = 2;
+    retrans_timeout = Sim.Time.ms 200;
+    max_retries = 10;
+  }
+
+let amoeba_group =
+  {
+    Amoeba.Group.header_bytes = 52;
+    accept_bytes = 32;
+    copy_byte = Sim.Time.ns 50;
+    deliver_fixed = Sim.Time.us 250;
+    seq_process = Sim.Time.us 150;
+    call_depth = 2;
+    bb_threshold = 1460;
+    retrans_timeout = Sim.Time.ms 200;
+    max_retries = 10;
+    history_high = 512;
+  }
+
+let panda_system =
+  {
+    Panda.System_layer.pan_header = 16;
+    frag_bytes = 1400;
+    frag_cost = Sim.Time.us 20;
+    copy_byte = Sim.Time.ns 50;
+    recv_fixed = Sim.Time.us 50;
+    upcall_depth = 3;
+    send_depth = 3;
+    user_flip_extra = Sim.Time.us 40;
+  }
+
+let panda_rpc =
+  {
+    Panda.Rpc.header_bytes = 64;
+    call_depth = 2;
+    proc_cost = Sim.Time.us 80;
+    ack_delay = Sim.Time.ms 20;
+    retrans_timeout = Sim.Time.ms 200;
+    max_retries = 10;
+  }
+
+let panda_group =
+  {
+    Panda.Group.header_bytes = 40;
+    accept_bytes = 24;
+    order_fixed = Sim.Time.us 190;
+    deliver_cost = Sim.Time.us 90;
+    copy_byte = Sim.Time.ns 50;
+    bb_threshold = 1300;
+    retrans_timeout = Sim.Time.ms 200;
+    max_retries = 10;
+    history_high = 512;
+  }
+
+let rts_overhead = Sim.Time.us 10
+let pool_size_max = 32

@@ -1,0 +1,24 @@
+(** The single source of calibrated cost parameters.
+
+    Every constant that stands in for measured 1995 hardware/software cost
+    lives here, so the calibration against the paper's Tables 1 and 2 is
+    one place to read and adjust.  The microsecond figures quoted in the
+    paper's §4 analysis appear directly: 6 µs register-window traps,
+    ~70 µs context switches (2 = 140 µs on the RPC reply path), 110 µs
+    preempting switch, 60 µs warm switch, 20 µs duplicated fragmentation,
+    56/64-byte RPC and 52/40-byte group headers. *)
+
+val machine : Machine.Mach.config
+val nic : Net.Nic.config
+val segment : Net.Segment.config
+val switch_latency : Sim.Time.span
+val flip : Flip.Flip_iface.config
+val amoeba_rpc : Amoeba.Rpc.config
+val amoeba_group : Amoeba.Group.config
+val panda_system : Panda.System_layer.config
+val panda_rpc : Panda.Rpc.config
+val panda_group : Panda.Group.config
+val rts_overhead : Sim.Time.span
+
+val pool_size_max : int
+(** Largest processor count used by the paper's experiments (32). *)

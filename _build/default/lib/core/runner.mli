@@ -1,0 +1,42 @@
+(** Runs one Orca application on a freshly built cluster and reports the
+    simulated execution time (the paper's Table 3 measurements). *)
+
+type app = {
+  app_name : string;
+  app_make : Orca.Rts.domain -> (rank:int -> unit) * (unit -> int);
+  app_reference : int Lazy.t;
+      (** host-side sequential result, for validating the run *)
+}
+
+val apps : app list
+(** The paper's six applications, paper-calibrated parameters. *)
+
+val app_named : string -> app
+
+type stats = {
+  s_broadcasts : int;  (** totally-ordered broadcasts (replicated writes) *)
+  s_remote : int;  (** remote object invocations (RPCs) *)
+  s_parked : int;  (** guarded operations that blocked *)
+  s_migrations : int;  (** adaptive placement migrations *)
+  s_net_bytes : int;  (** bytes carried by all Ethernet segments *)
+  s_net_util : float;  (** busiest segment's utilization over the run *)
+  s_cpu_util_max : float;  (** busiest machine's CPU utilization *)
+  s_ctx_switches : int;  (** context switches across all machines *)
+}
+
+type outcome = {
+  o_app : string;
+  o_impl : Cluster.impl;
+  o_procs : int;
+  o_seconds : float;  (** simulated wall-clock of the parallel phase *)
+  o_checksum : int;
+  o_valid : bool;  (** checksum matched the sequential reference *)
+  o_events : int;  (** engine events executed (simulation effort) *)
+  o_stats : stats;
+}
+
+val run : impl:Cluster.impl -> procs:int -> app -> outcome
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val pp_stats : Format.formatter -> stats -> unit

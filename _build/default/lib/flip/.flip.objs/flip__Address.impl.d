@@ -1,0 +1,1 @@
+lib/flip/address.ml: Format Hashtbl Stdlib

@@ -1,0 +1,1 @@
+lib/flip/address.mli: Format

@@ -1,0 +1,1 @@
+lib/flip/flip_iface.ml: Address Fragment Hashtbl List Machine Net Sim

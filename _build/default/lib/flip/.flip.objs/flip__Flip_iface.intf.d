@@ -1,0 +1,1 @@
+lib/flip/flip_iface.mli: Address Fragment Machine Net Sim

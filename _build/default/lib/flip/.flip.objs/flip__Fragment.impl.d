@@ -1,0 +1,1 @@
+lib/flip/fragment.ml: Address Format List Sim

@@ -1,0 +1,1 @@
+lib/flip/fragment.mli: Address Format Sim

@@ -1,0 +1,1 @@
+lib/flip/reassembly.ml: Address Array Fragment Hashtbl

@@ -1,0 +1,1 @@
+lib/flip/reassembly.mli: Address Fragment Sim

@@ -1,0 +1,23 @@
+type t = Point of int | Group of int
+
+let point n = Point n
+let group n = Group n
+
+let counter = ref 0
+
+let fresh_point () =
+  incr counter;
+  Point !counter
+
+let fresh_group () =
+  incr counter;
+  Group !counter
+
+let is_group = function Group _ -> true | Point _ -> false
+let equal a b = a = b
+let compare = Stdlib.compare
+let hash = Hashtbl.hash
+
+let pp fmt = function
+  | Point n -> Format.fprintf fmt "pt:%d" n
+  | Group n -> Format.fprintf fmt "grp:%d" n

@@ -1,0 +1,24 @@
+(** FLIP addresses.
+
+    FLIP addresses identify processes (endpoints), not machines: a message
+    is sent to an address and FLIP locates the machine currently hosting it
+    (location transparency).  Group addresses name multicast groups that any
+    number of endpoints may register. *)
+
+type t =
+  | Point of int  (** one endpoint *)
+  | Group of int  (** a multicast group *)
+
+val point : int -> t
+val group : int -> t
+
+val fresh_point : unit -> t
+(** A globally unique point address. *)
+
+val fresh_group : unit -> t
+
+val is_group : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

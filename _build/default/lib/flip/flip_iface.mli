@@ -1,0 +1,81 @@
+(** The per-machine FLIP instance (kernel network layer).
+
+    Provides unreliable unicast to a point address and unreliable multicast
+    to a group address, with location transparency: the first message to an
+    unlocated point address triggers a broadcast LOCATE exchange, after
+    which the route is cached.  Messages are fragmented to Ethernet-size
+    packets; receivers get individual fragments (reassembly is the
+    consumer's business, matching the paper: Amoeba's kernel protocols
+    consume fragments in the kernel, Panda reassembles in user space).
+
+    Fragment handlers run in interrupt context: they must not block.
+
+    This module moves packets; it charges no CPU for the send path itself.
+    The system-call layers above it charge {!send_cost} to the sending
+    thread, so kernel-space and user-space stacks can charge it in their
+    own contexts. *)
+
+type config = {
+  header_bytes : int;  (** FLIP packet header (on the wire, per packet) *)
+  mtu : int;  (** max payload bytes per packet, FLIP header excluded *)
+  out_packet_cost : Sim.Time.span;  (** kernel output processing per packet *)
+  loopback_cost : Sim.Time.span;  (** local delivery, per fragment *)
+  locate_timeout : Sim.Time.span;
+  locate_retries : int;
+}
+
+val default_config : config
+
+type t
+
+type Sim.Payload.t +=
+  | Data of Fragment.t
+  | Locate_req of Address.t
+  | Locate_rsp of Address.t * int  (** address, station *)
+
+val create : Machine.Mach.t -> ?config:config -> Net.Nic.t -> t
+(** Installs itself as the NIC's receive handler. *)
+
+val machine : t -> Machine.Mach.t
+val config : t -> config
+
+val register : t -> Address.t -> (Fragment.t -> unit) -> unit
+(** Binds an address to this machine and installs its fragment handler.
+    Point addresses must be registered on exactly one machine; group
+    addresses on any number of machines (one endpoint per machine).
+    @raise Invalid_argument if the address is already bound here. *)
+
+val unregister : t -> Address.t -> unit
+
+val registered : t -> Address.t -> bool
+
+val alloc_msg_id : t -> int
+(** Reserves a message id.  Retransmissions of one logical message should
+    pass the same [msg_id] so that fragments surviving different attempts
+    complete one reassembly (as in real FLIP). *)
+
+val unicast :
+  ?msg_id:int -> t -> src:Address.t -> dst:Address.t -> size:int -> Sim.Payload.t -> unit
+(** Unreliable datagram to a point address.  Fragments, locates if needed,
+    and transmits.  Local destinations are looped back without touching the
+    wire. *)
+
+val multicast :
+  ?msg_id:int -> t -> src:Address.t -> group:Address.t -> size:int -> Sim.Payload.t -> unit
+(** Unreliable datagram to every machine where [group] is registered,
+    including this one (kernel loopback), using hardware multicast. *)
+
+val fragments_of : t -> size:int -> int
+(** Number of packets a [size]-byte message produces. *)
+
+val send_cost : t -> size:int -> Sim.Time.span
+(** Kernel CPU cost of pushing a [size]-byte message out: per-packet output
+    processing.  Charged by the system-call layer above. *)
+
+val add_route : t -> Address.t -> int -> unit
+(** Pre-seeds the route cache (used by tests; normal code relies on the
+    LOCATE protocol). *)
+
+val locates_sent : t -> int
+val packets_in : t -> int
+val packets_out : t -> int

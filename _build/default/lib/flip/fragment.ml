@@ -1,0 +1,24 @@
+type t = {
+  src : Address.t;
+  dst : Address.t;
+  msg_id : int;
+  index : int;
+  count : int;
+  bytes : int;
+  total : int;
+  payload : Sim.Payload.t;
+}
+
+let pp fmt t =
+  Format.fprintf fmt "frag[%a->%a #%d %d/%d %dB of %dB]" Address.pp t.src Address.pp
+    t.dst t.msg_id (t.index + 1) t.count t.bytes t.total
+
+let split ~src ~dst ~msg_id ~mtu ~size payload =
+  assert (mtu > 0 && size >= 0);
+  let count = max 1 ((size + mtu - 1) / mtu) in
+  List.init count (fun index ->
+      let bytes =
+        if index = count - 1 then size - (index * mtu)
+        else mtu
+      in
+      { src; dst; msg_id; index; count; bytes; total = size; payload })

@@ -1,0 +1,31 @@
+(** FLIP message fragments.
+
+    FLIP fragments a message into maximum-length Ethernet packets; the
+    receiving side reassembles (in the kernel for Amoeba's own protocols, in
+    the user-space daemon for Panda).  A fragment carries byte counts for
+    cost accounting plus the whole message's structural payload, delivered
+    to the consumer once reassembly completes. *)
+
+type t = {
+  src : Address.t;
+  dst : Address.t;
+  msg_id : int;  (** unique per sending FLIP instance *)
+  index : int;  (** 0-based fragment number *)
+  count : int;  (** total fragments of the message *)
+  bytes : int;  (** payload bytes in this fragment (FLIP header excluded) *)
+  total : int;  (** payload bytes of the whole message *)
+  payload : Sim.Payload.t;  (** the whole message's content *)
+}
+
+val pp : Format.formatter -> t -> unit
+
+val split :
+  src:Address.t ->
+  dst:Address.t ->
+  msg_id:int ->
+  mtu:int ->
+  size:int ->
+  Sim.Payload.t ->
+  t list
+(** Cuts a [size]-byte message into fragments of at most [mtu] payload
+    bytes.  A zero-byte message still produces one fragment. *)

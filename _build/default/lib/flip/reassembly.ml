@@ -1,0 +1,67 @@
+type key = Address.t * int
+
+type slot = {
+  count : int;
+  mutable got : bool array;
+  mutable missing : int;
+}
+
+type t = {
+  slots : (key, slot) Hashtbl.t;
+  (* Recently completed messages, to swallow late duplicate fragments. *)
+  completed : (key, unit) Hashtbl.t;
+  mutable dups : int;
+}
+
+let create () = { slots = Hashtbl.create 32; completed = Hashtbl.create 32; dups = 0 }
+
+let add t (frag : Fragment.t) =
+  let key = (frag.Fragment.src, frag.Fragment.msg_id) in
+  if Hashtbl.mem t.completed key then begin
+    t.dups <- t.dups + 1;
+    (* Surface retransmissions of completed messages (once per copy, on
+       the first fragment) so protocols can answer them. *)
+    if frag.Fragment.index = 0 then
+      Some (frag.Fragment.src, frag.Fragment.total, frag.Fragment.payload)
+    else None
+  end
+  else begin
+    let slot =
+      match Hashtbl.find_opt t.slots key with
+      | Some s -> s
+      | None ->
+        let s =
+          {
+            count = frag.Fragment.count;
+            got = Array.make frag.Fragment.count false;
+            missing = frag.Fragment.count;
+          }
+        in
+        Hashtbl.add t.slots key s;
+        s
+    in
+    assert (slot.count = frag.Fragment.count);
+    if slot.got.(frag.Fragment.index) then begin
+      t.dups <- t.dups + 1;
+      None
+    end
+    else begin
+      slot.got.(frag.Fragment.index) <- true;
+      slot.missing <- slot.missing - 1;
+      if slot.missing = 0 then begin
+        Hashtbl.remove t.slots key;
+        (* Bound the duplicate-suppression memory; a duplicate arriving
+           after 64k completed messages would be re-assembled as a fresh
+           single-fragment message, which upper layers discard by their own
+           sequence numbers anyway. *)
+        if Hashtbl.length t.completed > 65_536 then Hashtbl.reset t.completed;
+        Hashtbl.replace t.completed key ();
+        Some (frag.Fragment.src, frag.Fragment.total, frag.Fragment.payload)
+      end
+      else None
+    end
+  end
+
+let pending t = Hashtbl.length t.slots
+let purge t = Hashtbl.reset t.slots
+let duplicates t = t.dups

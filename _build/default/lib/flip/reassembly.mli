@@ -1,0 +1,27 @@
+(** Fragment reassembly, usable both by kernel protocols and by Panda's
+    user-space receive daemon.
+
+    Tolerates out-of-order arrival and duplicate fragments (retransmission
+    makes duplicates normal).  Partially assembled messages can be purged by
+    age to bound memory, mirroring the real stacks' reassembly timers. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Fragment.t -> (Address.t * int * Sim.Payload.t) option
+(** [add t frag] is [Some (src, total_bytes, payload)] when the message's
+    last missing fragment arrives — and again for each later {e first}
+    fragment of an already-completed message, so that protocol layers see
+    retransmissions of messages they have processed (e.g. to replay a lost
+    reply).  Consumers must deduplicate by their own protocol identifiers.
+    Duplicate non-first fragments return [None]. *)
+
+val pending : t -> int
+(** Messages currently partially assembled. *)
+
+val purge : t -> unit
+(** Drops all partial messages (reassembly timeout). *)
+
+val duplicates : t -> int
+(** Duplicate fragments seen so far. *)

@@ -1,0 +1,1 @@
+lib/machine/mach.ml: Cpu Sim

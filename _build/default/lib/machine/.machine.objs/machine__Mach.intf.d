@@ -1,0 +1,1 @@
+lib/machine/mach.mli: Cpu Sim

@@ -1,0 +1,1 @@
+lib/machine/sync.ml: Fun Mach Queue Sim Thread

@@ -1,0 +1,1 @@
+lib/machine/thread.ml: Cpu Hashtbl Mach Regwin Sim

@@ -1,0 +1,1 @@
+lib/machine/thread.mli: Mach Sim

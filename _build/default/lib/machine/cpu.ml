@@ -1,0 +1,125 @@
+type switch_costs = {
+  warm : Sim.Time.span;
+  cold_idle : Sim.Time.span;
+  cold_preempt : Sim.Time.span;
+}
+
+type job = {
+  key : int;
+  prio : int;
+  mutable needs_switch : bool;
+  mutable remaining : Sim.Time.span;
+  on_complete : unit -> unit;
+}
+
+type running = {
+  job : job;
+  started : Sim.Time.t;
+  switch : Sim.Time.span;
+  mutable handle : Sim.Engine.handle option;
+}
+
+type t = {
+  eng : Sim.Engine.t;
+  costs : switch_costs;
+  mutable current : running option;
+  (* One FIFO per priority level; level 0 = interrupts. *)
+  ready : job Queue.t array;
+  mutable last : int;
+  mutable busy_ns : Sim.Time.span;
+  mutable n_switches : int;
+}
+
+let n_prios = 3
+let interrupt_key = -1
+let idle_key = -2
+
+let create eng costs =
+  {
+    eng;
+    costs;
+    current = None;
+    ready = Array.init n_prios (fun _ -> Queue.create ());
+    last = idle_key;
+    busy_ns = 0;
+    n_switches = 0;
+  }
+
+let busy t = t.current <> None
+let last_key t = t.last
+let busy_time t = t.busy_ns
+let switches t = t.n_switches
+
+let queue_length t =
+  Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.ready
+
+let switch_cost t ~preempting job =
+  if job.key = interrupt_key then 0
+  else if job.key = t.last then
+    if job.needs_switch then t.costs.warm else 0
+  else if preempting then t.costs.cold_preempt
+  else t.costs.cold_idle
+
+let rec start t ~preempting job =
+  let switch = switch_cost t ~preempting job in
+  if job.key <> interrupt_key then begin
+    if switch > 0 then t.n_switches <- t.n_switches + 1;
+    t.last <- job.key;
+    (* A job preempted mid-run and restarted must not pay its wakeup
+       switch twice. *)
+    job.needs_switch <- false
+  end;
+  let now = Sim.Engine.now t.eng in
+  let total = switch + job.remaining in
+  let running = { job; started = now; switch; handle = None } in
+  let handle = Sim.Engine.after t.eng total (fun () -> complete t running) in
+  running.handle <- Some handle;
+  t.current <- Some running
+
+and complete t running =
+  let now = Sim.Engine.now t.eng in
+  t.busy_ns <- t.busy_ns + (now - running.started);
+  t.current <- None;
+  running.job.on_complete ();
+  dispatch t
+
+and dispatch t =
+  if t.current = None then
+    let rec pick i =
+      if i >= n_prios then ()
+      else
+        match Queue.take_opt t.ready.(i) with
+        | Some job -> start t ~preempting:false job
+        | None -> pick (i + 1)
+    in
+    pick 0
+
+let preempt t running =
+  let now = Sim.Engine.now t.eng in
+  (match running.handle with
+   | Some h -> Sim.Engine.cancel h
+   | None -> assert false);
+  t.busy_ns <- t.busy_ns + (now - running.started);
+  (* Time spent switching in does not count as job progress. *)
+  let elapsed_work = max 0 (now - running.started - running.switch) in
+  running.job.remaining <- max 0 (running.job.remaining - elapsed_work);
+  t.current <- None;
+  (* Put it at the front of its own priority class so it resumes before
+     later arrivals of the same priority. *)
+  let q = t.ready.(running.job.prio) in
+  let rest = Queue.copy q in
+  Queue.clear q;
+  Queue.push running.job q;
+  Queue.transfer rest q
+
+let submit ?(needs_switch = true) t ~key ~prio ~cost on_complete =
+  assert (prio >= 0 && prio < n_prios);
+  let job = { key; prio; needs_switch; remaining = cost; on_complete } in
+  match t.current with
+  | None ->
+    Queue.push job t.ready.(prio);
+    dispatch t
+  | Some running when prio < running.job.prio ->
+    preempt t running;
+    start t ~preempting:true job
+  | Some _ -> Queue.push job t.ready.(prio)

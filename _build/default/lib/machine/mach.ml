@@ -1,0 +1,46 @@
+type config = {
+  ctx_warm : Sim.Time.span;
+  ctx_cold_idle : Sim.Time.span;
+  ctx_cold_preempt : Sim.Time.span;
+  interrupt_entry : Sim.Time.span;
+  syscall_base : Sim.Time.span;
+  trap_cost : Sim.Time.span;
+  lock_cost : Sim.Time.span;
+  reg_windows : int;
+}
+
+type t = {
+  mid : int;
+  mname : string;
+  eng : Sim.Engine.t;
+  cpu : Cpu.t;
+  config : config;
+  stats : Sim.Stats.t;
+}
+
+let create eng ~id ~name config =
+  let costs =
+    {
+      Cpu.warm = config.ctx_warm;
+      cold_idle = config.ctx_cold_idle;
+      cold_preempt = config.ctx_cold_preempt;
+    }
+  in
+  { mid = id; mname = name; eng; cpu = Cpu.create eng costs; config; stats = Sim.Stats.create () }
+
+let id t = t.mid
+let name t = t.mname
+let engine t = t.eng
+let cpu t = t.cpu
+let config t = t.config
+let stats t = t.stats
+
+let interrupt t ~name ~cost handler =
+  Sim.Stats.incr t.stats ("interrupt." ^ name);
+  Cpu.submit t.cpu ~key:Cpu.interrupt_key ~prio:0
+    ~cost:(t.config.interrupt_entry + cost)
+    handler
+
+let utilization t ~until =
+  if until <= 0 then 0.
+  else float_of_int (Cpu.busy_time t.cpu) /. float_of_int until

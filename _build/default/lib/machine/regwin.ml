@@ -1,0 +1,34 @@
+type t = {
+  windows : int;
+  mutable depth : int;
+  mutable live : int; (* valid windows ending at the current frame, >= 1 *)
+}
+
+let create ~windows =
+  assert (windows > 1);
+  { windows; depth = 0; live = 1 }
+
+let call t n =
+  assert (n >= 0);
+  let traps = ref 0 in
+  for _ = 1 to n do
+    t.depth <- t.depth + 1;
+    if t.live = t.windows then incr traps (* spill the oldest window *)
+    else t.live <- t.live + 1
+  done;
+  !traps
+
+let ret t n =
+  assert (n >= 0);
+  if n > t.depth then invalid_arg "Regwin.ret: below frame zero";
+  let traps = ref 0 in
+  for _ = 1 to n do
+    t.depth <- t.depth - 1;
+    if t.live = 1 then incr traps (* reload the caller's window *)
+    else t.live <- t.live - 1
+  done;
+  !traps
+
+let syscall_save t = t.live <- 1
+let depth t = t.depth
+let resident t = t.live

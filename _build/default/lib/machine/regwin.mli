@@ -1,0 +1,37 @@
+(** SPARC register-window model.
+
+    The SPARC processors of the paper have a fixed set of register windows
+    (six usable).  Each procedure call allocates a window; when the windows
+    are exhausted an {e overflow} trap spills the oldest to memory, and when
+    a procedure returns to a frame whose window was spilled an {e underflow}
+    trap reloads it.  A system call makes the Amoeba kernel save {e all}
+    windows in use and restore only the topmost before returning to user
+    space, so deep call stacks suffer a string of underflow traps on the way
+    back down — the effect the paper measures at ~6 µs per trap.
+
+    One value of this type tracks the window state of one thread.  The
+    [call]/[ret] functions return the number of traps incurred so the caller
+    can charge CPU time for them. *)
+
+type t
+
+val create : windows:int -> t
+(** [windows] is the number of usable register windows (the paper's SPARCs
+    have six). *)
+
+val call : t -> int -> int
+(** [call t n] descends [n] call frames; returns the overflow-trap count. *)
+
+val ret : t -> int -> int
+(** [ret t n] pops [n] call frames; returns the underflow-trap count.
+    @raise Invalid_argument when popping below frame zero. *)
+
+val syscall_save : t -> unit
+(** All in-use windows are saved by the kernel; only the topmost is restored
+    when the system call returns. *)
+
+val depth : t -> int
+(** Current call depth. *)
+
+val resident : t -> int
+(** Number of consecutive windows currently valid in the register file. *)

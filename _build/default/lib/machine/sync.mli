@@ -1,0 +1,40 @@
+(** Mutexes and condition variables for machine threads.
+
+    Amoeba provides only kernel threads, so blocking and signalling go
+    through the kernel: a [Condvar.wait] and a [Condvar.signal] that
+    actually wakes someone charge a system call (with its register-window
+    consequences) to the calling thread.  Uncontended mutex operations are
+    cheap user-space operations (the paper: "acquiring and releasing locks
+    in user space can be done cheaply"), charged at [lock_cost].
+
+    Signalling from interrupt context is permitted and charges nothing
+    extra (the interrupt's own cost already accounts for it). *)
+
+module Mutex : sig
+  type t
+
+  val create : Mach.t -> t
+  val lock : t -> unit
+  val unlock : t -> unit
+  val locked : t -> bool
+
+  val with_lock : t -> (unit -> 'a) -> 'a
+end
+
+module Condvar : sig
+  type t
+
+  val create : Mach.t -> t
+
+  val wait : t -> Mutex.t -> unit
+  (** Atomically releases the mutex and blocks; re-acquires before
+      returning.  Always re-check the waited-for predicate in a loop. *)
+
+  val signal : t -> unit
+  (** Wakes one waiter, if any. *)
+
+  val broadcast : t -> unit
+  (** Wakes all current waiters. *)
+
+  val waiters : t -> int
+end

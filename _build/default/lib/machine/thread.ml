@@ -1,0 +1,100 @@
+type prio = Daemon | Normal
+
+type t = {
+  mach : Mach.t;
+  tname : string;
+  tprio : prio;
+  mutable fib : Sim.Fiber.t option;
+  (* True when the thread has blocked since it last held the CPU, so its
+     next compute owes a scheduler invocation (context switch). *)
+  mutable blocked_since_run : bool;
+  regwin : Regwin.t;
+}
+
+let table : (int, t) Hashtbl.t = Hashtbl.create 64
+
+let self_opt () =
+  match Sim.Fiber.self_opt () with
+  | None -> None
+  | Some f -> Hashtbl.find_opt table (Sim.Fiber.id f)
+
+let self () =
+  match self_opt () with
+  | Some t -> t
+  | None -> invalid_arg "Thread.self: not inside a machine thread"
+
+let machine t = t.mach
+let name t = t.tname
+let prio t = t.tprio
+
+let fiber t =
+  match t.fib with
+  | Some f -> f
+  | None -> invalid_arg "Thread.fiber: not yet started"
+
+let prio_level = function Daemon -> 1 | Normal -> 2
+
+let spawn mach ?(prio = Normal) tname body =
+  let windows = (Mach.config mach).Mach.reg_windows in
+  let t =
+    { mach; tname; tprio = prio; fib = None; blocked_since_run = true;
+      regwin = Regwin.create ~windows }
+  in
+  let fib =
+    Sim.Fiber.spawn (Mach.engine mach) ~name:(Mach.name mach ^ "/" ^ tname) (fun () -> body ())
+  in
+  t.fib <- Some fib;
+  Hashtbl.replace table (Sim.Fiber.id fib) t;
+  Sim.Fiber.on_exit fib (fun () -> Hashtbl.remove table (Sim.Fiber.id fib));
+  t
+
+let alive t = match t.fib with Some f -> Sim.Fiber.alive f | None -> false
+let kill t = match t.fib with Some f -> Sim.Fiber.kill f | None -> ()
+let join t = match t.fib with Some f -> Sim.Fiber.join f | None -> ()
+
+let compute d =
+  if d < 0 then invalid_arg "Thread.compute: negative duration";
+  let t = self () in
+  if d = 0 then ()
+  else begin
+    Sim.Stats.add (Mach.stats t.mach) "cpu.requested_ns" d;
+    let needs_switch = t.blocked_since_run in
+    t.blocked_since_run <- false;
+    Sim.Fiber.suspend (fun fib resume ->
+        ignore fib;
+        Cpu.submit ~needs_switch (Mach.cpu t.mach)
+          ~key:(Sim.Fiber.id (fiber t))
+          ~prio:(prio_level t.tprio) ~cost:d resume)
+  end
+
+let charge_traps t n =
+  if n > 0 then begin
+    Sim.Stats.add (Mach.stats t.mach) "regwin.traps" n;
+    compute (n * (Mach.config t.mach).Mach.trap_cost)
+  end
+
+let call_frames n =
+  let t = self () in
+  charge_traps t (Regwin.call t.regwin n)
+
+let ret_frames n =
+  let t = self () in
+  charge_traps t (Regwin.ret t.regwin n)
+
+let syscall ?(kernel_work = 0) () =
+  let t = self () in
+  Sim.Stats.incr (Mach.stats t.mach) "syscalls";
+  compute ((Mach.config t.mach).Mach.syscall_base + kernel_work);
+  Regwin.syscall_save t.regwin
+
+let mark_direct_wake t = t.blocked_since_run <- false
+
+let sleep d =
+  let t = self () in
+  t.blocked_since_run <- true;
+  Sim.Fiber.sleep d
+
+let suspend register =
+  let t = self () in
+  t.blocked_since_run <- true;
+  Sim.Fiber.suspend (fun _fib resume -> register t resume)

@@ -1,0 +1,1 @@
+lib/net/nic.ml: Frame Machine Segment Sim

@@ -1,0 +1,1 @@
+lib/net/segment.ml: Frame List Queue Sim

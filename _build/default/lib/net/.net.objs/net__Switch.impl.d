@@ -1,0 +1,1 @@
+lib/net/switch.ml: Frame Hashtbl List Printf Segment Sim

@@ -1,0 +1,1 @@
+lib/net/topology.mli: Machine Nic Segment Sim Switch

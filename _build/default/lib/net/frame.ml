@@ -1,0 +1,28 @@
+type dest = Unicast of int | Multicast | Broadcast
+
+type t = {
+  src : int;
+  dest : dest;
+  bytes : int;
+  payload : Sim.Payload.t;
+}
+
+let make ~src ~dest ~bytes payload =
+  assert (bytes >= 0);
+  { src; dest; bytes; payload }
+
+let is_for ~mac t =
+  if t.src = mac then false
+  else
+    match t.dest with
+    | Unicast m -> m = mac
+    | Multicast | Broadcast -> true
+
+let pp fmt t =
+  let dest =
+    match t.dest with
+    | Unicast m -> Printf.sprintf "->%d" m
+    | Multicast -> "->mcast"
+    | Broadcast -> "->bcast"
+  in
+  Format.fprintf fmt "frame[%d%s %dB]" t.src dest t.bytes

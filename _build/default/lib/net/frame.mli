@@ -1,0 +1,25 @@
+(** Ethernet frames.
+
+    [bytes] counts the payload put on the wire by the protocol stack
+    (protocol headers included); Ethernet framing overhead and the minimum
+    payload size are added by the segment when computing wire time. *)
+
+type dest =
+  | Unicast of int  (** destination station (MAC), = machine id *)
+  | Multicast  (** hardware multicast: every station on every segment *)
+  | Broadcast
+
+type t = {
+  src : int;  (** source station (MAC) *)
+  dest : dest;
+  bytes : int;  (** payload size on the wire, protocol headers included *)
+  payload : Sim.Payload.t;
+}
+
+val make : src:int -> dest:dest -> bytes:int -> Sim.Payload.t -> t
+
+val is_for : mac:int -> t -> bool
+(** Station-level filter: true for frames addressed to [mac], multicast and
+    broadcast — excluding the station's own transmissions. *)
+
+val pp : Format.formatter -> t -> unit

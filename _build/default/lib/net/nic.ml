@@ -1,0 +1,57 @@
+type config = {
+  rx_base : Sim.Time.span;
+  rx_byte : Sim.Time.span;
+  rx_mcast_extra : Sim.Time.span;
+}
+
+let default_config =
+  { rx_base = Sim.Time.us 50; rx_byte = Sim.Time.ns 50; rx_mcast_extra = Sim.Time.us 45 }
+
+type t = {
+  mach : Machine.Mach.t;
+  config : config;
+  seg : Segment.t;
+  mutable attachment : Segment.attachment option;
+  mutable rx : (Frame.t -> unit) option;
+  mutable received : int;
+  mutable sent : int;
+}
+
+let mac t = Machine.Mach.id t.mach
+let machine t = t.mach
+let segment t = t.seg
+
+let deliver t frame =
+  t.received <- t.received + 1;
+  let mcast_extra =
+    match frame.Frame.dest with
+    | Frame.Unicast _ -> 0
+    | Frame.Multicast | Frame.Broadcast -> t.config.rx_mcast_extra
+  in
+  let cost = t.config.rx_base + mcast_extra + (frame.Frame.bytes * t.config.rx_byte) in
+  Machine.Mach.interrupt t.mach ~name:"nic.rx" ~cost (fun () ->
+      match t.rx with
+      | Some handler -> handler frame
+      | None -> ())
+
+let create mach ?(config = default_config) seg =
+  let t = { mach; config; seg; attachment = None; rx = None; received = 0; sent = 0 } in
+  let attachment =
+    Segment.attach seg
+      ~name:(Machine.Mach.name mach ^ ".nic")
+      ~accepts:(fun frame -> Frame.is_for ~mac:(Machine.Mach.id mach) frame)
+      (fun frame -> deliver t frame)
+  in
+  t.attachment <- Some attachment;
+  t
+
+let set_rx t handler = t.rx <- Some handler
+
+let send t frame =
+  t.sent <- t.sent + 1;
+  match t.attachment with
+  | Some from -> Segment.transmit t.seg ~from frame
+  | None -> assert false
+
+let frames_received t = t.received
+let frames_sent t = t.sent

@@ -1,0 +1,38 @@
+(** Network interface of a machine.
+
+    Transmission is DMA-like: queuing a frame costs no CPU here (the
+    protocol layers charge their own send-path costs).  Reception raises a
+    machine interrupt whose cost covers the device handling and the copy of
+    the frame into kernel memory; the registered handler then runs in
+    interrupt context. *)
+
+type config = {
+  rx_base : Sim.Time.span;  (** fixed interrupt cost per received frame *)
+  rx_byte : Sim.Time.span;  (** copy cost per payload byte *)
+  rx_mcast_extra : Sim.Time.span;
+      (** additional receive cost for multicast/broadcast frames (address
+          filtering and group lookup in the driver and FLIP input) *)
+}
+
+val default_config : config
+(** 50 µs per frame + 50 ns/byte, calibrated in [core/params.ml]. *)
+
+type t
+
+val create : Machine.Mach.t -> ?config:config -> Segment.t -> t
+(** Attaches the machine to the segment; the NIC's station address is the
+    machine id. *)
+
+val mac : t -> int
+val machine : t -> Machine.Mach.t
+val segment : t -> Segment.t
+
+val set_rx : t -> (Frame.t -> unit) -> unit
+(** Installs the receive handler (the FLIP input routine).  Runs in
+    interrupt context after the reception interrupt's cost. *)
+
+val send : t -> Frame.t -> unit
+(** Queues a frame on the wire. *)
+
+val frames_received : t -> int
+val frames_sent : t -> int

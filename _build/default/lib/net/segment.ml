@@ -1,0 +1,87 @@
+type config = {
+  byte_time : Sim.Time.span;
+  framing_bytes : int;
+  min_payload : int;
+}
+
+let default_config = { byte_time = Sim.Time.ns 800; framing_bytes = 38; min_payload = 46 }
+
+type attachment = {
+  aid : int;
+  aname : string;
+  accepts : Frame.t -> bool;
+  deliver : Frame.t -> unit;
+}
+
+type t = {
+  eng : Sim.Engine.t;
+  sname : string;
+  config : config;
+  mutable attachments : attachment list;
+  mutable next_aid : int;
+  queue : (attachment * Frame.t) Queue.t;
+  mutable transmitting : bool;
+  mutable bytes : int;
+  mutable frames : int;
+  mutable busy_ns : Sim.Time.span;
+  mutable fault : (Frame.t -> bool) option;
+  mutable dropped : int;
+}
+
+let create eng ?(config = default_config) sname =
+  {
+    eng;
+    sname;
+    config;
+    attachments = [];
+    next_aid = 0;
+    queue = Queue.create ();
+    transmitting = false;
+    bytes = 0;
+    frames = 0;
+    busy_ns = 0;
+    fault = None;
+    dropped = 0;
+  }
+
+let attach t ~name ~accepts deliver =
+  let a = { aid = t.next_aid; aname = name; accepts; deliver } in
+  t.next_aid <- t.next_aid + 1;
+  t.attachments <- t.attachments @ [ a ];
+  a
+
+let wire_time t (frame : Frame.t) =
+  let payload = max frame.Frame.bytes t.config.min_payload in
+  (payload + t.config.framing_bytes) * t.config.byte_time
+
+let rec start_next t =
+  match Queue.take_opt t.queue with
+  | None -> t.transmitting <- false
+  | Some (from, frame) ->
+    t.transmitting <- true;
+    let wt = wire_time t frame in
+    t.bytes <- t.bytes + frame.Frame.bytes;
+    t.frames <- t.frames + 1;
+    t.busy_ns <- t.busy_ns + wt;
+    let lost = match t.fault with Some f -> f frame | None -> false in
+    if lost then t.dropped <- t.dropped + 1;
+    ignore
+      (Sim.Engine.after t.eng wt (fun () ->
+           if not lost then
+             List.iter
+               (fun a -> if a.aid <> from.aid && a.accepts frame then a.deliver frame)
+               t.attachments;
+           start_next t))
+
+let transmit t ~from frame =
+  Queue.push (from, frame) t.queue;
+  if not t.transmitting then start_next t
+
+let set_fault_injector t f = t.fault <- f
+let frames_dropped t = t.dropped
+let busy t = t.transmitting
+let queue_length t = Queue.length t.queue
+let bytes_carried t = t.bytes
+let frames_carried t = t.frames
+let busy_time t = t.busy_ns
+let name t = t.sname

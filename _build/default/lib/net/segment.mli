@@ -1,0 +1,53 @@
+(** A shared 10 Mbit/s Ethernet segment.
+
+    The medium serializes transmissions: requests queue in arrival order and
+    each occupies the wire for its frame's transmission time.  (Collisions
+    and exponential backoff are not modelled; FIFO serialization gives the
+    same deterministic saturation behaviour, which is what the paper's
+    application results depend on.)
+
+    Stations and switch ports attach with a delivery callback and a filter;
+    when a frame's transmission completes it is delivered to every other
+    attachment whose filter accepts it. *)
+
+type t
+
+type config = {
+  byte_time : Sim.Time.span;  (** wire time per byte (800 ns at 10 Mbit/s) *)
+  framing_bytes : int;
+      (** per-frame overhead: preamble, MACs, type, FCS, interframe gap *)
+  min_payload : int;  (** Ethernet minimum payload (padding), 46 bytes *)
+}
+
+val default_config : config
+(** 10 Mbit/s Ethernet: 800 ns/byte, 38 framing bytes, 46 min payload. *)
+
+val create : Sim.Engine.t -> ?config:config -> string -> t
+
+type attachment
+
+val attach :
+  t -> name:string -> accepts:(Frame.t -> bool) -> (Frame.t -> unit) -> attachment
+(** [attach t ~name ~accepts deliver] connects a station or switch port.
+    [deliver] runs at frame-reception instants; it must not block. *)
+
+val transmit : t -> from:attachment -> Frame.t -> unit
+(** Queues a frame for transmission.  The sender's own attachment never
+    receives the frame back. *)
+
+val wire_time : t -> Frame.t -> Sim.Time.span
+(** Time the frame occupies the medium. *)
+
+val set_fault_injector : t -> (Frame.t -> bool) option -> unit
+(** When the injector returns [true] for a frame, the frame occupies the
+    wire but is delivered to nobody — a corrupted/collided frame.  Used by
+    tests and failure-injection benches to exercise retransmission. *)
+
+val frames_dropped : t -> int
+
+val busy : t -> bool
+val queue_length : t -> int
+val bytes_carried : t -> int
+val frames_carried : t -> int
+val busy_time : t -> Sim.Time.span
+val name : t -> string

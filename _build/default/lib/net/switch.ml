@@ -1,0 +1,51 @@
+type port = {
+  index : int;
+  seg : Segment.t;
+  attachment : Segment.attachment;
+}
+
+type t = {
+  eng : Sim.Engine.t;
+  name : string;
+  latency : Sim.Time.span;
+  mutable port_list : port list; (* reverse order of addition *)
+  table : (int, int) Hashtbl.t; (* station -> port index *)
+  mutable forwarded : int;
+}
+
+let create eng ?(latency = Sim.Time.us 50) name =
+  { eng; name; latency; port_list = []; table = Hashtbl.create 64; forwarded = 0 }
+
+let forward t ~ingress frame =
+  Hashtbl.replace t.table frame.Frame.src ingress;
+  let out_ports =
+    match frame.Frame.dest with
+    | Frame.Unicast dst -> (
+        match Hashtbl.find_opt t.table dst with
+        | Some p when p = ingress -> []
+        | Some p -> List.filter (fun port -> port.index = p) t.port_list
+        | None -> List.filter (fun port -> port.index <> ingress) t.port_list)
+    | Frame.Multicast | Frame.Broadcast ->
+      List.filter (fun port -> port.index <> ingress) t.port_list
+  in
+  if out_ports <> [] then begin
+    t.forwarded <- t.forwarded + 1;
+    ignore
+      (Sim.Engine.after t.eng t.latency (fun () ->
+           List.iter
+             (fun port -> Segment.transmit port.seg ~from:port.attachment frame)
+             out_ports))
+  end
+
+let add_port t seg =
+  let index = List.length t.port_list in
+  let attachment =
+    Segment.attach seg
+      ~name:(Printf.sprintf "%s.p%d" t.name index)
+      ~accepts:(fun _ -> true)
+      (fun frame -> forward t ~ingress:index frame)
+  in
+  t.port_list <- { index; seg; attachment } :: t.port_list
+
+let ports t = List.length t.port_list
+let frames_forwarded t = t.forwarded

@@ -1,0 +1,17 @@
+(** Store-and-forward Ethernet switch with MAC learning.
+
+    The paper's pool connects segments of eight processors through an
+    Ethernet switch.  Unicast frames whose destination has been learned go
+    only to that port; unknown unicasts flood; multicast and broadcast go to
+    every port except the ingress.  Forwarding adds a fixed latency on top
+    of the full reception of the frame (store-and-forward). *)
+
+type t
+
+val create : Sim.Engine.t -> ?latency:Sim.Time.span -> string -> t
+(** [latency] defaults to 50 µs. *)
+
+val add_port : t -> Segment.t -> unit
+
+val ports : t -> int
+val frames_forwarded : t -> int

@@ -1,0 +1,43 @@
+type t = {
+  segments : Segment.t array;
+  switch : Switch.t option;
+  nics : Nic.t array;
+}
+
+let build eng ~machines ?(per_segment = 8) ?(segment_config = Segment.default_config)
+    ?(nic_config = Nic.default_config) ?(switch_latency = Sim.Time.us 50) () =
+  let n = Array.length machines in
+  assert (n > 0 && per_segment > 0);
+  let n_segments = (n + per_segment - 1) / per_segment in
+  let segments =
+    Array.init n_segments (fun i ->
+        Segment.create eng ~config:segment_config (Printf.sprintf "seg%d" i))
+  in
+  let switch =
+    if n_segments > 1 then begin
+      let sw = Switch.create eng ~latency:switch_latency "switch" in
+      Array.iter (fun seg -> Switch.add_port sw seg) segments;
+      Some sw
+    end
+    else None
+  in
+  let nics =
+    Array.mapi
+      (fun i mach -> Nic.create mach ~config:nic_config segments.(i / per_segment))
+      machines
+  in
+  { segments; switch; nics }
+
+let nic t i = t.nics.(i)
+
+let total_bytes t =
+  Array.fold_left (fun acc seg -> acc + Segment.bytes_carried seg) 0 t.segments
+
+let max_utilization t ~until =
+  if until <= 0 then 0.
+  else
+    Array.fold_left
+      (fun acc seg ->
+        let u = float_of_int (Segment.busy_time seg) /. float_of_int until in
+        Float.max acc u)
+      0. t.segments

@@ -1,0 +1,30 @@
+(** Builds the paper's processor-pool network: segments of [per_segment]
+    machines on 10 Mbit/s Ethernet, joined by one switch. *)
+
+type t = {
+  segments : Segment.t array;
+  switch : Switch.t option;  (** absent when everything fits one segment *)
+  nics : Nic.t array;  (** indexed by machine id *)
+}
+
+val build :
+  Sim.Engine.t ->
+  machines:Machine.Mach.t array ->
+  ?per_segment:int ->
+  ?segment_config:Segment.config ->
+  ?nic_config:Nic.config ->
+  ?switch_latency:Sim.Time.span ->
+  unit ->
+  t
+(** [per_segment] defaults to 8, as in the paper's pool.  Machine [i] lands
+    on segment [i / per_segment]; a switch is added only when more than one
+    segment is needed. *)
+
+val nic : t -> int -> Nic.t
+
+val total_bytes : t -> int
+(** Bytes carried across all segments (forwarded frames count once per
+    segment traversed). *)
+
+val max_utilization : t -> until:Sim.Time.t -> float
+(** Highest busy fraction among the segments — the saturation indicator. *)

@@ -1,0 +1,1 @@
+lib/orca/backend.ml: Amoeba Array Flip Hashtbl Machine Panda Printf Sim

@@ -1,0 +1,1 @@
+lib/orca/backend.mli: Amoeba Flip Machine Panda Sim

@@ -1,0 +1,1 @@
+lib/orca/rts.ml: Array Backend Hashtbl Machine Printf Queue Sim

@@ -1,0 +1,1 @@
+lib/orca/rts.mli: Backend Machine Sim

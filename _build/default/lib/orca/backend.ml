@@ -1,0 +1,150 @@
+module Thread = Machine.Thread
+module Mach = Machine.Mach
+module Sync = Machine.Sync
+
+type t = {
+  rank : int;
+  machine : Machine.Mach.t;
+  broadcast : nonblocking:bool -> size:int -> Sim.Payload.t -> unit;
+  set_deliver : (sender:int -> size:int -> Sim.Payload.t -> unit) -> unit;
+  rpc : dst:int -> size:int -> Sim.Payload.t -> int * Sim.Payload.t;
+  set_rpc_handler :
+    (client:int ->
+    size:int ->
+    Sim.Payload.t ->
+    reply:(size:int -> Sim.Payload.t -> unit) ->
+    unit) ->
+    unit;
+  supports_async_reply : bool;
+  supports_nonblocking_broadcast : bool;
+  label : string;
+}
+
+(* Server threads per machine handling incoming kernel-RPC requests.  A
+   blocked guarded operation parks one of them, so there must be enough for
+   the worst concurrent-blocked count of the applications. *)
+let kernel_server_threads = 8
+
+let kernel_stack ?(rpc_config = Amoeba.Rpc.default_config)
+    ?(group_config = Amoeba.Group.default_config) flips ?(sequencer = 0) () =
+  let n = Array.length flips in
+  let rpcs = Array.map (fun flip -> Amoeba.Rpc.create ~config:rpc_config flip) flips in
+  let ports = Array.map (fun rpc -> Amoeba.Rpc.export rpc ~name:"orca") rpcs in
+  let port_addrs = Array.map Amoeba.Rpc.address ports in
+  let rank_of_client = Hashtbl.create n in
+  Array.iteri (fun i rpc -> Hashtbl.replace rank_of_client (Amoeba.Rpc.client_address rpc) i) rpcs;
+  let _grp, members = Amoeba.Group.create_static ~config:group_config ~name:"orca" ~sequencer flips in
+  Array.init n (fun i ->
+      let mach = Flip.Flip_iface.machine flips.(i) in
+      let deliver = ref (fun ~sender:_ ~size:_ _ -> ()) in
+      let handler = ref (fun ~client:_ ~size:_ _ ~reply -> reply ~size:0 Sim.Payload.Empty) in
+      (* The Panda-wrapper group daemon: receives ordered messages and makes
+         the upcall the RTS expects. *)
+      ignore
+        (Thread.spawn mach ~prio:Thread.Daemon "grp-recv" (fun () ->
+             while true do
+               let sender, size, payload = Amoeba.Group.receive members.(i) in
+               !deliver ~sender ~size payload
+             done));
+      (* RPC daemons wrapping get_request/put_reply.  Amoeba requires the
+         reply to come from the thread that accepted the request, so an
+         asynchronous reply must signal this thread back to life — the
+         extra context switch the paper measures for guarded operations. *)
+      for k = 1 to kernel_server_threads do
+        ignore
+          (Thread.spawn mach ~prio:Thread.Daemon
+             (Printf.sprintf "rpc-srv%d" k)
+             (fun () ->
+               let mu = Sync.Mutex.create mach in
+               let cv = Sync.Condvar.create mach in
+               while true do
+                 let r = Amoeba.Rpc.get_request ports.(i) in
+                 let cell = ref None in
+                 let reply ~size payload =
+                   Sync.Mutex.lock mu;
+                   cell := Some (size, payload);
+                   Sync.Condvar.signal cv;
+                   Sync.Mutex.unlock mu
+                 in
+                 let client =
+                   match Hashtbl.find_opt rank_of_client (Amoeba.Rpc.request_client r) with
+                   | Some rank -> rank
+                   | None -> -1
+                 in
+                 !handler ~client ~size:(Amoeba.Rpc.request_size r) (Amoeba.Rpc.request_payload r) ~reply;
+                 Sync.Mutex.lock mu;
+                 while !cell = None do
+                   Sync.Condvar.wait cv mu
+                 done;
+                 Sync.Mutex.unlock mu;
+                 (match !cell with
+                  | Some (size, payload) -> Amoeba.Rpc.put_reply ports.(i) r ~size payload
+                  | None -> assert false)
+               done))
+      done;
+      {
+        rank = i;
+        machine = mach;
+        broadcast =
+          (fun ~nonblocking ~size payload ->
+            (* Amoeba's kernel protocol has no nonblocking variant; adding
+               one would require kernel modifications (paper, §6). *)
+            ignore nonblocking;
+            Amoeba.Group.send members.(i) ~size payload);
+        set_deliver = (fun f -> deliver := f);
+        rpc = (fun ~dst ~size payload -> Amoeba.Rpc.trans rpcs.(i) ~dst:port_addrs.(dst) ~size payload);
+        set_rpc_handler = (fun h -> handler := h);
+        supports_async_reply = false;
+        supports_nonblocking_broadcast = false;
+        label = "kernel";
+      })
+
+let user_stack ?(sys_config = Panda.System_layer.default_config)
+    ?(rpc_config = Panda.Rpc.default_config)
+    ?(group_config = Panda.Group.default_config) flips ?(sequencer = 0)
+    ?dedicated_sequencer () =
+  let n = Array.length flips in
+  let sys =
+    Array.mapi
+      (fun i flip -> Panda.System_layer.create ~config:sys_config ~name:(Printf.sprintf "orca%d" i) flip)
+      flips
+  in
+  let rpcs = Array.map (fun s -> Panda.Rpc.create ~config:rpc_config s) sys in
+  let addrs = Array.map Panda.Rpc.address rpcs in
+  let rank_of_addr = Hashtbl.create n in
+  Array.iteri (fun i a -> Hashtbl.replace rank_of_addr a i) addrs;
+  let placement, label =
+    match dedicated_sequencer with
+    | Some flip ->
+      ( Panda.Group.Dedicated (Panda.System_layer.create ~config:sys_config ~name:"orca-seq" flip),
+        "user-dedicated" )
+    | None -> (Panda.Group.On_member sequencer, "user")
+  in
+  let _grp, members = Panda.Group.create_static ~config:group_config ~name:"orca" ~sequencer:placement sys in
+  Array.init n (fun i ->
+      let mach = Panda.System_layer.machine sys.(i) in
+      {
+        rank = i;
+        machine = mach;
+        broadcast =
+          (fun ~nonblocking ~size payload ->
+            if nonblocking then Panda.Group.send_nonblocking members.(i) ~size payload
+            else Panda.Group.send members.(i) ~size payload);
+        set_deliver =
+          (fun f ->
+            Panda.Group.set_handler members.(i) (fun ~sender ~size payload ->
+                f ~sender ~size payload));
+        rpc = (fun ~dst ~size payload -> Panda.Rpc.trans rpcs.(i) ~dst:addrs.(dst) ~size payload);
+        set_rpc_handler =
+          (fun h ->
+            Panda.Rpc.set_request_handler rpcs.(i) (fun ~client ~size payload ~reply ->
+                let client =
+                  match Hashtbl.find_opt rank_of_addr client with
+                  | Some rank -> rank
+                  | None -> -1
+                in
+                h ~client ~size payload ~reply));
+        supports_async_reply = true;
+        supports_nonblocking_broadcast = true;
+        label;
+      })

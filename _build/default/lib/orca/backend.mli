@@ -1,0 +1,64 @@
+(** Communication backends for the Orca runtime system.
+
+    The paper's two Panda implementations, packaged behind one interface:
+
+    - {!kernel_stack}: Amoeba's kernel-space RPC and group protocols,
+      wrapped to look like Panda.  Wrapping must work around Amoeba's
+      restriction that a reply be sent by the thread that accepted the
+      request: a guarded operation that blocks parks the {e server thread}
+      on a condition variable, and the thread that later satisfies the
+      guard pays a kernel signal and an extra context switch.
+    - {!user_stack}: Panda's user-space protocols over FLIP.  [pan_rpc_reply]
+      is asynchronous, so a blocked guarded operation consumes no server
+      thread and its reply is sent directly by the thread that satisfies
+      the guard (the continuation optimisation).  Optionally runs the group
+      sequencer on a dedicated machine, and supports the nonblocking
+      broadcast extension. *)
+
+type t = {
+  rank : int;
+  machine : Machine.Mach.t;
+  broadcast : nonblocking:bool -> size:int -> Sim.Payload.t -> unit;
+      (** totally-ordered broadcast to all ranks (including self); when
+          [nonblocking] is unsupported the call degrades to blocking *)
+  set_deliver : (sender:int -> size:int -> Sim.Payload.t -> unit) -> unit;
+      (** handler for ordered deliveries; runs in a daemon-thread context *)
+  rpc : dst:int -> size:int -> Sim.Payload.t -> int * Sim.Payload.t;
+      (** blocking remote invocation of rank [dst]'s request handler *)
+  set_rpc_handler :
+    (client:int ->
+    size:int ->
+    Sim.Payload.t ->
+    reply:(size:int -> Sim.Payload.t -> unit) ->
+    unit) ->
+    unit;
+      (** install the request handler; [reply] must be called exactly once,
+          possibly later and — depending on the backend — possibly from a
+          different thread *)
+  supports_async_reply : bool;
+  supports_nonblocking_broadcast : bool;
+  label : string;
+}
+
+val kernel_stack :
+  ?rpc_config:Amoeba.Rpc.config ->
+  ?group_config:Amoeba.Group.config ->
+  Flip.Flip_iface.t array ->
+  ?sequencer:int ->
+  unit ->
+  t array
+(** One backend per FLIP instance.  [sequencer] (default 0) picks the rank
+    whose kernel hosts the group sequencer. *)
+
+val user_stack :
+  ?sys_config:Panda.System_layer.config ->
+  ?rpc_config:Panda.Rpc.config ->
+  ?group_config:Panda.Group.config ->
+  Flip.Flip_iface.t array ->
+  ?sequencer:int ->
+  ?dedicated_sequencer:Flip.Flip_iface.t ->
+  unit ->
+  t array
+(** User-space Panda stack.  With [dedicated_sequencer], the sequencer
+    thread runs alone on that extra machine instead of on rank
+    [sequencer]. *)

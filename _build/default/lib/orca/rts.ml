@@ -1,0 +1,491 @@
+module Thread = Machine.Thread
+module Mach = Machine.Mach
+
+type placement =
+  | Replicated
+  | Owned of int
+  | Adaptive of { owner : int; state_bytes : int }
+
+type Sim.Payload.t +=
+  | Op_msg of {
+      om_obj : int;
+      om_op : int;
+      om_rank : int;
+      om_inv : int;
+      om_arg : Sim.Payload.t;
+    }
+  | Migrate_msg of { mg_obj : int; mg_from : int; mg_to : int }
+  | Wrong_owner
+
+(* Bytes of RTS framing inside an operation message, beyond the argument. *)
+let op_msg_overhead = 16
+let default_size _ = 16
+let default_cost _ _ = Sim.Time.us 5
+
+type parked = {
+  pk_guard : unit -> bool;
+  pk_fire : unit -> unit;
+}
+
+type dispatch_entry = {
+  de_apply : op_id:int -> Sim.Payload.t -> Sim.Payload.t;
+      (* apply a broadcast write locally (guards were settled at the
+         sender); retries parked continuations *)
+  de_rpc :
+    client:int -> op_id:int -> Sim.Payload.t -> complete:(Sim.Payload.t -> unit) -> unit;
+      (* owner-side execution with guard/continuation handling *)
+  de_res_size : op_id:int -> Sim.Payload.t -> int;
+  de_migrate : from_rank:int -> to_rank:int -> unit;
+      (* apply an ordered owner change at this rank *)
+}
+
+type cell = {
+  mutable c_result : Sim.Payload.t option;
+  mutable c_resume : (unit -> unit) option;
+  c_nonblocking : bool;
+}
+
+type domain = {
+  backends : Backend.t array;
+  rts_overhead : Sim.Time.span;
+  rank_by_mach : (int, int) Hashtbl.t;
+  dispatch : (int, dispatch_entry) Hashtbl.t;
+  pending : (int, cell) Hashtbl.t array;
+  next_inv : int array;
+  mutable next_obj : int;
+  mutable n_broadcast : int;
+  mutable n_remote : int;
+  mutable parked_now : int;
+  mutable parked_peak : int;
+  mutable parked_count : int;
+  mutable n_migrations : int;
+}
+
+type 'st op_rec = {
+  op_id : int;
+  op_name : string;
+  op_kind : [ `Read | `Write ];
+  op_guard : ('st -> Sim.Payload.t -> bool) option;
+  op_cost : 'st -> Sim.Payload.t -> Sim.Time.span;
+  op_arg_size : Sim.Payload.t -> int;
+  op_res_size : Sim.Payload.t -> int;
+  op_exec : 'st -> Sim.Payload.t -> Sim.Payload.t;
+}
+
+type 'st odesc = {
+  od_id : int;
+  od_name : string;
+  od_placement : placement;
+  od_dom : domain;
+  mutable od_owner : int; (* current owner; -1 for replicated objects *)
+  od_adaptive : bool;
+  od_state_bytes : int;
+  od_access : int array; (* per-rank access counts, kept by the owner *)
+  mutable od_migrating : bool;
+  mutable od_ops : 'st op_rec array;
+  od_replicas : 'st option array;
+  od_parked : parked Queue.t array;
+}
+
+type 'st opref = { or_od : 'st odesc; or_op : 'st op_rec }
+
+let size dom = Array.length dom.backends
+let machine dom rank = dom.backends.(rank).Backend.machine
+let backend_label dom = dom.backends.(0).Backend.label
+let broadcasts dom = dom.n_broadcast
+let remote_invocations dom = dom.n_remote
+let parked_peak dom = dom.parked_peak
+let parked_total dom = dom.parked_count
+let migrations dom = dom.n_migrations
+
+let owner_of od = if od.od_owner >= 0 then Some od.od_owner else None
+let placement od = od.od_placement
+
+let rank_here dom =
+  let mach = Thread.machine (Thread.self ()) in
+  match Hashtbl.find_opt dom.rank_by_mach (Mach.id mach) with
+  | Some rank -> rank
+  | None -> invalid_arg "Rts: calling thread's machine is not part of the domain"
+
+let get_op od op_id =
+  if op_id < 0 || op_id >= Array.length od.od_ops then
+    invalid_arg (Printf.sprintf "Rts: object %s has no operation %d" od.od_name op_id)
+  else od.od_ops.(op_id)
+
+let replica od rank =
+  match od.od_replicas.(rank) with
+  | Some st -> st
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Rts: object %s has no replica at rank %d" od.od_name rank)
+
+let guard_ok op st arg =
+  match op.op_guard with None -> true | Some g -> g st arg
+
+(* Execute the operation body in the calling thread's context. *)
+let exec_op dom od rank op arg =
+  let st = replica od rank in
+  Thread.compute (dom.rts_overhead + op.op_cost st arg);
+  op.op_exec st arg
+
+(* After a write, re-evaluate blocked continuations at this replica; fire
+   the runnable ones in the current thread (the paper's continuation
+   optimisation: the state-modifying thread completes blocked operations
+   itself). *)
+let rec retry_parked dom od rank =
+  let q = od.od_parked.(rank) in
+  let n = Queue.length q in
+  let progressed = ref false in
+  for _ = 1 to n do
+    match Queue.take_opt q with
+    | None -> ()
+    | Some pk ->
+      if pk.pk_guard () then begin
+        progressed := true;
+        dom.parked_now <- dom.parked_now - 1;
+        pk.pk_fire ()
+      end
+      else Queue.push pk q
+  done;
+  if !progressed && Queue.length q > 0 then retry_parked dom od rank
+
+let park dom od rank pk =
+  dom.parked_now <- dom.parked_now + 1;
+  dom.parked_count <- dom.parked_count + 1;
+  if dom.parked_now > dom.parked_peak then dom.parked_peak <- dom.parked_now;
+  Queue.push pk od.od_parked.(rank)
+
+(* Owner-side (or local) execution with guard handling: either run now, or
+   park a continuation that executes and completes when the guard turns
+   true. *)
+let exec_or_park dom od rank op arg ~complete =
+  let st = replica od rank in
+  if guard_ok op st arg then begin
+    let res = exec_op dom od rank op arg in
+    if op.op_kind = `Write then retry_parked dom od rank;
+    complete res
+  end
+  else
+    park dom od rank
+      {
+        pk_guard = (fun () -> guard_ok op (replica od rank) arg);
+        pk_fire =
+          (fun () ->
+            let res = exec_op dom od rank op arg in
+            if op.op_kind = `Write then retry_parked dom od rank;
+            complete res);
+      }
+
+(* --- adaptive placement ------------------------------------------- *)
+
+(* The owner counts accesses per process; when another process dominates
+   by [migrate_factor] over at least [migrate_min] accesses, the object
+   moves there.  The owner change is a totally-ordered broadcast, so every
+   rank switches at the same point relative to other replicated-object
+   traffic; in-flight invocations to the old owner bounce and retry. *)
+let migrate_factor = 3
+let migrate_min = 24
+
+let access_window = 256
+
+let note_access dom od ~rank ~by =
+  if od.od_adaptive && od.od_owner = rank && not od.od_migrating then begin
+    od.od_access.(by) <- od.od_access.(by) + 1;
+    (* Sliding window: old history decays so a shift in the access pattern
+       eventually wins. *)
+    if Array.fold_left ( + ) 0 od.od_access > access_window then
+      Array.iteri (fun i v -> od.od_access.(i) <- v / 2) od.od_access;
+    if
+      by <> rank
+      && od.od_access.(by) >= migrate_min
+      && od.od_access.(by) > migrate_factor * od.od_access.(rank)
+      && Queue.is_empty od.od_parked.(rank)
+    then begin
+      od.od_migrating <- true;
+      let backend = dom.backends.(rank) in
+      (* The blocking broadcast cannot run in an upcall context; a
+         one-shot helper thread performs it. *)
+      ignore
+        (Thread.spawn backend.Backend.machine "rts.migrate" (fun () ->
+             backend.Backend.broadcast ~nonblocking:false
+               ~size:(op_msg_overhead + od.od_state_bytes)
+               (Migrate_msg { mg_obj = od.od_id; mg_from = rank; mg_to = by })))
+    end
+  end
+
+let apply_migration dom od ~rank ~from_rank ~to_rank =
+  if rank = from_rank && rank <> to_rank then begin
+    (* The old owner ships the state; in the simulation the replica slot
+       moves (the bytes were charged by the broadcast). *)
+    od.od_replicas.(to_rank) <- od.od_replicas.(from_rank);
+    od.od_replicas.(from_rank) <- None
+  end;
+  if rank = from_rank then dom.n_migrations <- dom.n_migrations + 1;
+  od.od_owner <- to_rank;
+  od.od_migrating <- false;
+  Array.fill od.od_access 0 (Array.length od.od_access) 0
+
+let declare (type st) dom ~name ~placement ~init : st odesc =
+  let initial_owner, adaptive, state_bytes =
+    match placement with
+    | Replicated -> (-1, false, 0)
+    | Owned o -> (o, false, 0)
+    | Adaptive { owner; state_bytes } -> (owner, true, state_bytes)
+  in
+  let n = size dom in
+  dom.next_obj <- dom.next_obj + 1;
+  let od : st odesc =
+    {
+      od_id = dom.next_obj;
+      od_name = name;
+      od_placement = placement;
+      od_dom = dom;
+      od_owner = initial_owner;
+      od_adaptive = adaptive;
+      od_state_bytes = state_bytes;
+      od_access = Array.make n 0;
+      od_migrating = false;
+      od_ops = [||];
+      od_replicas =
+        Array.init n (fun rank ->
+            if initial_owner < 0 then Some (init ~rank)
+            else if rank = initial_owner then Some (init ~rank)
+            else None);
+      od_parked = Array.init n (fun _ -> Queue.create ());
+    }
+  in
+  let entry =
+    {
+      de_apply =
+        (fun ~op_id arg ->
+          let rank = rank_here dom in
+          let op = get_op od op_id in
+          let res = exec_op dom od rank op arg in
+          retry_parked dom od rank;
+          res);
+      de_rpc =
+        (fun ~client ~op_id arg ~complete ->
+          let rank = rank_here dom in
+          if od.od_owner <> rank || od.od_replicas.(rank) = None then
+            (* Stale directory at the caller (object migrated away, or the
+               state has not caught up with an owner change): bounce. *)
+            complete Wrong_owner
+          else begin
+            if client >= 0 then note_access dom od ~rank ~by:client;
+            let op = get_op od op_id in
+            exec_or_park dom od rank op arg ~complete
+          end);
+      de_res_size = (fun ~op_id res -> (get_op od op_id).op_res_size res);
+      de_migrate =
+        (fun ~from_rank ~to_rank ->
+          let rank = rank_here dom in
+          apply_migration dom od ~rank ~from_rank ~to_rank);
+    }
+  in
+  Hashtbl.replace dom.dispatch od.od_id entry;
+  od
+
+let defop od ~name ~kind ?guard ?(cost = default_cost) ?(arg_size = default_size)
+    ?(res_size = default_size) exec =
+  let op =
+    {
+      op_id = Array.length od.od_ops;
+      op_name = name;
+      op_kind = kind;
+      op_guard = guard;
+      op_cost = cost;
+      op_arg_size = arg_size;
+      op_res_size = res_size;
+      op_exec = exec;
+    }
+  in
+  od.od_ops <- Array.append od.od_ops [| op |];
+  { or_od = od; or_op = op }
+
+(* A local invocation that may block the calling application thread on a
+   guard; the thread that later satisfies the guard executes the body and
+   hands us the result. *)
+let invoke_local dom od rank op arg =
+  let st = replica od rank in
+  if guard_ok op st arg then begin
+    let res = exec_op dom od rank op arg in
+    if op.op_kind = `Write then retry_parked dom od rank;
+    res
+  end
+  else begin
+    let cell = { c_result = None; c_resume = None; c_nonblocking = false } in
+    park dom od rank
+      {
+        pk_guard = (fun () -> guard_ok op (replica od rank) arg);
+        pk_fire =
+          (fun () ->
+            let res = exec_op dom od rank op arg in
+            if op.op_kind = `Write then retry_parked dom od rank;
+            cell.c_result <- Some res;
+            match cell.c_resume with
+            | Some resume ->
+              cell.c_resume <- None;
+              resume ()
+            | None -> ());
+      };
+    if cell.c_result = None then Thread.suspend (fun _ resume -> cell.c_resume <- Some resume);
+    match cell.c_result with Some res -> res | None -> assert false
+  end
+
+let op_size op arg = op_msg_overhead + op.op_arg_size arg
+
+let invoke ?(nonblocking = false) { or_od = od; or_op = op } arg =
+  let dom = od.od_dom in
+  let rank = rank_here dom in
+  match od.od_placement with
+  | Owned _ | Adaptive _ ->
+    (* The owner is dynamic for adaptive objects; chase it until an
+       invocation lands (a bounced call retries against the updated
+       directory). *)
+    let rec attempt tries =
+      if tries > 64 then invalid_arg "Rts.invoke: owner chase did not settle";
+      let owner = od.od_owner in
+      if owner = rank && od.od_replicas.(rank) <> None then begin
+        note_access dom od ~rank ~by:rank;
+        invoke_local dom od rank op arg
+      end
+      else begin
+        dom.n_remote <- dom.n_remote + 1;
+        let _size, res =
+          dom.backends.(rank).Backend.rpc ~dst:owner ~size:(op_size op arg)
+            (Op_msg { om_obj = od.od_id; om_op = op.op_id; om_rank = rank; om_inv = 0;
+                      om_arg = arg })
+        in
+        match res with
+        | Wrong_owner ->
+          Thread.sleep (Sim.Time.us 500);
+          attempt (tries + 1)
+        | res -> res
+      end
+    in
+    attempt 0
+  | Replicated -> (
+      match op.op_kind with
+      | `Read -> invoke_local dom od rank op arg
+      | `Write ->
+        (* A guard on a replicated write is settled locally before
+           broadcasting (the state is identical everywhere, so the guard
+           holds at every replica when the write applies). *)
+        (match op.op_guard with
+         | Some g when not (g (replica od rank) arg) ->
+           let cell = { c_result = None; c_resume = None; c_nonblocking = false } in
+           park dom od rank
+             {
+               pk_guard = (fun () -> guard_ok op (replica od rank) arg);
+               pk_fire =
+                 (fun () ->
+                   cell.c_result <- Some Sim.Payload.Empty;
+                   match cell.c_resume with
+                   | Some resume ->
+                     cell.c_resume <- None;
+                     resume ()
+                   | None -> ());
+             };
+           if cell.c_result = None then
+             Thread.suspend (fun _ resume -> cell.c_resume <- Some resume)
+         | Some _ | None -> ());
+        dom.n_broadcast <- dom.n_broadcast + 1;
+        let backend = dom.backends.(rank) in
+        let nb = nonblocking && backend.Backend.supports_nonblocking_broadcast in
+        dom.next_inv.(rank) <- dom.next_inv.(rank) + 1;
+        let inv = dom.next_inv.(rank) in
+        let cell = { c_result = None; c_resume = None; c_nonblocking = nb } in
+        Hashtbl.replace dom.pending.(rank) inv cell;
+        backend.Backend.broadcast ~nonblocking:nb ~size:(op_size op arg)
+          (Op_msg { om_obj = od.od_id; om_op = op.op_id; om_rank = rank; om_inv = inv;
+                    om_arg = arg });
+        if nb then Sim.Payload.Empty
+        else begin
+          if cell.c_result = None then
+            Thread.suspend (fun _ resume -> cell.c_resume <- Some resume);
+          Hashtbl.remove dom.pending.(rank) inv;
+          match cell.c_result with Some res -> res | None -> assert false
+        end)
+
+(* Ordered delivery of a (replicated-object) write at this rank: apply it,
+   and if it is our own invocation, hand the result to the waiting
+   process. *)
+let on_deliver dom rank ~sender ~size:_ payload =
+  match payload with
+  | Migrate_msg { mg_obj; mg_from; mg_to } -> (
+      ignore sender;
+      match Hashtbl.find_opt dom.dispatch mg_obj with
+      | Some e -> e.de_migrate ~from_rank:mg_from ~to_rank:mg_to
+      | None -> ())
+  | Op_msg { om_obj; om_op; om_rank; om_inv; om_arg } ->
+    assert (sender = om_rank);
+    let entry =
+      match Hashtbl.find_opt dom.dispatch om_obj with
+      | Some e -> e
+      | None -> invalid_arg "Rts: delivery for unknown object"
+    in
+    let res = entry.de_apply ~op_id:om_op om_arg in
+    if om_rank = rank then (
+      match Hashtbl.find_opt dom.pending.(rank) om_inv with
+      | Some cell ->
+        cell.c_result <- Some res;
+        if cell.c_nonblocking then Hashtbl.remove dom.pending.(rank) om_inv
+        else (
+          match cell.c_resume with
+          | Some resume ->
+            cell.c_resume <- None;
+            resume ()
+          | None -> ())
+      | None -> ())
+  | _ -> ()
+
+let on_rpc dom ~client ~size:_ payload ~reply =
+  match payload with
+  | Op_msg { om_obj; om_op; om_arg; _ } ->
+    let entry =
+      match Hashtbl.find_opt dom.dispatch om_obj with
+      | Some e -> e
+      | None -> invalid_arg "Rts: rpc for unknown object"
+    in
+    entry.de_rpc ~client ~op_id:om_op om_arg
+      ~complete:(fun res ->
+        match res with
+        | Wrong_owner -> reply ~size:op_msg_overhead Wrong_owner
+        | res ->
+          reply ~size:(op_msg_overhead + entry.de_res_size ~op_id:om_op res) res)
+  | _ -> reply ~size:0 Sim.Payload.Empty
+
+let create_domain ?(rts_overhead = Sim.Time.us 10) backends =
+  let n = Array.length backends in
+  assert (n > 0);
+  let dom =
+    {
+      backends;
+      rts_overhead;
+      rank_by_mach = Hashtbl.create n;
+      dispatch = Hashtbl.create 16;
+      pending = Array.init n (fun _ -> Hashtbl.create 8);
+      next_inv = Array.make n 0;
+      next_obj = 0;
+      n_broadcast = 0;
+      n_remote = 0;
+      parked_now = 0;
+      parked_peak = 0;
+      parked_count = 0;
+      n_migrations = 0;
+    }
+  in
+  Array.iteri
+    (fun rank b ->
+      Hashtbl.replace dom.rank_by_mach (Mach.id b.Backend.machine) rank;
+      b.Backend.set_deliver (fun ~sender ~size payload ->
+          on_deliver dom rank ~sender ~size payload);
+      b.Backend.set_rpc_handler (fun ~client ~size payload ~reply ->
+          on_rpc dom ~client ~size payload ~reply))
+    backends;
+  dom
+
+let peek od ~rank = replica od rank
+
+let spawn dom ~rank name body =
+  Thread.spawn (machine dom rank) ~prio:Thread.Normal name (fun () -> body ~rank)

@@ -1,0 +1,105 @@
+(** The Orca runtime system: shared data-objects over a communication
+    backend.
+
+    Objects are instances of abstract data types whose operations execute
+    indivisibly.  The RTS places each object either {e replicated} (a copy
+    on every rank: read operations execute locally, write operations are
+    broadcast with total ordering and applied everywhere) or {e owned} by
+    one rank (all remote operations go through RPC).  In the real system
+    the placement decision comes from compiler heuristics; here the
+    application supplies it, standing in for the compiler's output.
+
+    Guarded operations (a predicate that must hold before the operation
+    runs) block as {e continuations} queued at the object, re-evaluated
+    after every write; no server thread is held — unless the kernel-space
+    backend's same-thread-reply restriction forces one, which is exactly
+    the effect the paper measures. *)
+
+type domain
+
+type placement =
+  | Replicated
+  | Owned of int
+  | Adaptive of { owner : int; state_bytes : int }
+      (** owned, with the runtime placement heuristic the paper describes:
+          the owner counts accesses per process and, when another process
+          dominates, migrates the object to it.  The owner change travels
+          as a totally-ordered broadcast carrying [state_bytes] of state;
+          in-flight invocations bounce with a wrong-owner reply and
+          retry. *)
+
+type 'st odesc
+(** A shared-object descriptor whose per-rank state has type ['st]. *)
+
+type 'st opref
+(** One operation of an object type. *)
+
+type Sim.Payload.t +=
+  | Op_msg of {
+      om_obj : int;
+      om_op : int;
+      om_rank : int;
+      om_inv : int;
+      om_arg : Sim.Payload.t;
+    }  (** a marshalled operation invocation (exposed for tests) *)
+
+val create_domain : ?rts_overhead:Sim.Time.span -> Backend.t array -> domain
+(** [rts_overhead] (default 10 µs) is charged per operation invocation for
+    RTS dispatch and marshalling besides per-byte copies. *)
+
+val size : domain -> int
+val machine : domain -> int -> Machine.Mach.t
+val backend_label : domain -> string
+
+val declare :
+  domain -> name:string -> placement:placement -> init:(rank:int -> 'st) -> 'st odesc
+(** Declares an object before the processes start.  [init] runs once per
+    replica (every rank when replicated, the owner otherwise). *)
+
+val placement : _ odesc -> placement
+
+val owner_of : _ odesc -> int option
+(** Current owner rank of an owned object ([None] when replicated);
+    changes over time for adaptive objects. *)
+
+val migrations : domain -> int
+(** Object migrations performed by the adaptive placement heuristic. *)
+
+val defop :
+  'st odesc ->
+  name:string ->
+  kind:[ `Read | `Write ] ->
+  ?guard:('st -> Sim.Payload.t -> bool) ->
+  ?cost:('st -> Sim.Payload.t -> Sim.Time.span) ->
+  ?arg_size:(Sim.Payload.t -> int) ->
+  ?res_size:(Sim.Payload.t -> int) ->
+  ('st -> Sim.Payload.t -> Sim.Payload.t) ->
+  'st opref
+(** Defines an operation.  [cost] is the simulated CPU time of the
+    operation body (default 5 µs); [arg_size]/[res_size] the marshalled
+    byte counts (default 16).  Write operations with [guard] are supported
+    on owned objects and on local invocations of replicated objects. *)
+
+val invoke : ?nonblocking:bool -> 'st opref -> Sim.Payload.t -> Sim.Payload.t
+(** Invokes an operation from an application thread.  Blocks according to
+    Orca semantics; [nonblocking] requests the paper's §6 nonblocking
+    broadcast for replicated writes whose result is ignored (falls back to
+    blocking when the backend cannot do it). *)
+
+val rank_here : domain -> int
+(** The rank whose machine the calling thread runs on. *)
+
+val peek : 'st odesc -> rank:int -> 'st
+(** Host-side access to a replica's state for tests and result collection
+    after a run; not part of the simulated system and charges nothing. *)
+
+val spawn : domain -> rank:int -> string -> (rank:int -> unit) -> Machine.Thread.t
+(** Starts an Orca process (application thread, [Normal] priority). *)
+
+val broadcasts : domain -> int
+val remote_invocations : domain -> int
+val parked_peak : domain -> int
+(** Highest number of simultaneously blocked guarded operations. *)
+
+val parked_total : domain -> int
+(** Guarded operations that blocked at least once. *)

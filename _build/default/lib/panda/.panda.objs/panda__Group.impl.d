@@ -1,0 +1,1 @@
+lib/panda/group.ml: Array Flip Hashtbl Machine Queue Sim System_layer

@@ -1,0 +1,1 @@
+lib/panda/group.mli: Sim System_layer

@@ -1,0 +1,1 @@
+lib/panda/rpc.ml: Flip Hashtbl List Machine Queue Sim System_layer

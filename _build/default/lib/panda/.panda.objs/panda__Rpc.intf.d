@@ -1,0 +1,1 @@
+lib/panda/rpc.mli: Flip Sim System_layer

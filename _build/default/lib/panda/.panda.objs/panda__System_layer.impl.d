@@ -1,0 +1,1 @@
+lib/panda/system_layer.ml: Flip List Machine Queue Sim

@@ -1,0 +1,1 @@
+lib/panda/system_layer.mli: Flip Machine Sim

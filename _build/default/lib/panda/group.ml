@@ -1,0 +1,566 @@
+module Thread = Machine.Thread
+module Mach = Machine.Mach
+
+type config = {
+  header_bytes : int;
+  accept_bytes : int;
+  order_fixed : Sim.Time.span;
+  deliver_cost : Sim.Time.span;
+  copy_byte : Sim.Time.span;
+  bb_threshold : int;
+  retrans_timeout : Sim.Time.span;
+  max_retries : int;
+  history_high : int;
+}
+
+let default_config =
+  {
+    header_bytes = 40;
+    accept_bytes = 24;
+    order_fixed = Sim.Time.us 20;
+    deliver_cost = Sim.Time.us 30;
+    copy_byte = Sim.Time.ns 50;
+    bb_threshold = 1300;
+    retrans_timeout = Sim.Time.ms 200;
+    max_retries = 30;
+    history_high = 512;
+  }
+
+type sequencer_placement = On_member of int | Dedicated of System_layer.t
+
+type Sim.Payload.t +=
+  | Gpb of { sender : int; local : int; size : int; user : Sim.Payload.t }
+  | Gbb of { sender : int; local : int; size : int; user : Sim.Payload.t }
+  | Gord of { g_seq : int; g_sender : int; g_local : int; g_size : int; g_user : Sim.Payload.t }
+  | Gacc of { g_seq : int; g_sender : int; g_local : int }
+  | Gret of { g_member : int; g_from : int }
+  | Gstat_req of { gsr_next : int }
+  | Gstat_rsp of { g_member : int; g_delivered : int }
+
+exception Group_failure of string
+
+type entry = {
+  e_seq : int;
+  e_sender : int;
+  e_local : int;
+  e_size : int;
+  e_user : Sim.Payload.t;
+}
+
+type sq_item =
+  | It_order of { o_bb : bool; o_sender : int; o_local : int; o_size : int; o_user : Sim.Payload.t }
+  | It_retrans of { r_member : int; r_from : int }
+  | It_status of { st_member : int; st_delivered : int }
+  | It_catch_up
+
+type sequencer = {
+  sq_sys : System_layer.t;
+  sq_q : sq_item Queue.t;
+  mutable sq_waiter : (unit -> unit) option;
+  mutable next_seq : int;
+  history : (int, entry) Hashtbl.t;
+  mutable hist_lo : int;
+  ordered_ids : (int * int, int) Hashtbl.t;
+  member_delivered : int array;
+  mutable status_outstanding : bool;
+  mutable idle_timer : Sim.Engine.handle option;
+  mutable catch_up_rounds : int;
+}
+
+type slot = Full of entry | Awaiting of int * int
+
+type send_wait = {
+  sw_local : int;
+  sw_size : int;
+  sw_user : Sim.Payload.t;
+  sw_bb : bool;
+  mutable sw_done : bool;
+  mutable sw_failed : bool;
+  mutable sw_resume : (unit -> unit) option;
+  mutable sw_timer : Sim.Engine.handle option;
+  mutable sw_tries : int;
+}
+
+type t = {
+  cfg : config;
+  gname : string;
+  gaddr : Flip.Address.t;
+  saddr : Flip.Address.t;
+  n_members : int;
+  mutable member_sys_addrs : Flip.Address.t array;
+  mutable seqst : sequencer option;
+  mutable n_ordered : int;
+  mutable n_retrans : int;
+}
+
+type member = {
+  grp : t;
+  m_sys : System_layer.t;
+  m_index : int;
+  mutable expected : int;
+  stash : (int, slot) Hashtbl.t;
+  awaiting : (int * int, int) Hashtbl.t;
+  holding : (int * int, int * Sim.Payload.t) Hashtbl.t;
+  sends : (int, send_wait) Hashtbl.t;
+  mutable next_local : int;
+  mutable gap_timer : Sim.Engine.handle option;
+  mutable handler : (sender:int -> size:int -> Sim.Payload.t -> unit) option;
+}
+
+let config t = t.cfg
+let member_index m = m.m_index
+let member_count t = t.n_members
+let messages_ordered t = t.n_ordered
+let retransmissions t = t.n_retrans
+let delivered_seq m = m.expected - 1
+let set_handler m f = m.handler <- Some f
+
+let history_length t =
+  match t.seqst with Some s -> Hashtbl.length s.history | None -> 0
+
+let m_eng m = Mach.engine (System_layer.machine m.m_sys)
+let data_size t size = t.cfg.header_bytes + size
+
+(* ------------------------------------------------------------------ *)
+(* Sequencer thread *)
+
+let seq_enqueue s item =
+  Queue.push item s.sq_q;
+  match s.sq_waiter with
+  | Some wake ->
+    s.sq_waiter <- None;
+    wake ()
+  | None -> ()
+
+let all_caught_up s =
+  Array.fold_left min max_int s.member_delivered >= s.next_seq - 1
+
+let maybe_status t s =
+  if Hashtbl.length s.history > t.cfg.history_high && not s.status_outstanding then begin
+    s.status_outstanding <- true;
+    System_layer.mcast s.sq_sys ~group:t.gaddr ~size:t.cfg.accept_bytes
+      (Gstat_req { gsr_next = s.next_seq })
+  end
+
+(* After each ordering, check a while later that every member confirmed
+   the tail of the sequence: a lost *last* message leaves no later traffic
+   to expose the hole, so the sequencer must ask.  Rounds repeat (bounded)
+   until everyone caught up. *)
+let max_catch_up_rounds = 32
+
+let rec arm_idle_check t s =
+  (match s.idle_timer with Some h -> Sim.Engine.cancel h | None -> ());
+  let eng = Machine.Mach.engine (System_layer.machine s.sq_sys) in
+  s.idle_timer <-
+    Some
+      (Sim.Engine.after eng (2 * t.cfg.retrans_timeout) (fun () ->
+           s.idle_timer <- None;
+           if not (all_caught_up s) && s.catch_up_rounds < max_catch_up_rounds then begin
+             s.catch_up_rounds <- s.catch_up_rounds + 1;
+             seq_enqueue s It_catch_up;
+             arm_idle_check t s
+           end))
+
+let trim_history t s =
+  let min_delivered = Array.fold_left min max_int s.member_delivered in
+  if min_delivered >= 0 then begin
+    while s.hist_lo <= min_delivered do
+      Hashtbl.remove s.history s.hist_lo;
+      s.hist_lo <- s.hist_lo + 1
+    done;
+    if Hashtbl.length s.history < t.cfg.history_high then s.status_outstanding <- false
+  end
+
+let seq_resend t s ~seq ~to_member =
+  match Hashtbl.find_opt s.history seq with
+  | None -> ()
+  | Some e ->
+    t.n_retrans <- t.n_retrans + 1;
+    System_layer.send s.sq_sys ~dst:t.member_sys_addrs.(to_member)
+      ~size:(data_size t e.e_size)
+      (Gord { g_seq = e.e_seq; g_sender = e.e_sender; g_local = e.e_local;
+              g_size = e.e_size; g_user = e.e_user })
+
+let max_retrans_burst = 32
+
+let seq_handle_item t s item =
+  let sys_cfg = System_layer.config s.sq_sys in
+  (* First system call: fetch the message from the network into user
+     space. *)
+  Thread.syscall ~kernel_work:sys_cfg.System_layer.user_flip_extra ();
+  match item with
+  | It_order { o_bb; o_sender; o_local; o_size; o_user } -> (
+      (* Fragment-level ordering: BB data is never copied up into the
+         sequencer, only its ordering information. *)
+      let copied = if o_bb then 0 else o_size in
+      Thread.compute (t.cfg.order_fixed + (copied * t.cfg.copy_byte));
+      match Hashtbl.find_opt s.ordered_ids (o_sender, o_local) with
+      | Some seq -> (
+          (* Duplicate: the ordering multicast was lost on the wire (for
+             everyone at once); re-multicast it. *)
+          match Hashtbl.find_opt s.history seq with
+          | None -> ()
+          | Some e ->
+            t.n_retrans <- t.n_retrans + 1;
+            if e.e_size > t.cfg.bb_threshold then
+              System_layer.mcast s.sq_sys ~group:t.gaddr ~size:t.cfg.accept_bytes
+                (Gacc { g_seq = e.e_seq; g_sender = e.e_sender; g_local = e.e_local })
+            else
+              System_layer.mcast s.sq_sys ~group:t.gaddr ~size:(data_size t e.e_size)
+                (Gord { g_seq = e.e_seq; g_sender = e.e_sender; g_local = e.e_local;
+                        g_size = e.e_size; g_user = e.e_user }))
+      | None ->
+        let e =
+          { e_seq = s.next_seq; e_sender = o_sender; e_local = o_local;
+            e_size = o_size; e_user = o_user }
+        in
+        s.next_seq <- s.next_seq + 1;
+        Hashtbl.replace s.history e.e_seq e;
+        Hashtbl.replace s.ordered_ids (o_sender, o_local) e.e_seq;
+        t.n_ordered <- t.n_ordered + 1;
+        (* Second system call (inside mcast): multicast the ordered
+           message, or the small accept for BB data. *)
+        if o_bb then
+          System_layer.mcast s.sq_sys ~group:t.gaddr ~size:t.cfg.accept_bytes
+            (Gacc { g_seq = e.e_seq; g_sender = o_sender; g_local = o_local })
+        else
+          System_layer.mcast s.sq_sys ~group:t.gaddr ~size:(data_size t o_size)
+            (Gord { g_seq = e.e_seq; g_sender = o_sender; g_local = o_local;
+                    g_size = o_size; g_user = o_user });
+        maybe_status t s;
+        arm_idle_check t s)
+  | It_retrans { r_member; r_from } ->
+    let upto = min (s.next_seq - 1) (r_from + max_retrans_burst - 1) in
+    for seq = r_from to upto do
+      seq_resend t s ~seq ~to_member:r_member
+    done
+  | It_status { st_member; st_delivered } ->
+    s.member_delivered.(st_member) <- max s.member_delivered.(st_member) st_delivered;
+    trim_history t s;
+    if all_caught_up s then s.catch_up_rounds <- 0
+  | It_catch_up ->
+    Thread.compute t.cfg.order_fixed;
+    System_layer.mcast s.sq_sys ~group:t.gaddr ~size:t.cfg.accept_bytes
+      (Gstat_req { gsr_next = s.next_seq })
+
+let rec seq_loop t s =
+  (match Queue.take_opt s.sq_q with
+   | None -> Thread.suspend (fun _ resume -> s.sq_waiter <- Some resume)
+   | Some item -> seq_handle_item t s item);
+  seq_loop t s
+
+(* Interrupt-context feed of the sequencer's queue (its point address). *)
+let seq_input s flip_frag =
+  match System_layer.unwrap flip_frag with
+  | None -> ()
+  | Some pan -> (
+      match pan.Flip.Fragment.payload with
+      | Gpb { sender; local; size; user } ->
+        seq_enqueue s (It_order { o_bb = false; o_sender = sender; o_local = local;
+                                  o_size = size; o_user = user })
+      | Gret { g_member; g_from } ->
+        seq_enqueue s (It_retrans { r_member = g_member; r_from = g_from })
+      | Gstat_rsp { g_member; g_delivered } ->
+        seq_enqueue s (It_status { st_member = g_member; st_delivered = g_delivered })
+      | _ -> ())
+
+(* BB data tap: the sequencer orders large messages on sight of their first
+   fragment (fragment-level ordering; no reassembly in the sequencer). *)
+let seq_tap_bb s pan =
+  match pan.Flip.Fragment.payload with
+  | Gbb { sender; local; size; user }
+    when pan.Flip.Fragment.index = pan.Flip.Fragment.count - 1 ->
+    seq_enqueue s (It_order { o_bb = true; o_sender = sender; o_local = local;
+                              o_size = size; o_user = user })
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Member: ordered delivery (runs as upcalls in the member's daemon) *)
+
+let send_retrans_req_from_daemon m =
+  m.grp.n_retrans <- m.grp.n_retrans + 1;
+  System_layer.send_from_daemon m.m_sys ~dst:m.grp.saddr ~size:m.grp.cfg.accept_bytes
+    (Gret { g_member = m.m_index; g_from = m.expected })
+
+let send_retrans_req_from_timer m =
+  m.grp.n_retrans <- m.grp.n_retrans + 1;
+  System_layer.send_from_interrupt m.m_sys ~dst:m.grp.saddr ~size:m.grp.cfg.accept_bytes
+    (Gret { g_member = m.m_index; g_from = m.expected })
+
+let rec arm_gap_timer m =
+  if m.gap_timer = None && Hashtbl.length m.stash > 0 then
+    m.gap_timer <-
+      Some
+        (Sim.Engine.after (m_eng m) m.grp.cfg.retrans_timeout (fun () ->
+             m.gap_timer <- None;
+             if Hashtbl.length m.stash > 0 then begin
+               send_retrans_req_from_timer m;
+               arm_gap_timer m
+             end))
+
+let deliver m e =
+  (* Ordering/delivery bookkeeping runs in the daemon thread. *)
+  if Thread.self_opt () <> None then Thread.compute m.grp.cfg.deliver_cost;
+  (match m.handler with
+   | Some f -> f ~sender:e.e_sender ~size:e.e_size e.e_user
+   | None -> ());
+  if e.e_sender = m.m_index then
+    match Hashtbl.find_opt m.sends e.e_local with
+    | Some sw ->
+      Hashtbl.remove m.sends e.e_local;
+      sw.sw_done <- true;
+      (match sw.sw_timer with Some h -> Sim.Engine.cancel h | None -> ());
+      (match sw.sw_resume with
+       | Some resume ->
+         sw.sw_resume <- None;
+         System_layer.wake_blocked m.m_sys resume
+       | None -> ())
+    | None -> ()
+
+let rec drain m =
+  match Hashtbl.find_opt m.stash m.expected with
+  | Some (Full e) ->
+    Hashtbl.remove m.stash m.expected;
+    m.expected <- m.expected + 1;
+    deliver m e;
+    drain m
+  | Some (Awaiting _) | None -> ()
+
+let handle_ordered m e =
+  if e.e_seq >= m.expected then begin
+    (match Hashtbl.find_opt m.stash e.e_seq with
+     | Some (Full _) -> ()
+     | Some (Awaiting _) | None -> Hashtbl.replace m.stash e.e_seq (Full e));
+    Hashtbl.remove m.awaiting (e.e_sender, e.e_local);
+    let had_gap = e.e_seq > m.expected in
+    drain m;
+    if had_gap && Hashtbl.length m.stash > 0 then begin
+      send_retrans_req_from_daemon m;
+      arm_gap_timer m
+    end
+  end
+
+let handle_accept m ~g_seq ~g_sender ~g_local =
+  if g_seq >= m.expected then
+    match Hashtbl.find_opt m.holding (g_sender, g_local) with
+    | Some (size, user) ->
+      Hashtbl.remove m.holding (g_sender, g_local);
+      handle_ordered m
+        { e_seq = g_seq; e_sender = g_sender; e_local = g_local; e_size = size; e_user = user }
+    | None -> (
+        match Hashtbl.find_opt m.stash g_seq with
+        | Some (Full _) -> ()
+        | Some (Awaiting _) | None ->
+          Hashtbl.replace m.stash g_seq (Awaiting (g_sender, g_local));
+          Hashtbl.replace m.awaiting (g_sender, g_local) g_seq;
+          send_retrans_req_from_daemon m;
+          arm_gap_timer m)
+
+let on_member_msg m payload =
+  match payload with
+  | Gord { g_seq; g_sender; g_local; g_size; g_user } ->
+    handle_ordered m
+      { e_seq = g_seq; e_sender = g_sender; e_local = g_local; e_size = g_size;
+        e_user = g_user };
+    true
+  | Gacc { g_seq; g_sender; g_local } ->
+    handle_accept m ~g_seq ~g_sender ~g_local;
+    true
+  | Gbb { sender; local; size; user } ->
+    (match Hashtbl.find_opt m.awaiting (sender, local) with
+     | Some seq ->
+       Hashtbl.remove m.awaiting (sender, local);
+       handle_ordered m
+         { e_seq = seq; e_sender = sender; e_local = local; e_size = size; e_user = user }
+     | None ->
+       if not (Hashtbl.mem m.holding (sender, local)) then
+         Hashtbl.replace m.holding (sender, local) (size, user));
+    true
+  | Gstat_req { gsr_next } ->
+    if m.expected < gsr_next then send_retrans_req_from_daemon m;
+    System_layer.send_from_daemon m.m_sys ~dst:m.grp.saddr ~size:m.grp.cfg.accept_bytes
+      (Gstat_rsp { g_member = m.m_index; g_delivered = m.expected - 1 });
+    true
+  | Gret _ | Gstat_rsp _ | Gpb _ -> true (* sequencer traffic; not for members *)
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Member API *)
+
+let send_impl ~blocking m ~size payload =
+  let t = m.grp in
+  m.next_local <- m.next_local + 1;
+  let bb = size > t.cfg.bb_threshold in
+  let sw =
+    {
+      sw_local = m.next_local;
+      sw_size = size;
+      sw_user = payload;
+      sw_bb = bb;
+      sw_done = false;
+      sw_failed = false;
+      sw_resume = None;
+      sw_timer = None;
+      sw_tries = 0;
+    }
+  in
+  Hashtbl.replace m.sends sw.sw_local sw;
+  let msg_size = data_size t size in
+  let tag = System_layer.alloc_tag m.m_sys in
+  let first_transmit () =
+    if bb then
+      System_layer.mcast ~tag m.m_sys ~group:t.gaddr ~size:msg_size
+        (Gbb { sender = m.m_index; local = sw.sw_local; size; user = payload })
+    else
+      System_layer.send ~tag m.m_sys ~dst:t.saddr ~size:msg_size
+        (Gpb { sender = m.m_index; local = sw.sw_local; size; user = payload })
+  in
+  let retransmit () =
+    if bb then
+      System_layer.mcast_from_interrupt ~tag m.m_sys ~group:t.gaddr ~size:msg_size
+        (Gbb { sender = m.m_index; local = sw.sw_local; size; user = payload })
+    else
+      System_layer.send_from_interrupt ~tag m.m_sys ~dst:t.saddr ~size:msg_size
+        (Gpb { sender = m.m_index; local = sw.sw_local; size; user = payload })
+  in
+  let rec arm () =
+    sw.sw_timer <-
+      Some
+        (Sim.Engine.after (m_eng m) t.cfg.retrans_timeout (fun () ->
+             if not sw.sw_done then
+               if sw.sw_tries >= t.cfg.max_retries then begin
+                 sw.sw_failed <- true;
+                 Hashtbl.remove m.sends sw.sw_local;
+                 match sw.sw_resume with
+                 | Some resume ->
+                   sw.sw_resume <- None;
+                   resume ()
+                 | None -> ()
+               end
+               else begin
+                 sw.sw_tries <- sw.sw_tries + 1;
+                 t.n_retrans <- t.n_retrans + 1;
+                 retransmit ();
+                 arm ()
+               end))
+  in
+  (* The sender already has its own BB data: store it for the accept
+     directly instead of processing the looped-back multicast. *)
+  if bb then Hashtbl.replace m.holding (m.m_index, sw.sw_local) (size, payload);
+  (* Arm before transmitting: the send path's system calls suspend the
+     caller, and on a sequencer-local send the whole ordering round trip
+     can complete during those suspensions. *)
+  arm ();
+  first_transmit ();
+  if blocking then begin
+    if not sw.sw_done then Thread.suspend (fun _ resume -> sw.sw_resume <- Some resume);
+    if sw.sw_failed then raise (Group_failure "broadcast not ordered after retries")
+  end
+
+let send m ~size payload = send_impl ~blocking:true m ~size payload
+let send_nonblocking m ~size payload = send_impl ~blocking:false m ~size payload
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let create_static ?(config = default_config) ~name ~sequencer sys_layers =
+  let n = Array.length sys_layers in
+  assert (n > 0);
+  let t =
+    {
+      cfg = config;
+      gname = name;
+      gaddr = Flip.Address.fresh_group ();
+      saddr = Flip.Address.fresh_point ();
+      n_members = n;
+      member_sys_addrs = [||];
+      seqst = None;
+      n_ordered = 0;
+      n_retrans = 0;
+    }
+  in
+  let members =
+    Array.mapi
+      (fun i sys ->
+        (* Gpb must fit one Panda fragment: the sequencer never
+           reassembles. *)
+        assert (config.bb_threshold + config.header_bytes
+                <= (System_layer.config sys).System_layer.frag_bytes);
+        {
+          grp = t;
+          m_sys = sys;
+          m_index = i;
+          expected = 0;
+          stash = Hashtbl.create 32;
+          awaiting = Hashtbl.create 8;
+          holding = Hashtbl.create 8;
+          sends = Hashtbl.create 4;
+          next_local = 0;
+          gap_timer = None;
+          handler = None;
+        })
+      sys_layers
+  in
+  t.member_sys_addrs <- Array.map (fun m -> System_layer.address m.m_sys) members;
+  let seq_sys =
+    match sequencer with On_member i -> sys_layers.(i) | Dedicated sys -> sys
+  in
+  let s =
+    {
+      sq_sys = seq_sys;
+      sq_q = Queue.create ();
+      sq_waiter = None;
+      next_seq = 0;
+      history = Hashtbl.create 1024;
+      hist_lo = 0;
+      ordered_ids = Hashtbl.create 1024;
+      member_delivered = Array.make n (-1);
+      status_outstanding = false;
+      idle_timer = None;
+      catch_up_rounds = 0;
+    }
+  in
+  t.seqst <- Some s;
+  let seq_flip = System_layer.flip seq_sys in
+  let seq_mach = System_layer.machine seq_sys in
+  Flip.Flip_iface.register seq_flip t.saddr (fun frag -> seq_input s frag);
+  ignore
+    (Thread.spawn seq_mach ~prio:Thread.Daemon (name ^ ".sequencer") (fun () ->
+         seq_loop t s));
+  (* Group-address registration, per machine: members inject the traffic
+     into their daemon; the sequencer's machine additionally taps BB data
+     fragments. *)
+  let seq_machine_id = Mach.id seq_mach in
+  Array.iter
+    (fun m ->
+      let mach_id = Mach.id (System_layer.machine m.m_sys) in
+      let tap = if mach_id = seq_machine_id then Some s else None in
+      let own_addr = System_layer.address m.m_sys in
+      Flip.Flip_iface.register (System_layer.flip m.m_sys) t.gaddr (fun flip_frag ->
+          match System_layer.unwrap flip_frag with
+          | None -> ()
+          | Some pan ->
+            (match tap with Some s -> seq_tap_bb s pan | None -> ());
+            let own_bb =
+              Flip.Address.equal pan.Flip.Fragment.src own_addr
+              && match pan.Flip.Fragment.payload with Gbb _ -> true | _ -> false
+            in
+            if not own_bb then System_layer.inject m.m_sys pan))
+    members;
+  (match sequencer with
+   | Dedicated sys ->
+     (* No member lives there: only the BB tap listens on the group
+        address. *)
+     Flip.Flip_iface.register (System_layer.flip sys) t.gaddr (fun flip_frag ->
+         match System_layer.unwrap flip_frag with
+         | None -> ()
+         | Some pan -> seq_tap_bb s pan)
+   | On_member _ -> ());
+  Array.iter
+    (fun m ->
+      System_layer.add_handler m.m_sys (fun ~src ~size payload ->
+          ignore src;
+          ignore size;
+          on_member_msg m payload))
+    members;
+  (t, members)

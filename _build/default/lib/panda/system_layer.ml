@@ -1,0 +1,200 @@
+module Thread = Machine.Thread
+module Mach = Machine.Mach
+module Sync = Machine.Sync
+
+type config = {
+  pan_header : int;
+  frag_bytes : int;
+  frag_cost : Sim.Time.span;
+  copy_byte : Sim.Time.span;
+  recv_fixed : Sim.Time.span;
+  upcall_depth : int;
+  send_depth : int;
+  user_flip_extra : Sim.Time.span;
+}
+
+let default_config =
+  {
+    pan_header = 16;
+    frag_bytes = 1400;
+    frag_cost = Sim.Time.us 20;
+    copy_byte = Sim.Time.ns 50;
+    recv_fixed = Sim.Time.us 25;
+    upcall_depth = 3;
+    send_depth = 3;
+    user_flip_extra = Sim.Time.us 15;
+  }
+
+(* A Panda-level fragment travelling as one FLIP message. *)
+type Sim.Payload.t += Pan of Flip.Fragment.t
+
+type t = {
+  sname : string;
+  flip : Flip.Flip_iface.t;
+  cfg : config;
+  addr : Flip.Address.t;
+  rx_q : Flip.Fragment.t Queue.t;
+  mutable rx_waiter : (unit -> unit) option;
+  qmutex : Sync.Mutex.t;
+  reasm : Flip.Reassembly.t;
+  mutable handlers : (src:Flip.Address.t -> size:int -> Sim.Payload.t -> bool) list;
+  mutable next_msg : int;
+  mutable n_packets : int;
+  mutable n_msgs_in : int;
+  mutable n_msgs_out : int;
+}
+
+let address t = t.addr
+let machine t = Flip.Flip_iface.machine t.flip
+let flip t = t.flip
+let config t = t.cfg
+let packets_received t = t.n_packets
+let messages_received t = t.n_msgs_in
+let messages_sent t = t.n_msgs_out
+
+let add_handler t h = t.handlers <- t.handlers @ [ h ]
+
+let unwrap (flip_frag : Flip.Fragment.t) =
+  match flip_frag.Flip.Fragment.payload with
+  | Pan pan_frag -> Some pan_frag
+  | _ -> None
+
+(* Interrupt context: queue the packet and wake the daemon. *)
+let inject t pan_frag =
+  Queue.push pan_frag t.rx_q;
+  match t.rx_waiter with
+  | Some wake ->
+    t.rx_waiter <- None;
+    wake ()
+  | None -> ()
+
+let upcall t ~src ~size payload =
+  Thread.call_frames t.cfg.upcall_depth;
+  let rec try_handlers = function
+    | [] -> ()
+    | h :: rest -> if not (h ~src ~size payload) then try_handlers rest
+  in
+  try_handlers t.handlers;
+  Thread.ret_frames t.cfg.upcall_depth
+
+let rec daemon_loop t =
+  (match Queue.take_opt t.rx_q with
+   | None ->
+     Thread.suspend (fun _ resume -> t.rx_waiter <- Some resume);
+     ()
+   | Some frag ->
+     t.n_packets <- t.n_packets + 1;
+     (* One receive system call per packet, plus the kernel-to-user copy
+        and the untuned user-level FLIP interface overhead. *)
+     Thread.syscall ~kernel_work:t.cfg.user_flip_extra ();
+     Thread.compute (t.cfg.recv_fixed + (frag.Flip.Fragment.bytes * t.cfg.copy_byte));
+     (* Shared protocol state is guarded by user-space locks; this is where
+        the paper's 7x lock traffic comes from. *)
+     Sync.Mutex.lock t.qmutex;
+     let completed = Flip.Reassembly.add t.reasm frag in
+     Sync.Mutex.unlock t.qmutex;
+     (match completed with
+      | Some (src, total, payload) ->
+        t.n_msgs_in <- t.n_msgs_in + 1;
+        upcall t ~src ~size:total payload
+      | None -> ()));
+  daemon_loop t
+
+(* Sending: Panda fragments the message itself (the duplicated portable
+   fragmentation layer), then issues one FLIP system call per fragment. *)
+let alloc_tag t =
+  t.next_msg <- t.next_msg + 1;
+  t.next_msg
+
+let fragments ?tag t ~dst ~size payload =
+  let msg_id = match tag with Some id -> id | None -> alloc_tag t in
+  Flip.Fragment.split ~src:t.addr ~dst ~msg_id ~mtu:t.cfg.frag_bytes ~size payload
+
+let wire_bytes t frag = t.cfg.pan_header + frag.Flip.Fragment.bytes
+
+let transmit_one t ~target frag =
+  let size = wire_bytes t frag in
+  match target with
+  | `Unicast dst -> Flip.Flip_iface.unicast t.flip ~src:t.addr ~dst ~size (Pan frag)
+  | `Mcast group -> Flip.Flip_iface.multicast t.flip ~src:t.addr ~group ~size (Pan frag)
+
+let send_from_thread ?tag t ~target ~size payload =
+  t.n_msgs_out <- t.n_msgs_out + 1;
+  Thread.call_frames t.cfg.send_depth;
+  Sync.Mutex.lock t.qmutex;
+  let frags =
+    fragments ?tag t
+      ~dst:(match target with `Unicast d -> d | `Mcast g -> g)
+      ~size payload
+  in
+  Sync.Mutex.unlock t.qmutex;
+  Thread.compute t.cfg.frag_cost;
+  List.iter
+    (fun frag ->
+      Thread.syscall
+        ~kernel_work:
+          (t.cfg.user_flip_extra
+          + (frag.Flip.Fragment.bytes * t.cfg.copy_byte)
+          + Flip.Flip_iface.send_cost t.flip ~size:(wire_bytes t frag))
+        ();
+      transmit_one t ~target frag)
+    frags;
+  Thread.ret_frames t.cfg.send_depth
+
+let send ?tag t ~dst ~size payload =
+  send_from_thread ?tag t ~target:(`Unicast dst) ~size payload
+
+let mcast ?tag t ~group ~size payload =
+  send_from_thread ?tag t ~target:(`Mcast group) ~size payload
+
+let send_from_daemon = send
+let mcast_from_daemon = mcast
+
+let transmit_from_interrupt ?tag t ~target ~size payload =
+  t.n_msgs_out <- t.n_msgs_out + 1;
+  let dst = match target with `Unicast d -> d | `Mcast g -> g in
+  let frags = fragments ?tag t ~dst ~size payload in
+  let cost =
+    List.fold_left
+      (fun acc frag -> acc + Flip.Flip_iface.send_cost t.flip ~size:(wire_bytes t frag))
+      0 frags
+  in
+  Mach.interrupt (machine t) ~name:"panda.retrans" ~cost (fun () ->
+      List.iter (fun frag -> transmit_one t ~target frag) frags)
+
+let send_from_interrupt ?tag t ~dst ~size payload =
+  transmit_from_interrupt ?tag t ~target:(`Unicast dst) ~size payload
+
+let mcast_from_interrupt ?tag t ~group ~size payload =
+  transmit_from_interrupt ?tag t ~target:(`Mcast group) ~size payload
+
+let wake_blocked t resume =
+  ignore t;
+  if Thread.self_opt () <> None then Thread.syscall ();
+  resume ()
+
+let create ?(config = default_config) ~name flip =
+  let mach = Flip.Flip_iface.machine flip in
+  let t =
+    {
+      sname = name;
+      flip;
+      cfg = config;
+      addr = Flip.Address.fresh_point ();
+      rx_q = Queue.create ();
+      rx_waiter = None;
+      qmutex = Sync.Mutex.create mach;
+      reasm = Flip.Reassembly.create ();
+      handlers = [];
+      next_msg = 0;
+      n_packets = 0;
+      n_msgs_in = 0;
+      n_msgs_out = 0;
+    }
+  in
+  Flip.Flip_iface.register flip t.addr (fun flip_frag ->
+      match unwrap flip_frag with
+      | Some pan_frag -> inject t pan_frag
+      | None -> ());
+  ignore (Thread.spawn mach ~prio:Thread.Daemon (name ^ ".daemon") (fun () -> daemon_loop t));
+  t

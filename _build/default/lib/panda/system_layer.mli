@@ -1,0 +1,95 @@
+(** Panda's system layer: the operating-system-dependent part, here
+    implemented on Amoeba's low-level FLIP primitives.
+
+    One receive daemon thread per process pulls FLIP packets out of the
+    kernel (one system call and one kernel-to-user copy per packet),
+    reassembles them — Panda carries its own portable fragmentation code,
+    so large messages are fragmented twice, costing the paper's ~20 µs per
+    message — and makes an {e upcall} to the interface-layer handler
+    (Panda RPC or Panda group).  Upcalls run to completion inside the
+    daemon thread; no intermediate threads are scheduled.
+
+    Sending from a user thread costs one system call per packet (unlike
+    Amoeba's kernel protocols, which cross once per operation), plus the
+    user-to-kernel copy and the not-yet-optimised user-level FLIP interface
+    overhead the paper mentions. *)
+
+type config = {
+  pan_header : int;  (** Panda fragmentation header, on the wire per packet *)
+  frag_bytes : int;  (** payload carried per Panda fragment *)
+  frag_cost : Sim.Time.span;
+      (** the duplicated fragmentation layer's work, per message *)
+  copy_byte : Sim.Time.span;  (** user/kernel copy cost per byte *)
+  recv_fixed : Sim.Time.span;  (** daemon's fixed work per packet *)
+  upcall_depth : int;  (** call frames an upcall descends *)
+  send_depth : int;  (** call frames the send path descends *)
+  user_flip_extra : Sim.Time.span;
+      (** per-system-call penalty of the untuned user-level FLIP interface
+          (address translation etc., the paper's unexplained ~54 µs gap) *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> name:string -> Flip.Flip_iface.t -> t
+(** Registers a fresh point address (the process's system address) and
+    starts the receive daemon. *)
+
+val address : t -> Flip.Address.t
+val machine : t -> Machine.Mach.t
+val flip : t -> Flip.Flip_iface.t
+val config : t -> config
+
+val add_handler : t -> (src:Flip.Address.t -> size:int -> Sim.Payload.t -> bool) -> unit
+(** Adds an interface-layer upcall, called in the daemon thread for every
+    complete incoming message until one handler returns [true] (consumed).
+    Handlers must run to completion without blocking for long (the Orca RTS
+    guarantees this via continuations). *)
+
+val alloc_tag : t -> int
+(** Reserves a Panda message id; pass it as [?tag] on every transmission
+    of one logical message so fragments surviving different attempts
+    complete one reassembly. *)
+
+val send : ?tag:int -> t -> dst:Flip.Address.t -> size:int -> Sim.Payload.t -> unit
+(** Sends a message from the calling user thread: Panda-fragments it and
+    issues one FLIP system call per fragment. *)
+
+val mcast : ?tag:int -> t -> group:Flip.Address.t -> size:int -> Sim.Payload.t -> unit
+(** Multicast variant of {!send}. *)
+
+val send_from_daemon : ?tag:int -> t -> dst:Flip.Address.t -> size:int -> Sim.Payload.t -> unit
+(** Same as {!send}; named separately for call sites that run inside
+    upcalls, where the daemon thread pays the system calls. *)
+
+val mcast_from_daemon : ?tag:int -> t -> group:Flip.Address.t -> size:int -> Sim.Payload.t -> unit
+
+val inject : t -> Flip.Fragment.t -> unit
+(** Feeds a fragment into the daemon's receive queue exactly as the
+    system address's interrupt handler does.  Used by the group module,
+    which registers the group address itself. *)
+
+val send_from_interrupt :
+  ?tag:int -> t -> dst:Flip.Address.t -> size:int -> Sim.Payload.t -> unit
+(** Transmission from timer/interrupt context (protocol retransmissions):
+    no thread is charged; the machine pays an interrupt-level cost. *)
+
+val mcast_from_interrupt :
+  ?tag:int -> t -> group:Flip.Address.t -> size:int -> Sim.Payload.t -> unit
+(** Multicast variant of {!send_from_interrupt}. *)
+
+val unwrap : Flip.Fragment.t -> Flip.Fragment.t option
+(** Recovers the Panda-level fragment from a received FLIP fragment, or
+    [None] for foreign traffic.  For interrupt handlers that the group
+    module registers itself. *)
+
+val wake_blocked : t -> (unit -> unit) -> unit
+(** Wakes a user thread blocked on this Panda instance, from an upcall:
+    charges the daemon the kernel crossing that signalling a kernel thread
+    costs, then resumes the thread.  (Outside a thread context it resumes
+    directly — used by timers.) *)
+
+val packets_received : t -> int
+val messages_received : t -> int
+val messages_sent : t -> int

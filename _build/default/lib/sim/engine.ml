@@ -1,0 +1,54 @@
+type t = {
+  heap : (unit -> unit) Heap.t;
+  mutable clock : Time.t;
+  mutable stopped : bool;
+  mutable executed : int;
+}
+
+exception Stopped
+exception Fiber_failure of string * exn
+
+type handle = Heap.handle
+
+let create () = { heap = Heap.create (); clock = Time.zero; stopped = false; executed = 0 }
+
+let now t = t.clock
+
+let at t time f =
+  assert (time >= t.clock);
+  Heap.push t.heap ~time f
+
+let after t d f = at t (t.clock + d) f
+let schedule_now t f = at t t.clock f
+let cancel = Heap.cancel
+
+let step t =
+  match Heap.pop t.heap with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- time;
+    t.executed <- t.executed + 1;
+    f ();
+    true
+
+let run ?until t =
+  t.stopped <- false;
+  let continue () =
+    if t.stopped then false
+    else
+      match until, Heap.peek_time t.heap with
+      | Some limit, Some next -> next <= limit
+      | _, None -> false
+      | None, Some _ -> true
+  in
+  while continue () do
+    ignore (step t)
+  done;
+  (match until with
+   | Some limit when not t.stopped && t.clock < limit && Heap.peek_time t.heap <> None ->
+     t.clock <- limit
+   | _ -> ())
+
+let stop t = t.stopped <- true
+let pending t = Heap.live_size t.heap
+let events_executed t = t.executed

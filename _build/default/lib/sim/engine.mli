@@ -1,0 +1,51 @@
+(** The discrete-event engine.
+
+    A single priority queue of timestamped callbacks.  [run] repeatedly pops
+    the earliest event, advances the clock to its timestamp and executes its
+    callback; callbacks schedule further events.  Equal-time events run in
+    scheduling order, so the simulation is fully deterministic. *)
+
+type t
+
+exception Stopped
+(** Raised inside [run] by {!stop}. *)
+
+exception Fiber_failure of string * exn
+(** A fiber raised an uncaught exception; carries the fiber name. *)
+
+val create : unit -> t
+
+val now : t -> Time.t
+(** Current simulated time. *)
+
+type handle = Heap.handle
+
+val at : t -> Time.t -> (unit -> unit) -> handle
+(** [at t time f] runs [f] when the clock reaches [time].  [time] must not be
+    in the past. *)
+
+val after : t -> Time.span -> (unit -> unit) -> handle
+(** [after t d f] runs [f] [d] from now. *)
+
+val schedule_now : t -> (unit -> unit) -> handle
+(** [schedule_now t f] runs [f] at the current instant, after all callbacks
+    already scheduled for this instant. *)
+
+val cancel : handle -> unit
+
+val run : ?until:Time.t -> t -> unit
+(** [run t] executes events until none remain, [stop] is called, or the
+    clock would pass [until] (events beyond [until] stay queued). *)
+
+val step : t -> bool
+(** [step t] executes exactly one event.  Returns [false] when none remain.
+    Useful in unit tests. *)
+
+val stop : t -> unit
+(** Makes the active [run] return after the current callback. *)
+
+val pending : t -> int
+(** Number of live events still queued. *)
+
+val events_executed : t -> int
+(** Total callbacks executed so far; a cheap progress / complexity probe. *)

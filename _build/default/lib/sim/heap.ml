@@ -1,0 +1,106 @@
+type handle = { mutable dead : bool }
+
+type 'a entry = {
+  time : Time.t;
+  seq : int;
+  value : 'a;
+  handle : handle;
+}
+
+type 'a t = {
+  mutable arr : 'a entry option array;
+  mutable len : int;
+  mutable next_seq : int;
+  mutable live : int;
+}
+
+let create () = { arr = Array.make 64 None; len = 0; next_seq = 0; live = 0 }
+
+let entry_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let get h i =
+  match h.arr.(i) with
+  | Some e -> e
+  | None -> assert false
+
+let grow h =
+  let arr = Array.make (2 * Array.length h.arr) None in
+  Array.blit h.arr 0 arr 0 h.len;
+  h.arr <- arr
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt (get h i) (get h parent) then begin
+      let tmp = h.arr.(i) in
+      h.arr.(i) <- h.arr.(parent);
+      h.arr.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && entry_lt (get h l) (get h !smallest) then smallest := l;
+  if r < h.len && entry_lt (get h r) (get h !smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = h.arr.(i) in
+    h.arr.(i) <- h.arr.(!smallest);
+    h.arr.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let push h ~time value =
+  let handle = { dead = false } in
+  let e = { time; seq = h.next_seq; value; handle } in
+  h.next_seq <- h.next_seq + 1;
+  if h.len = Array.length h.arr then grow h;
+  h.arr.(h.len) <- Some e;
+  h.len <- h.len + 1;
+  h.live <- h.live + 1;
+  sift_up h (h.len - 1);
+  handle
+
+let pop_top h =
+  let top = get h 0 in
+  h.len <- h.len - 1;
+  h.arr.(0) <- h.arr.(h.len);
+  h.arr.(h.len) <- None;
+  if h.len > 0 then sift_down h 0;
+  top
+
+let rec pop h =
+  if h.len = 0 then None
+  else
+    let e = pop_top h in
+    if e.handle.dead then pop h
+    else begin
+      h.live <- h.live - 1;
+      Some (e.time, e.value)
+    end
+
+let rec peek_time h =
+  if h.len = 0 then None
+  else
+    let top = get h 0 in
+    if top.handle.dead then begin
+      ignore (pop_top h);
+      peek_time h
+    end
+    else Some top.time
+
+let cancel hd =
+  hd.dead <- true
+
+(* [live] is only decremented lazily for cancelled entries when they are
+   popped, so recompute on demand from the dead flags. *)
+let live_size h =
+  let n = ref 0 in
+  for i = 0 to h.len - 1 do
+    if not (get h i).handle.dead then incr n
+  done;
+  !n
+
+let cancelled hd = hd.dead
+let size h = h.len

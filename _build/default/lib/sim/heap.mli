@@ -1,0 +1,33 @@
+(** Binary min-heap of timestamped events.
+
+    Events with equal timestamps pop in insertion order (FIFO), which keeps
+    the simulation deterministic.  Cancellation is lazy: a cancelled event
+    stays in the heap until it reaches the top and is then discarded. *)
+
+type 'a t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : unit -> 'a t
+
+val push : 'a t -> time:Time.t -> 'a -> handle
+(** [push h ~time v] schedules [v] at [time] and returns its handle. *)
+
+val pop : 'a t -> (Time.t * 'a) option
+(** [pop h] removes and returns the earliest live event, skipping cancelled
+    ones, or [None] if the heap holds no live event. *)
+
+val peek_time : 'a t -> Time.t option
+(** [peek_time h] is the timestamp of the earliest live event. *)
+
+val cancel : handle -> unit
+(** [cancel hd] marks the event as dead.  Idempotent. *)
+
+val cancelled : handle -> bool
+
+val size : 'a t -> int
+(** Number of entries still stored, including cancelled ones. *)
+
+val live_size : 'a t -> int
+(** Number of entries not yet cancelled. *)

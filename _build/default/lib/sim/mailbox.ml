@@ -1,0 +1,23 @@
+type 'a t = {
+  items : 'a Queue.t;
+  waiters : (unit -> unit) Queue.t;
+}
+
+let create () = { items = Queue.create (); waiters = Queue.create () }
+
+let send t v =
+  Queue.push v t.items;
+  if not (Queue.is_empty t.waiters) then (Queue.pop t.waiters) ()
+
+let rec recv t =
+  match Queue.take_opt t.items with
+  | Some v -> v
+  | None ->
+    Fiber.suspend (fun _ resume -> Queue.push resume t.waiters);
+    (* Another fiber resumed at the same instant may have taken the item:
+       re-check rather than assume. *)
+    recv t
+
+let try_recv t = Queue.take_opt t.items
+let length t = Queue.length t.items
+let is_empty t = Queue.is_empty t.items

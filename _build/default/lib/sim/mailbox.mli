@@ -1,0 +1,20 @@
+(** Unbounded blocking queue between fibers.
+
+    Zero simulated cost: used for plumbing inside a single simulated machine
+    and in tests.  Protocol code that must account for CPU time charges it
+    separately via the [machine] library. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val send : 'a t -> 'a -> unit
+(** Never blocks.  May be called from fibers or plain engine callbacks. *)
+
+val recv : 'a t -> 'a
+(** Blocks the calling fiber until a value is available.  Competing
+    receivers are served in FIFO order. *)
+
+val try_recv : 'a t -> 'a option
+val length : 'a t -> int
+val is_empty : 'a t -> bool

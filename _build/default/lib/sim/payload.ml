@@ -1,0 +1,10 @@
+(** Extensible payload carried by network frames.
+
+    Each protocol layer extends this type with its own message constructors,
+    which keeps the layers decoupled while the simulation passes message
+    contents structurally (marshalling is modelled by byte accounting, not by
+    serialising). *)
+
+type t = ..
+
+type t += Empty

@@ -1,0 +1,23 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    The standard library's [Random] is avoided so that simulations are
+    reproducible across OCaml versions and so that independent subsystems can
+    carry independent streams split from one seed. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** [split t] derives an independent stream; [t] advances. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).  [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val bits64 : t -> int64
+(** Raw 64 bits of output. *)

@@ -1,0 +1,73 @@
+type serie = {
+  mutable n : int;
+  mutable total : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+type t = {
+  ints : (string, int ref) Hashtbl.t;
+  floats : (string, serie) Hashtbl.t;
+}
+
+let create () = { ints = Hashtbl.create 32; floats = Hashtbl.create 32 }
+
+let int_ref t name =
+  match Hashtbl.find_opt t.ints name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t.ints name r;
+    r
+
+let serie t name =
+  match Hashtbl.find_opt t.floats name with
+  | Some s -> s
+  | None ->
+    let s = { n = 0; total = 0.; lo = infinity; hi = neg_infinity } in
+    Hashtbl.add t.floats name s;
+    s
+
+let incr t name = Stdlib.incr (int_ref t name)
+let add t name v = int_ref t name := !(int_ref t name) + v
+let counter t name = match Hashtbl.find_opt t.ints name with Some r -> !r | None -> 0
+
+let record t name v =
+  let s = serie t name in
+  s.n <- s.n + 1;
+  s.total <- s.total +. v;
+  if v < s.lo then s.lo <- v;
+  if v > s.hi then s.hi <- v
+
+let count t name = match Hashtbl.find_opt t.floats name with Some s -> s.n | None -> 0
+let sum t name = match Hashtbl.find_opt t.floats name with Some s -> s.total | None -> 0.
+
+let mean t name =
+  match Hashtbl.find_opt t.floats name with
+  | Some s when s.n > 0 -> s.total /. float_of_int s.n
+  | Some _ | None -> 0.
+
+let min_value t name =
+  match Hashtbl.find_opt t.floats name with Some s -> s.lo | None -> infinity
+
+let max_value t name =
+  match Hashtbl.find_opt t.floats name with Some s -> s.hi | None -> neg_infinity
+
+let counters t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.ints []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let series t =
+  Hashtbl.fold
+    (fun k s acc ->
+      let m = if s.n = 0 then 0. else s.total /. float_of_int s.n in
+      (k, (s.n, m, s.lo, s.hi)) :: acc)
+    t.floats []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp fmt t =
+  List.iter (fun (k, v) -> Format.fprintf fmt "%s = %d@." k v) (counters t);
+  List.iter
+    (fun (k, (n, m, lo, hi)) ->
+      Format.fprintf fmt "%s: n=%d mean=%.3f min=%.3f max=%.3f@." k n m lo hi)
+    (series t)

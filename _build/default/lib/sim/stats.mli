@@ -1,0 +1,31 @@
+(** Named counters and numeric series for instrumenting simulations. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Integer counters} *)
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val counter : t -> string -> int
+(** [counter t name] is the counter's value; 0 if never touched. *)
+
+(** {1 Numeric series} — retains count/sum/min/max, not the samples. *)
+
+val record : t -> string -> float -> unit
+val count : t -> string -> int
+val sum : t -> string -> float
+val mean : t -> string -> float
+(** [mean t name] is 0.0 when the series is empty. *)
+
+val min_value : t -> string -> float
+val max_value : t -> string -> float
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val series : t -> (string * (int * float * float * float)) list
+(** All series as [(name, (count, mean, min, max))], sorted by name. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+type t = int
+type span = int
+
+let zero = 0
+let ns n = n
+let us n = n * 1_000
+let ms n = n * 1_000_000
+let sec n = n * 1_000_000_000
+let us_f x = int_of_float (Float.round (x *. 1_000.))
+let to_us t = float_of_int t /. 1_000.
+let to_ms t = float_of_int t /. 1_000_000.
+let to_sec t = float_of_int t /. 1_000_000_000.
+
+let pp fmt t =
+  if t >= 1_000_000_000 then Format.fprintf fmt "%.3fs" (to_sec t)
+  else if t >= 1_000_000 then Format.fprintf fmt "%.3fms" (to_ms t)
+  else if t >= 1_000 then Format.fprintf fmt "%.3fus" (to_us t)
+  else Format.fprintf fmt "%dns" t

@@ -1,0 +1,42 @@
+(** Simulated time.
+
+    Time is an integer count of nanoseconds since the start of the
+    simulation.  Integers keep the event engine exactly deterministic; 63-bit
+    nanoseconds cover ~292 simulated years, far beyond any experiment. *)
+
+type t = int
+(** An absolute instant, in nanoseconds since simulation start. *)
+
+type span = int
+(** A duration, in nanoseconds.  Spans may be added to instants. *)
+
+val zero : t
+
+val ns : int -> span
+(** [ns n] is a span of [n] nanoseconds. *)
+
+val us : int -> span
+(** [us n] is a span of [n] microseconds. *)
+
+val ms : int -> span
+(** [ms n] is a span of [n] milliseconds. *)
+
+val sec : int -> span
+(** [sec n] is a span of [n] seconds. *)
+
+val us_f : float -> span
+(** [us_f x] is a span of [x] microseconds, rounded to the nearest
+    nanosecond.  Used for calibrated fractional costs such as per-byte wire
+    time. *)
+
+val to_us : t -> float
+(** [to_us t] is [t] expressed in microseconds. *)
+
+val to_ms : t -> float
+(** [to_ms t] is [t] expressed in milliseconds. *)
+
+val to_sec : t -> float
+(** [to_sec t] is [t] expressed in seconds. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints an instant with an adaptive unit, e.g. ["1.270ms"]. *)

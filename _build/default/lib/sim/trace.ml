@@ -1,0 +1,6 @@
+let enabled = ref false
+
+let log engine who fmt =
+  if !enabled then
+    Format.eprintf ("[%a] %s: " ^^ fmt ^^ "@.") Time.pp (Engine.now engine) who
+  else Format.ifprintf Format.err_formatter fmt

@@ -1,0 +1,9 @@
+(** Lightweight simulation tracing on stderr.
+
+    Disabled by default; enable for debugging a run.  Every line is prefixed
+    with the simulated timestamp. *)
+
+val enabled : bool ref
+
+val log : Engine.t -> string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [log engine who fmt ...] prints ["[<time>] <who>: ..."] when enabled. *)

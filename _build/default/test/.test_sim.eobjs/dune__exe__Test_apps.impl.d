@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Array Core Engine Flip Fun Hashtbl List Mach Machine Net Orca Printf Sim Topology

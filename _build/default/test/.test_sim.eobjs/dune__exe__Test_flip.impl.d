@@ -1,0 +1,1 @@
+test/test_flip.ml: Address Alcotest Array Engine Flip Flip_iface Fragment Frame Fun List Mach Machine Net Nic Payload Printf QCheck QCheck_alcotest Reassembly Rng Segment Sim Time Topology

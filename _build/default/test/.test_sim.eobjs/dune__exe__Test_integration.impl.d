@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Amoeba Apps Array Core Engine Flip Frame List Mach Machine Net Orca Panda Payload Printf QCheck QCheck_alcotest Rng Segment Sim Thread Topology

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Cpu Engine Fun List Mach Machine Net Printf QCheck QCheck_alcotest Regwin Rng Sim Sync Thread Time

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Engine Frame List Mach Machine Net Nic Option Payload Printf QCheck QCheck_alcotest Segment Sim Switch Time Topology

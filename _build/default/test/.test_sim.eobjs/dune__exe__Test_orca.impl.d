@@ -1,0 +1,1 @@
+test/test_orca.ml: Alcotest Array Engine Flip List Mach Machine Net Option Orca Payload Printf Queue Sim Thread Time Topology

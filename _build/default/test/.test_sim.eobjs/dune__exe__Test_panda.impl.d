@@ -1,0 +1,1 @@
+test/test_panda.ml: Alcotest Amoeba Array Engine Flip Flip_iface Fragment Frame List Mach Machine Net Panda Payload Printf Rng Segment Sim Thread Time Topology

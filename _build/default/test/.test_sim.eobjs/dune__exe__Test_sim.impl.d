@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Engine Fiber Fun Heap List Mailbox QCheck QCheck_alcotest Rng Sim Stats Time

@@ -1,0 +1,267 @@
+open Sim
+open Machine
+open Net
+open Flip
+
+let machine_config =
+  {
+    Mach.ctx_warm = Time.us 60;
+    ctx_cold_idle = Time.us 70;
+    ctx_cold_preempt = Time.us 110;
+    interrupt_entry = Time.us 10;
+    syscall_base = Time.us 25;
+    trap_cost = Time.us 6;
+    lock_cost = Time.us 1;
+    reg_windows = 6;
+  }
+
+(* A pool of n machines with one FLIP instance each. *)
+let pool n =
+  let e = Engine.create () in
+  let machines =
+    Array.init n (fun i -> Mach.create e ~id:i ~name:(Printf.sprintf "m%d" i) machine_config)
+  in
+  let topo = Topology.build e ~machines () in
+  let flips = Array.mapi (fun i _ -> Flip_iface.create machines.(i) topo.Topology.nics.(i)) machines in
+  (e, machines, topo, flips)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+type Payload.t += Probe of int
+
+(* ------------------------------------------------------------------ *)
+(* Fragment *)
+
+let test_split_sizes () =
+  let split size =
+    Fragment.split ~src:(Address.point 1) ~dst:(Address.point 2) ~msg_id:1 ~mtu:1460
+      ~size Payload.Empty
+  in
+  check_int "0 bytes -> 1 frag" 1 (List.length (split 0));
+  check_int "1460 -> 1" 1 (List.length (split 1460));
+  check_int "1461 -> 2" 2 (List.length (split 1461));
+  check_int "4096 -> 3" 3 (List.length (split 4096))
+
+let prop_split_conserves_bytes =
+  QCheck.Test.make ~name:"split conserves bytes and indexes" ~count:300
+    QCheck.(int_bound 20_000)
+    (fun size ->
+      let frags =
+        Fragment.split ~src:(Address.point 1) ~dst:(Address.point 2) ~msg_id:7
+          ~mtu:1460 ~size Payload.Empty
+      in
+      let total = List.fold_left (fun acc f -> acc + f.Fragment.bytes) 0 frags in
+      let indexes = List.map (fun f -> f.Fragment.index) frags in
+      let count = List.length frags in
+      total = size
+      && indexes = List.init count Fun.id
+      && List.for_all (fun f -> f.Fragment.count = count && f.Fragment.total = size) frags
+      && List.for_all (fun f -> f.Fragment.bytes <= 1460) frags)
+
+(* ------------------------------------------------------------------ *)
+(* Reassembly *)
+
+let frags_for ?(msg_id = 1) size =
+  Fragment.split ~src:(Address.point 1) ~dst:(Address.point 2) ~msg_id ~mtu:1460 ~size
+    (Probe size)
+
+let test_reassembly_out_of_order () =
+  let r = Reassembly.create () in
+  let frags = frags_for 4096 in
+  match frags with
+  | [ a; b; c ] ->
+    check_bool "first" true (Reassembly.add r c = None);
+    check_bool "second" true (Reassembly.add r a = None);
+    (match Reassembly.add r b with
+     | Some (_, total, Probe 4096) -> check_int "total" 4096 total
+     | Some _ | None -> Alcotest.fail "expected completion with probe payload")
+  | _ -> Alcotest.fail "expected 3 fragments"
+
+let test_reassembly_duplicates () =
+  let r = Reassembly.create () in
+  match frags_for 2000 with
+  | [ a; b ] ->
+    check_bool "a" true (Reassembly.add r a = None);
+    check_bool "dup a ignored" true (Reassembly.add r a = None);
+    check_int "one dup" 1 (Reassembly.duplicates r);
+    check_bool "b completes" true (Reassembly.add r b <> None);
+    check_bool "late dup ignored" true (Reassembly.add r b = None);
+    check_int "two dups" 2 (Reassembly.duplicates r)
+  | _ -> Alcotest.fail "expected 2 fragments"
+
+let test_reassembly_interleaved_messages () =
+  let r = Reassembly.create () in
+  let m1 = frags_for ~msg_id:1 2000 in
+  let m2 = frags_for ~msg_id:2 2000 in
+  let completions = ref 0 in
+  List.iter
+    (fun f -> if Reassembly.add r f <> None then incr completions)
+    (List.concat [ [ List.nth m1 0 ]; [ List.nth m2 0 ]; [ List.nth m1 1 ]; [ List.nth m2 1 ] ]);
+  check_int "both complete" 2 !completions;
+  check_int "no pending" 0 (Reassembly.pending r)
+
+let test_reassembly_purge () =
+  let r = Reassembly.create () in
+  ignore (Reassembly.add r (List.hd (frags_for 3000)));
+  check_int "pending" 1 (Reassembly.pending r);
+  Reassembly.purge r;
+  check_int "purged" 0 (Reassembly.pending r)
+
+let prop_reassembly_identity =
+  QCheck.Test.make ~name:"split+reassemble = identity" ~count:200
+    QCheck.(pair (int_bound 30_000) (int_range 1 30))
+    (fun (size, shuffle_seed) ->
+      let r = Reassembly.create () in
+      let frags = Array.of_list (frags_for size) in
+      let rng = Rng.create ~seed:shuffle_seed in
+      for i = Array.length frags - 1 downto 1 do
+        let j = Rng.int rng (i + 1) in
+        let tmp = frags.(i) in
+        frags.(i) <- frags.(j);
+        frags.(j) <- tmp
+      done;
+      let completions = ref [] in
+      Array.iter
+        (fun f ->
+          match Reassembly.add r f with
+          | Some (_, total, _) -> completions := total :: !completions
+          | None -> ())
+        frags;
+      !completions = [ size ])
+
+(* ------------------------------------------------------------------ *)
+(* Flip_iface end-to-end *)
+
+let test_unicast_with_locate () =
+  let e, _machines, _topo, flips = pool 2 in
+  let addr = Address.fresh_point () in
+  let got = ref [] in
+  Flip_iface.register flips.(1) addr (fun frag -> got := frag :: !got);
+  Flip_iface.unicast flips.(0) ~src:(Address.fresh_point ()) ~dst:addr ~size:4096
+    (Probe 42);
+  Engine.run e;
+  check_int "three fragments arrive" 3 (List.length !got);
+  check_int "one locate" 1 (Flip_iface.locates_sent flips.(0));
+  check_bool "payload intact" true
+    (List.for_all (fun f -> f.Fragment.payload = Probe 42) !got);
+  (* Second message reuses the cached route: no further locates. *)
+  got := [];
+  Flip_iface.unicast flips.(0) ~src:(Address.fresh_point ()) ~dst:addr ~size:100
+    (Probe 43);
+  Engine.run e;
+  check_int "cached route" 1 (Flip_iface.locates_sent flips.(0));
+  check_int "one more fragment" 1 (List.length !got)
+
+let test_unicast_loopback () =
+  let e, _machines, topo, flips = pool 2 in
+  let addr = Address.fresh_point () in
+  let got = ref 0 in
+  Flip_iface.register flips.(0) addr (fun _ -> incr got);
+  Flip_iface.unicast flips.(0) ~src:(Address.fresh_point ()) ~dst:addr ~size:3000
+    Payload.Empty;
+  Engine.run e;
+  check_int "fragments looped back" 3 !got;
+  check_int "nothing on the wire" 0 (Nic.frames_sent (Topology.nic topo 0))
+
+let test_multicast_group_membership () =
+  let e, _machines, _topo, flips = pool 3 in
+  let grp = Address.fresh_group () in
+  let got = Array.make 3 0 in
+  Flip_iface.register flips.(0) grp (fun _ -> got.(0) <- got.(0) + 1);
+  Flip_iface.register flips.(2) grp (fun _ -> got.(2) <- got.(2) + 1);
+  Flip_iface.multicast flips.(0) ~src:(Address.fresh_point ()) ~group:grp ~size:2000
+    Payload.Empty;
+  Engine.run e;
+  check_int "sender loopback" 2 got.(0);
+  check_int "non-member silent" 0 got.(1);
+  check_int "member receives" 2 got.(2)
+
+let test_locate_retries_after_loss () =
+  let e, _machines, topo, flips = pool 2 in
+  let addr = Address.fresh_point () in
+  let got = ref 0 in
+  Flip_iface.register flips.(1) addr (fun _ -> incr got);
+  (* Drop the first broadcast (the locate request). *)
+  let dropped = ref 0 in
+  Segment.set_fault_injector topo.Topology.segments.(0)
+    (Some
+       (fun frame ->
+         if frame.Frame.dest = Frame.Broadcast && !dropped = 0 then begin
+           incr dropped;
+           true
+         end
+         else false));
+  Flip_iface.unicast flips.(0) ~src:(Address.fresh_point ()) ~dst:addr ~size:10
+    Payload.Empty;
+  Engine.run e;
+  check_int "one drop" 1 !dropped;
+  check_int "retried locate" 2 (Flip_iface.locates_sent flips.(0));
+  check_int "delivered after retry" 1 !got
+
+let test_locate_gives_up () =
+  let e, _machines, _topo, flips = pool 2 in
+  (* Address registered nowhere: locate retries then drops the message. *)
+  Flip_iface.unicast flips.(0) ~src:(Address.fresh_point ())
+    ~dst:(Address.fresh_point ()) ~size:10 Payload.Empty;
+  Engine.run e;
+  check_int "bounded retries" (Flip_iface.default_config.Flip_iface.locate_retries)
+    (Flip_iface.locates_sent flips.(0))
+
+let test_cross_segment_unicast () =
+  let e, _machines, _topo, flips = pool 16 in
+  let addr = Address.fresh_point () in
+  let got = ref 0 in
+  Flip_iface.register flips.(12) addr (fun _ -> incr got);
+  Flip_iface.unicast flips.(0) ~src:(Address.fresh_point ()) ~dst:addr ~size:100
+    Payload.Empty;
+  Engine.run e;
+  check_int "delivered across switch" 1 !got
+
+let test_wrong_address_kinds_rejected () =
+  let _e, _machines, _topo, flips = pool 2 in
+  Alcotest.check_raises "unicast to group"
+    (Invalid_argument "Flip_iface.unicast: group address") (fun () ->
+      Flip_iface.unicast flips.(0) ~src:(Address.point 1) ~dst:(Address.group 9)
+        ~size:1 Payload.Empty);
+  Alcotest.check_raises "multicast to point"
+    (Invalid_argument "Flip_iface.multicast: point address") (fun () ->
+      Flip_iface.multicast flips.(0) ~src:(Address.point 1) ~group:(Address.point 9)
+        ~size:1 Payload.Empty)
+
+let test_send_cost_scales_with_fragments () =
+  let _e, _machines, _topo, flips = pool 2 in
+  let f = flips.(0) in
+  check_int "1 packet" 1 (Flip_iface.fragments_of f ~size:0);
+  check_int "3 packets" 3 (Flip_iface.fragments_of f ~size:4096);
+  check_bool "cost grows" true
+    (Flip_iface.send_cost f ~size:4096 > Flip_iface.send_cost f ~size:0)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "flip"
+    [
+      ( "fragment",
+        [ Alcotest.test_case "split sizes" `Quick test_split_sizes ]
+        @ qsuite [ prop_split_conserves_bytes ] );
+      ( "reassembly",
+        [
+          Alcotest.test_case "out of order" `Quick test_reassembly_out_of_order;
+          Alcotest.test_case "duplicates" `Quick test_reassembly_duplicates;
+          Alcotest.test_case "interleaved" `Quick test_reassembly_interleaved_messages;
+          Alcotest.test_case "purge" `Quick test_reassembly_purge;
+        ]
+        @ qsuite [ prop_reassembly_identity ] );
+      ( "iface",
+        [
+          Alcotest.test_case "unicast + locate" `Quick test_unicast_with_locate;
+          Alcotest.test_case "loopback" `Quick test_unicast_loopback;
+          Alcotest.test_case "multicast membership" `Quick test_multicast_group_membership;
+          Alcotest.test_case "locate retry on loss" `Quick test_locate_retries_after_loss;
+          Alcotest.test_case "locate gives up" `Quick test_locate_gives_up;
+          Alcotest.test_case "cross-segment" `Quick test_cross_segment_unicast;
+          Alcotest.test_case "address kinds" `Quick test_wrong_address_kinds_rejected;
+          Alcotest.test_case "send cost" `Quick test_send_cost_scales_with_fragments;
+        ] );
+    ]

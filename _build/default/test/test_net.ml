@@ -1,0 +1,237 @@
+open Sim
+open Machine
+open Net
+
+let machine_config =
+  {
+    Mach.ctx_warm = Time.us 60;
+    ctx_cold_idle = Time.us 70;
+    ctx_cold_preempt = Time.us 110;
+    interrupt_entry = Time.us 10;
+    syscall_base = Time.us 25;
+    trap_cost = Time.us 6;
+    lock_cost = Time.us 1;
+    reg_windows = 6;
+  }
+
+let pool e n =
+  Array.init n (fun i -> Mach.create e ~id:i ~name:(Printf.sprintf "m%d" i) machine_config)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Frame *)
+
+let test_frame_filter () =
+  let f = Frame.make ~src:1 ~dest:(Frame.Unicast 2) ~bytes:10 Payload.Empty in
+  check_bool "for dest" true (Frame.is_for ~mac:2 f);
+  check_bool "not for others" false (Frame.is_for ~mac:3 f);
+  check_bool "not for sender" false (Frame.is_for ~mac:1 f);
+  let m = Frame.make ~src:1 ~dest:Frame.Multicast ~bytes:10 Payload.Empty in
+  check_bool "mcast for all" true (Frame.is_for ~mac:7 m);
+  check_bool "mcast not sender" false (Frame.is_for ~mac:1 m)
+
+(* ------------------------------------------------------------------ *)
+(* Segment *)
+
+let test_wire_time () =
+  let e = Engine.create () in
+  let seg = Segment.create e "s" in
+  let f bytes = Frame.make ~src:0 ~dest:Frame.Broadcast ~bytes Payload.Empty in
+  (* (payload+framing) * 800ns, payload padded to 46. *)
+  check_int "empty frame" (Time.us_f 67.2) (Segment.wire_time seg (f 0));
+  check_int "100B" (Time.us_f 110.4) (Segment.wire_time seg (f 100));
+  check_int "1500B" (Time.us_f 1230.4) (Segment.wire_time seg (f 1500))
+
+let test_segment_delivery_timing () =
+  let e = Engine.create () in
+  let seg = Segment.create e "s" in
+  let got = ref [] in
+  let _rx =
+    Segment.attach seg ~name:"rx"
+      ~accepts:(fun f -> Frame.is_for ~mac:1 f)
+      (fun f -> got := (Engine.now e, f.Frame.bytes) :: !got)
+  in
+  let tx = Segment.attach seg ~name:"tx" ~accepts:(fun _ -> false) (fun _ -> ()) in
+  let frame b = Frame.make ~src:0 ~dest:(Frame.Unicast 1) ~bytes:b Payload.Empty in
+  ignore (Engine.at e 0 (fun () ->
+      Segment.transmit seg ~from:tx (frame 100);
+      Segment.transmit seg ~from:tx (frame 200)));
+  Engine.run e;
+  (* First: (100+38)*0.8 = 110.4us.  Second: +(200+38)*0.8 = 190.4us. *)
+  Alcotest.(check (list (pair int int)))
+    "serialized deliveries"
+    [ (Time.us_f 110.4, 100); (Time.us_f 300.8, 200) ]
+    (List.rev !got)
+
+let test_segment_sender_excluded () =
+  let e = Engine.create () in
+  let seg = Segment.create e "s" in
+  let self_heard = ref false and other_heard = ref false in
+  let a = Segment.attach seg ~name:"a" ~accepts:(fun _ -> true) (fun _ -> self_heard := true) in
+  let _b = Segment.attach seg ~name:"b" ~accepts:(fun _ -> true) (fun _ -> other_heard := true) in
+  Segment.transmit seg ~from:a (Frame.make ~src:0 ~dest:Frame.Broadcast ~bytes:1 Payload.Empty);
+  Engine.run e;
+  check_bool "sender excluded" false !self_heard;
+  check_bool "other heard" true !other_heard
+
+let test_segment_stats () =
+  let e = Engine.create () in
+  let seg = Segment.create e "s" in
+  let tx = Segment.attach seg ~name:"tx" ~accepts:(fun _ -> false) (fun _ -> ()) in
+  Segment.transmit seg ~from:tx (Frame.make ~src:0 ~dest:Frame.Broadcast ~bytes:500 Payload.Empty);
+  Segment.transmit seg ~from:tx (Frame.make ~src:0 ~dest:Frame.Broadcast ~bytes:300 Payload.Empty);
+  Engine.run e;
+  check_int "bytes" 800 (Segment.bytes_carried seg);
+  check_int "frames" 2 (Segment.frames_carried seg);
+  check_bool "busy time positive" true (Segment.busy_time seg > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Nic *)
+
+let test_nic_rx_interrupt_cost () =
+  let e = Engine.create () in
+  let machines = pool e 2 in
+  let seg = Segment.create e "s" in
+  let nic0 = Nic.create machines.(0) seg in
+  let nic1 = Nic.create machines.(1) seg in
+  let got_at = ref (-1) in
+  Nic.set_rx nic1 (fun _ -> got_at := Engine.now e);
+  Nic.send nic0 (Frame.make ~src:0 ~dest:(Frame.Unicast 1) ~bytes:100 Payload.Empty);
+  Engine.run e;
+  (* wire 110.4us + interrupt entry 10 + rx_base 50 + 100*50ns = 175.4us *)
+  check_int "rx handler time" (Time.us_f 175.4) !got_at;
+  check_int "received count" 1 (Nic.frames_received nic1);
+  check_int "sent count" 1 (Nic.frames_sent nic0)
+
+let test_nic_ignores_other_dest () =
+  let e = Engine.create () in
+  let machines = pool e 3 in
+  let seg = Segment.create e "s" in
+  let nic0 = Nic.create machines.(0) seg in
+  let _nic1 = Nic.create machines.(1) seg in
+  let nic2 = Nic.create machines.(2) seg in
+  let got = ref 0 in
+  Nic.set_rx nic2 (fun _ -> incr got);
+  Nic.send nic0 (Frame.make ~src:0 ~dest:(Frame.Unicast 1) ~bytes:10 Payload.Empty);
+  Engine.run e;
+  check_int "not delivered to 2" 0 !got
+
+(* ------------------------------------------------------------------ *)
+(* Switch / Topology *)
+
+let build_pool n =
+  let e = Engine.create () in
+  let machines = pool e n in
+  let topo = Topology.build e ~machines () in
+  (e, machines, topo)
+
+let test_topology_single_segment () =
+  let e, _machines, topo = build_pool 8 in
+  ignore e;
+  check_int "one segment" 1 (Array.length topo.Topology.segments);
+  check_bool "no switch" true (topo.Topology.switch = None)
+
+let test_topology_cross_segment_unicast () =
+  let e, _machines, topo = build_pool 16 in
+  check_int "two segments" 2 (Array.length topo.Topology.segments);
+  let got = ref [] in
+  Array.iteri
+    (fun i nic -> Nic.set_rx nic (fun f -> got := (i, f.Frame.bytes) :: !got))
+    topo.Topology.nics;
+  Nic.send (Topology.nic topo 0)
+    (Frame.make ~src:0 ~dest:(Frame.Unicast 12) ~bytes:64 Payload.Empty);
+  Engine.run e;
+  Alcotest.(check (list (pair int int))) "only m12 got it" [ (12, 64) ] !got
+
+let test_topology_multicast_reaches_all () =
+  let e, _machines, topo = build_pool 16 in
+  let got = ref [] in
+  Array.iteri (fun i nic -> Nic.set_rx nic (fun _ -> got := i :: !got)) topo.Topology.nics;
+  Nic.send (Topology.nic topo 3)
+    (Frame.make ~src:3 ~dest:Frame.Multicast ~bytes:64 Payload.Empty);
+  Engine.run e;
+  let receivers = List.sort_uniq compare !got in
+  check_int "15 receivers" 15 (List.length receivers);
+  check_bool "sender not included" false (List.mem 3 receivers)
+
+let test_switch_learning_avoids_flood () =
+  let e, _machines, topo = build_pool 16 in
+  let sw = Option.get topo.Topology.switch in
+  Array.iter (fun nic -> Nic.set_rx nic (fun _ -> ())) topo.Topology.nics;
+  (* m12 -> m0 teaches the switch where m12 lives; m0 -> m12 then goes
+     straight to segment 1 only. *)
+  Nic.send (Topology.nic topo 12)
+    (Frame.make ~src:12 ~dest:(Frame.Unicast 0) ~bytes:10 Payload.Empty);
+  Engine.run e;
+  let seg0_frames = Segment.frames_carried topo.Topology.segments.(0) in
+  Nic.send (Topology.nic topo 0)
+    (Frame.make ~src:0 ~dest:(Frame.Unicast 12) ~bytes:10 Payload.Empty);
+  Engine.run e;
+  check_int "forwarded both" 2 (Switch.frames_forwarded sw);
+  (* The reply adds exactly one frame to segment 0 (its own transmission). *)
+  check_int "no flood back onto seg0"
+    (seg0_frames + 1)
+    (Segment.frames_carried topo.Topology.segments.(0))
+
+let test_switch_local_traffic_not_forwarded () =
+  let e, _machines, topo = build_pool 16 in
+  let sw = Option.get topo.Topology.switch in
+  Array.iter (fun nic -> Nic.set_rx nic (fun _ -> ())) topo.Topology.nics;
+  (* Teach the switch where 0 and 1 live. *)
+  Nic.send (Topology.nic topo 0) (Frame.make ~src:0 ~dest:(Frame.Unicast 1) ~bytes:10 Payload.Empty);
+  Nic.send (Topology.nic topo 1) (Frame.make ~src:1 ~dest:(Frame.Unicast 0) ~bytes:10 Payload.Empty);
+  Engine.run e;
+  let before = Switch.frames_forwarded sw in
+  let seg1_before = Segment.frames_carried topo.Topology.segments.(1) in
+  Nic.send (Topology.nic topo 0) (Frame.make ~src:0 ~dest:(Frame.Unicast 1) ~bytes:10 Payload.Empty);
+  Engine.run e;
+  check_int "local frame not forwarded" before (Switch.frames_forwarded sw);
+  check_int "seg1 untouched" seg1_before (Segment.frames_carried topo.Topology.segments.(1))
+
+let prop_multicast_delivery_count =
+  QCheck.Test.make ~name:"multicast reaches n-1 stations for any pool size" ~count:30
+    QCheck.(int_range 2 40)
+    (fun n ->
+      let e = Engine.create () in
+      let machines =
+        Array.init n (fun i ->
+            Mach.create e ~id:i ~name:(Printf.sprintf "m%d" i) machine_config)
+      in
+      let topo = Topology.build e ~machines () in
+      let got = ref 0 in
+      Array.iter (fun nic -> Nic.set_rx nic (fun _ -> incr got)) topo.Topology.nics;
+      Nic.send (Topology.nic topo 0)
+        (Frame.make ~src:0 ~dest:Frame.Multicast ~bytes:32 Payload.Empty);
+      Engine.run e;
+      !got = n - 1)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "net"
+    [
+      ("frame", [ Alcotest.test_case "filter" `Quick test_frame_filter ]);
+      ( "segment",
+        [
+          Alcotest.test_case "wire time" `Quick test_wire_time;
+          Alcotest.test_case "delivery timing" `Quick test_segment_delivery_timing;
+          Alcotest.test_case "sender excluded" `Quick test_segment_sender_excluded;
+          Alcotest.test_case "stats" `Quick test_segment_stats;
+        ] );
+      ( "nic",
+        [
+          Alcotest.test_case "rx interrupt cost" `Quick test_nic_rx_interrupt_cost;
+          Alcotest.test_case "ignores other dest" `Quick test_nic_ignores_other_dest;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "single segment" `Quick test_topology_single_segment;
+          Alcotest.test_case "cross-segment unicast" `Quick test_topology_cross_segment_unicast;
+          Alcotest.test_case "multicast reaches all" `Quick test_topology_multicast_reaches_all;
+          Alcotest.test_case "switch learning" `Quick test_switch_learning_avoids_flood;
+          Alcotest.test_case "local not forwarded" `Quick test_switch_local_traffic_not_forwarded;
+        ]
+        @ qsuite [ prop_multicast_delivery_count ] );
+    ]

@@ -1,0 +1,364 @@
+open Sim
+open Machine
+open Net
+
+let machine_config =
+  {
+    Mach.ctx_warm = Time.us 60;
+    ctx_cold_idle = Time.us 70;
+    ctx_cold_preempt = Time.us 110;
+    interrupt_entry = Time.us 10;
+    syscall_base = Time.us 25;
+    trap_cost = Time.us 6;
+    lock_cost = Time.us 1;
+    reg_windows = 6;
+  }
+
+type Payload.t += Num of int | Hist of int list
+
+let num = function Num n -> n | _ -> Alcotest.fail "expected Num"
+
+(* Builds machines, network, flips, the chosen backend stack and a domain. *)
+let make_domain ?(n = 2) kind =
+  let eng = Engine.create () in
+  let machines =
+    Array.init n (fun i -> Mach.create eng ~id:i ~name:(Printf.sprintf "m%d" i) machine_config)
+  in
+  let topo = Topology.build eng ~machines () in
+  let flips =
+    Array.mapi (fun i _ -> Flip.Flip_iface.create machines.(i) topo.Topology.nics.(i)) machines
+  in
+  let backends =
+    match kind with
+    | `Kernel -> Orca.Backend.kernel_stack flips ()
+    | `User -> Orca.Backend.user_stack flips ()
+  in
+  (eng, topo, Orca.Rts.create_domain backends)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let both name f =
+  [
+    Alcotest.test_case (name ^ " [kernel]") `Quick (fun () -> f `Kernel);
+    Alcotest.test_case (name ^ " [user]") `Quick (fun () -> f `User);
+  ]
+
+(* A replicated integer cell with read/add ops. *)
+let int_cell dom placement =
+  let od = Orca.Rts.declare dom ~name:"cell" ~placement ~init:(fun ~rank:_ -> ref 0) in
+  let read =
+    Orca.Rts.defop od ~name:"read" ~kind:`Read (fun st _ -> Num !st)
+  in
+  let add =
+    Orca.Rts.defop od ~name:"add" ~kind:`Write (fun st arg ->
+        st := !st + num arg;
+        Num !st)
+  in
+  (od, read, add)
+
+let test_replicated_read_is_local kind =
+  let eng, topo, dom = make_domain ~n:2 kind in
+  let _od, read, add = int_cell dom Orca.Rts.Replicated in
+  let got = ref (-1) in
+  ignore
+    (Orca.Rts.spawn dom ~rank:0 "p0" (fun ~rank:_ ->
+         ignore (Orca.Rts.invoke add (Num 5));
+         got := num (Orca.Rts.invoke read Payload.Empty)));
+  Engine.run eng;
+  check_int "read own write" 5 !got;
+  let bytes_after_write = Topology.total_bytes topo in
+  (* Reads must add no traffic: re-run a read-only phase. *)
+  ignore
+    (Orca.Rts.spawn dom ~rank:1 "p1" (fun ~rank:_ ->
+         for _ = 1 to 10 do
+           ignore (Orca.Rts.invoke read Payload.Empty)
+         done));
+  Engine.run eng;
+  check_int "reads are local" bytes_after_write (Topology.total_bytes topo)
+
+let test_replicated_write_reaches_all kind =
+  let eng, _topo, dom = make_domain ~n:4 kind in
+  let _od, read, add = int_cell dom Orca.Rts.Replicated in
+  let got = Array.make 4 (-1) in
+  ignore
+    (Orca.Rts.spawn dom ~rank:0 "writer" (fun ~rank:_ ->
+         ignore (Orca.Rts.invoke add (Num 3));
+         ignore (Orca.Rts.invoke add (Num 4))));
+  for r = 1 to 3 do
+    ignore
+      (Orca.Rts.spawn dom ~rank:r "reader" (fun ~rank ->
+           (* Poll (test only) until both writes are visible. *)
+           let v = ref 0 in
+           while !v < 7 do
+             Thread.sleep (Time.ms 1);
+             v := num (Orca.Rts.invoke read Payload.Empty)
+           done;
+           got.(rank) <- !v))
+  done;
+  Engine.run eng;
+  Alcotest.(check (list int)) "all replicas converge" [ 7; 7; 7 ] (Array.to_list (Array.sub got 1 3))
+
+let test_owned_remote_invocation kind =
+  let eng, _topo, dom = make_domain ~n:2 kind in
+  let _od, read, add = int_cell dom (Orca.Rts.Owned 1) in
+  let got = ref (-1) in
+  ignore
+    (Orca.Rts.spawn dom ~rank:0 "client" (fun ~rank:_ ->
+         ignore (Orca.Rts.invoke add (Num 20));
+         ignore (Orca.Rts.invoke add (Num 22));
+         got := num (Orca.Rts.invoke read Payload.Empty)));
+  Engine.run eng;
+  check_int "remote ops applied" 42 !got;
+  check_int "two writes one read over rpc" 3 (Orca.Rts.remote_invocations dom);
+  check_int "no broadcasts" 0 (Orca.Rts.broadcasts dom)
+
+(* A bounded buffer with guarded put/get — the paper's RL/SOR exchange
+   pattern. *)
+let buffer dom ~owner ~capacity =
+  let od =
+    Orca.Rts.declare dom ~name:"buf" ~placement:(Orca.Rts.Owned owner)
+      ~init:(fun ~rank:_ -> Queue.create ())
+  in
+  let put =
+    Orca.Rts.defop od ~name:"put" ~kind:`Write
+      ~guard:(fun q _ -> Queue.length q < capacity)
+      (fun q arg ->
+        Queue.push (num arg) q;
+        Payload.Empty)
+  in
+  let get =
+    Orca.Rts.defop od ~name:"get" ~kind:`Write
+      ~guard:(fun q _ -> not (Queue.is_empty q))
+      (fun q _ -> Num (Queue.pop q))
+  in
+  (od, put, get)
+
+let test_guarded_buffer_producer_consumer kind =
+  let eng, _topo, dom = make_domain ~n:2 kind in
+  let _od, put, get = buffer dom ~owner:0 ~capacity:2 in
+  let got = ref [] in
+  let n = 6 in
+  (* Consumer on the owner's machine, producer remote: gets block until
+     puts arrive; puts block when the buffer is full. *)
+  ignore
+    (Orca.Rts.spawn dom ~rank:0 "consumer" (fun ~rank:_ ->
+         for _ = 1 to n do
+           got := num (Orca.Rts.invoke get Payload.Empty) :: !got
+         done));
+  ignore
+    (Orca.Rts.spawn dom ~rank:1 "producer" (fun ~rank:_ ->
+         for i = 1 to n do
+           ignore (Orca.Rts.invoke put (Num i))
+         done));
+  Engine.run eng;
+  Alcotest.(check (list int)) "fifo through guarded buffer"
+    (List.init n (fun i -> i + 1))
+    (List.rev !got);
+  check_bool "continuations were used" true (Orca.Rts.parked_peak dom >= 1)
+
+let test_guard_blocks_until_satisfied kind =
+  let eng, _topo, dom = make_domain ~n:2 kind in
+  let _od, put, get = buffer dom ~owner:1 ~capacity:8 in
+  let got_at = ref 0 and got = ref (-1) in
+  ignore
+    (Orca.Rts.spawn dom ~rank:0 "consumer" (fun ~rank:_ ->
+         got := num (Orca.Rts.invoke get Payload.Empty);
+         got_at := Engine.now eng));
+  ignore
+    (Orca.Rts.spawn dom ~rank:1 "producer" (fun ~rank:_ ->
+         Thread.sleep (Time.ms 50);
+         ignore (Orca.Rts.invoke put (Num 9))));
+  Engine.run eng;
+  check_int "value" 9 !got;
+  check_bool "waited for the guard" true (!got_at > Time.ms 50)
+
+(* Sequential consistency: concurrent writers append to a replicated
+   history; every replica must observe the same final sequence. *)
+let test_sequential_consistency kind =
+  let n = 4 in
+  let eng, _topo, dom = make_domain ~n kind in
+  let od =
+    Orca.Rts.declare dom ~name:"hist" ~placement:Orca.Rts.Replicated
+      ~init:(fun ~rank:_ -> ref [])
+  in
+  let append =
+    Orca.Rts.defop od ~name:"append" ~kind:`Write (fun st arg ->
+        st := num arg :: !st;
+        Payload.Empty)
+  in
+  let snapshot =
+    Orca.Rts.defop od ~name:"snapshot" ~kind:`Read (fun st _ -> Hist !st)
+  in
+  let per_writer = 5 in
+  let finished = ref 0 in
+  for r = 0 to n - 1 do
+    ignore
+      (Orca.Rts.spawn dom ~rank:r "writer" (fun ~rank ->
+           for i = 1 to per_writer do
+             ignore (Orca.Rts.invoke append (Num ((100 * rank) + i)))
+           done;
+           incr finished))
+  done;
+  Engine.run eng;
+  check_int "all writers done" n !finished;
+  let views = ref [] in
+  for r = 0 to n - 1 do
+    ignore
+      (Orca.Rts.spawn dom ~rank:r "reader" (fun ~rank:_ ->
+           match Orca.Rts.invoke snapshot Payload.Empty with
+           | Hist h -> views := h :: !views
+           | _ -> ()))
+  done;
+  Engine.run eng;
+  (match !views with
+   | v0 :: rest ->
+     check_int "complete history" (n * per_writer) (List.length v0);
+     List.iter
+       (fun v -> Alcotest.(check (list int)) "identical order at every replica" v0 v)
+       rest
+   | [] -> Alcotest.fail "no views collected")
+
+let test_nonblocking_write kind =
+  let eng, _topo, dom = make_domain ~n:2 kind in
+  let _od, read, add = int_cell dom Orca.Rts.Replicated in
+  let returned_at = ref 0 and seen = ref (-1) in
+  (* Rank 1: not the sequencer's machine, so the writer's return time is
+     not inflated by sequencer work. *)
+  ignore
+    (Orca.Rts.spawn dom ~rank:1 "writer" (fun ~rank:_ ->
+         ignore (Orca.Rts.invoke ~nonblocking:true add (Num 5));
+         returned_at := Engine.now eng));
+  ignore
+    (Orca.Rts.spawn dom ~rank:0 "reader" (fun ~rank:_ ->
+         let v = ref 0 in
+         while !v <> 5 do
+           Thread.sleep (Time.ms 1);
+           v := num (Orca.Rts.invoke read Payload.Empty)
+         done;
+         seen := !v));
+  Engine.run eng;
+  check_int "applied everywhere" 5 !seen;
+  match kind with
+  | `User -> check_bool "returned before ordering round trip" true (!returned_at < Time.ms 1)
+  | `Kernel -> check_bool "kernel degrades to blocking" true (!returned_at >= Time.us 500)
+
+let test_rts_dispatch_errors kind =
+  let eng, _topo, dom = make_domain ~n:2 kind in
+  let raised = ref false in
+  ignore
+    (Orca.Rts.spawn dom ~rank:0 "p" (fun ~rank:_ ->
+         let od =
+           Orca.Rts.declare dom ~name:"x" ~placement:(Orca.Rts.Owned 1)
+             ~init:(fun ~rank:_ -> ())
+         in
+         let op = Orca.Rts.defop od ~name:"op" ~kind:`Read (fun _ _ -> Payload.Empty) in
+         ignore op;
+         (* Invoking on the non-owner without ops is fine; invoking an
+            unknown op id is a program error the RTS rejects. *)
+         match Orca.Rts.invoke op Payload.Empty with
+         | _ -> raised := false
+         | exception Invalid_argument _ -> raised := true));
+  Engine.run eng;
+  (* The remote replica exists on rank 1 (owner), so this succeeds. *)
+  check_bool "owned invocation from non-owner works" true (not !raised)
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive placement *)
+
+let adaptive_cell dom ~owner =
+  let od =
+    Orca.Rts.declare dom ~name:"acell"
+      ~placement:(Orca.Rts.Adaptive { owner; state_bytes = 128 })
+      ~init:(fun ~rank:_ -> ref 0)
+  in
+  let read = Orca.Rts.defop od ~name:"read" ~kind:`Read (fun st _ -> Num !st) in
+  let add =
+    Orca.Rts.defop od ~name:"add" ~kind:`Write (fun st arg ->
+        st := !st + num arg;
+        Num !st)
+  in
+  (od, read, add)
+
+let test_adaptive_migrates_to_heavy_user kind =
+  let eng, _topo, dom = make_domain ~n:2 kind in
+  let od, _read, add = adaptive_cell dom ~owner:0 in
+  let n = 120 in
+  ignore
+    (Orca.Rts.spawn dom ~rank:1 "heavy" (fun ~rank:_ ->
+         for _ = 1 to n do
+           ignore (Orca.Rts.invoke add (Num 1))
+         done));
+  Engine.run eng;
+  check_int "all ops applied" n !(Orca.Rts.peek od ~rank:(Option.get (Orca.Rts.owner_of od)));
+  Alcotest.(check (option int)) "moved to the heavy user" (Some 1) (Orca.Rts.owner_of od);
+  check_bool "at least one migration" true (Orca.Rts.migrations dom >= 1)
+
+let test_adaptive_stays_without_skew kind =
+  let eng, _topo, dom = make_domain ~n:2 kind in
+  let od, _read, add = adaptive_cell dom ~owner:0 in
+  for r = 0 to 1 do
+    ignore
+      (Orca.Rts.spawn dom ~rank:r "even" (fun ~rank:_ ->
+           for _ = 1 to 60 do
+             ignore (Orca.Rts.invoke add (Num 1))
+           done))
+  done;
+  Engine.run eng;
+  check_int "all ops applied" 120 !(Orca.Rts.peek od ~rank:(Option.get (Orca.Rts.owner_of od)));
+  check_int "no migration without dominance" 0 (Orca.Rts.migrations dom)
+
+let test_adaptive_follows_phases kind =
+  let eng, _topo, dom = make_domain ~n:2 kind in
+  let od, _read, add = adaptive_cell dom ~owner:0 in
+  (* Phase 1: rank 1 dominates; phase 2: rank 0 dominates again. *)
+  ignore
+    (Orca.Rts.spawn dom ~rank:1 "phase1" (fun ~rank:_ ->
+         for _ = 1 to 100 do
+           ignore (Orca.Rts.invoke add (Num 1))
+         done));
+  ignore
+    (Orca.Rts.spawn dom ~rank:0 "phase2" (fun ~rank:_ ->
+         Thread.sleep (Time.sec 2);
+         for _ = 1 to 400 do
+           ignore (Orca.Rts.invoke add (Num 1))
+         done));
+  Engine.run eng;
+  check_int "all ops applied" 500 !(Orca.Rts.peek od ~rank:(Option.get (Orca.Rts.owner_of od)));
+  Alcotest.(check (option int)) "back with rank 0" (Some 0) (Orca.Rts.owner_of od);
+  check_bool "migrated at least twice" true (Orca.Rts.migrations dom >= 2)
+
+let test_adaptive_concurrent_exactly_once kind =
+  let eng, _topo, dom = make_domain ~n:3 kind in
+  let od, _read, add = adaptive_cell dom ~owner:0 in
+  let per = 50 in
+  for r = 0 to 2 do
+    ignore
+      (Orca.Rts.spawn dom ~rank:r "hammer" (fun ~rank ->
+           for i = 1 to per do
+             ignore (Orca.Rts.invoke add (Num ((rank * 0) + 1)));
+             if i mod 10 = 0 then Thread.sleep (Time.us 200)
+           done))
+  done;
+  Engine.run eng;
+  (* Every increment applied exactly once, across any number of
+     migrations and wrong-owner retries. *)
+  check_int "exactly once" (3 * per)
+    !(Orca.Rts.peek od ~rank:(Option.get (Orca.Rts.owner_of od)))
+
+let () =
+  Alcotest.run "orca"
+    [
+      ("replicated read", both "local read" test_replicated_read_is_local);
+      ("replicated write", both "reaches all" test_replicated_write_reaches_all);
+      ("owned", both "remote invocation" test_owned_remote_invocation);
+      ("guards", both "producer consumer" test_guarded_buffer_producer_consumer);
+      ("guard wait", both "blocks until satisfied" test_guard_blocks_until_satisfied);
+      ("consistency", both "sequential consistency" test_sequential_consistency);
+      ("nonblocking", both "nonblocking write" test_nonblocking_write);
+      ("errors", both "dispatch" test_rts_dispatch_errors);
+      ("adaptive", both "migrates to heavy user" test_adaptive_migrates_to_heavy_user);
+      ("adaptive2", both "no migration without skew" test_adaptive_stays_without_skew);
+      ("adaptive3", both "follows phases" test_adaptive_follows_phases);
+      ("adaptive4", both "concurrent exactly-once" test_adaptive_concurrent_exactly_once);
+    ]

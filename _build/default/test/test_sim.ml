@@ -1,0 +1,412 @@
+open Sim
+(* Tests for the discrete-event core: heap, engine, fibers, mailbox, rng,
+   stats. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  ignore (Heap.push h ~time:30 "c");
+  ignore (Heap.push h ~time:10 "a");
+  ignore (Heap.push h ~time:20 "b");
+  let pop () = match Heap.pop h with Some (_, v) -> v | None -> "END" in
+  let p1 = pop () in
+  let p2 = pop () in
+  let p3 = pop () in
+  let p4 = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c"; "END" ] [ p1; p2; p3; p4 ]
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  for i = 0 to 9 do
+    ignore (Heap.push h ~time:5 i)
+  done;
+  let order = List.init 10 (fun _ -> match Heap.pop h with Some (_, v) -> v | None -> -1) in
+  Alcotest.(check (list int)) "fifo" (List.init 10 Fun.id) order
+
+let test_heap_cancel () =
+  let h = Heap.create () in
+  let a = Heap.push h ~time:1 "a" in
+  ignore (Heap.push h ~time:2 "b");
+  Heap.cancel a;
+  check_bool "cancelled" true (Heap.cancelled a);
+  check_int "live" 1 (Heap.live_size h);
+  (match Heap.pop h with
+   | Some (t, v) ->
+     check_int "time" 2 t;
+     Alcotest.(check string) "value" "b" v
+   | None -> Alcotest.fail "expected b");
+  check_bool "empty" true (Heap.pop h = None)
+
+let test_heap_peek_skips_cancelled () =
+  let h = Heap.create () in
+  let a = Heap.push h ~time:1 "a" in
+  ignore (Heap.push h ~time:7 "b");
+  Heap.cancel a;
+  Alcotest.(check (option int)) "peek" (Some 7) (Heap.peek_time h)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops sorted" ~count:200
+    QCheck.(list (int_bound 10_000))
+    (fun times ->
+      let h = Heap.create () in
+      List.iter (fun t -> ignore (Heap.push h ~time:t t)) times;
+      let rec drain acc =
+        match Heap.pop h with Some (t, _) -> drain (t :: acc) | None -> List.rev acc
+      in
+      let popped = drain [] in
+      popped = List.sort compare times)
+
+let prop_heap_cancel_subset =
+  QCheck.Test.make ~name:"cancelled events never pop" ~count:200
+    QCheck.(list (pair (int_bound 1_000) bool))
+    (fun entries ->
+      let h = Heap.create () in
+      let keep =
+        List.filter_map
+          (fun (t, cancel_it) ->
+            let hd = Heap.push h ~time:t t in
+            if cancel_it then begin
+              Heap.cancel hd;
+              None
+            end
+            else Some t)
+          entries
+      in
+      let rec drain acc =
+        match Heap.pop h with Some (t, _) -> drain (t :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort compare keep)
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Engine.at e 30 (note "c"));
+  ignore (Engine.at e 10 (note "a"));
+  ignore (Engine.at e 20 (note "b"));
+  Engine.run e;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  check_int "clock" 30 (Engine.now e)
+
+let test_engine_same_instant_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 4 do
+    ignore (Engine.at e 5 (fun () -> log := i :: !log))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 0; 1; 2; 3; 4 ] (List.rev !log)
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  ignore
+    (Engine.at e 10 (fun () ->
+         fired := "outer" :: !fired;
+         ignore (Engine.after e 5 (fun () -> fired := "inner" :: !fired))));
+  Engine.run e;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !fired);
+  check_int "clock" 15 (Engine.now e)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.at e 10 (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run e;
+  check_bool "not fired" false !fired
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.at e 10 (fun () -> incr fired));
+  ignore (Engine.at e 100 (fun () -> incr fired));
+  Engine.run ~until:50 e;
+  check_int "only first" 1 !fired;
+  check_int "clock clamped" 50 (Engine.now e);
+  Engine.run e;
+  check_int "second after resume" 2 !fired
+
+let test_engine_stop () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.at e 1 (fun () -> incr fired; Engine.stop e));
+  ignore (Engine.at e 2 (fun () -> incr fired));
+  Engine.run e;
+  check_int "stopped after first" 1 !fired
+
+(* ------------------------------------------------------------------ *)
+(* Fibers *)
+
+let test_fiber_sleep () =
+  let e = Engine.create () in
+  let wake = ref (-1) in
+  ignore
+    (Fiber.spawn e (fun () ->
+         Fiber.sleep (Time.us 100);
+         wake := Engine.now e));
+  Engine.run e;
+  check_int "woke at 100us" (Time.us 100) !wake
+
+let test_fiber_sequential_sleeps () =
+  let e = Engine.create () in
+  let marks = ref [] in
+  ignore
+    (Fiber.spawn e (fun () ->
+         Fiber.sleep 10;
+         marks := Engine.now e :: !marks;
+         Fiber.sleep 20;
+         marks := Engine.now e :: !marks));
+  Engine.run e;
+  Alcotest.(check (list int)) "marks" [ 10; 30 ] (List.rev !marks)
+
+let test_fiber_join () =
+  let e = Engine.create () in
+  let finished = ref false in
+  let worker = Fiber.spawn e ~name:"worker" (fun () -> Fiber.sleep 50) in
+  ignore
+    (Fiber.spawn e ~name:"joiner" (fun () ->
+         Fiber.join worker;
+         finished := Engine.now e = 50));
+  Engine.run e;
+  check_bool "joined at 50" true !finished
+
+let test_fiber_join_dead () =
+  let e = Engine.create () in
+  let ok = ref false in
+  let worker = Fiber.spawn e (fun () -> ()) in
+  ignore
+    (Fiber.spawn e (fun () ->
+         Fiber.sleep 10;
+         Fiber.join worker;
+         ok := true));
+  Engine.run e;
+  check_bool "join returns for dead fiber" true !ok
+
+let test_fiber_kill_suspended () =
+  let e = Engine.create () in
+  let progressed = ref false in
+  let victim =
+    Fiber.spawn e (fun () ->
+        Fiber.sleep (Time.sec 1);
+        progressed := true)
+  in
+  ignore
+    (Fiber.spawn e (fun () ->
+         Fiber.sleep 10;
+         Fiber.kill victim));
+  Engine.run e;
+  check_bool "victim did not progress" false !progressed;
+  check_bool "victim dead" false (Fiber.alive victim);
+  check_bool "ended well before 1s" true (Engine.now e < Time.sec 1)
+
+let test_fiber_kill_runs_exit_hooks () =
+  let e = Engine.create () in
+  let hook = ref false in
+  let victim = Fiber.spawn e (fun () -> Fiber.sleep (Time.sec 1)) in
+  Fiber.on_exit victim (fun () -> hook := true);
+  ignore (Fiber.spawn e (fun () -> Fiber.kill victim));
+  Engine.run e;
+  check_bool "hook ran" true !hook
+
+let test_fiber_exception_propagates () =
+  let e = Engine.create () in
+  ignore (Fiber.spawn e ~name:"bad" (fun () -> failwith "boom"));
+  match Engine.run e with
+  | () -> Alcotest.fail "expected Fiber_failure"
+  | exception Engine.Fiber_failure ("bad", Failure msg) when msg = "boom" -> ()
+  | exception _ -> Alcotest.fail "wrong exception"
+
+let test_fiber_self_name () =
+  let e = Engine.create () in
+  let seen = ref "" in
+  ignore (Fiber.spawn e ~name:"me" (fun () -> seen := Fiber.name (Fiber.self ())));
+  Engine.run e;
+  Alcotest.(check string) "self name" "me" !seen
+
+let test_fiber_ids_unique () =
+  let e = Engine.create () in
+  let a = Fiber.spawn e (fun () -> ()) in
+  let b = Fiber.spawn e (fun () -> ()) in
+  check_bool "distinct ids" true (Fiber.id a <> Fiber.id b)
+
+(* ------------------------------------------------------------------ *)
+(* Mailbox *)
+
+let test_mailbox_fifo () =
+  let e = Engine.create () in
+  let mb = Mailbox.create () in
+  let got = ref [] in
+  ignore
+    (Fiber.spawn e (fun () ->
+         for _ = 1 to 3 do
+           got := Mailbox.recv mb :: !got
+         done));
+  ignore
+    (Fiber.spawn e (fun () ->
+         Mailbox.send mb 1;
+         Fiber.sleep 5;
+         Mailbox.send mb 2;
+         Mailbox.send mb 3));
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.rev !got)
+
+let test_mailbox_blocks_until_send () =
+  let e = Engine.create () in
+  let mb = Mailbox.create () in
+  let when_received = ref (-1) in
+  ignore
+    (Fiber.spawn e (fun () ->
+         ignore (Mailbox.recv mb);
+         when_received := Engine.now e));
+  ignore (Engine.at e 42 (fun () -> Mailbox.send mb ()));
+  Engine.run e;
+  check_int "received at send time" 42 !when_received
+
+let test_mailbox_two_receivers () =
+  let e = Engine.create () in
+  let mb = Mailbox.create () in
+  let sum = ref 0 in
+  for _ = 1 to 2 do
+    ignore (Fiber.spawn e (fun () -> sum := !sum + Mailbox.recv mb))
+  done;
+  ignore
+    (Engine.at e 10 (fun () ->
+         Mailbox.send mb 3;
+         Mailbox.send mb 4));
+  Engine.run e;
+  check_int "both delivered" 7 !sum
+
+let test_mailbox_try_recv () =
+  let mb = Mailbox.create () in
+  check_bool "empty" true (Mailbox.try_recv mb = None);
+  Mailbox.send mb 9;
+  check_bool "full" true (Mailbox.try_recv mb = Some 9);
+  check_bool "empty again" true (Mailbox.is_empty mb)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 in
+  let b = Rng.create ~seed:7 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same stream" xs ys
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:7 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  check_bool "different streams" true (xs <> ys)
+
+let prop_rng_int_in_bounds =
+  QCheck.Test.make ~name:"rng int within bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let r = Rng.create ~seed in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+let prop_rng_float_in_bounds =
+  QCheck.Test.make ~name:"rng float within bounds" ~count:500
+    QCheck.(small_int)
+    (fun seed ->
+      let r = Rng.create ~seed in
+      let v = Rng.float r 3.5 in
+      v >= 0. && v < 3.5)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_counters () =
+  let s = Stats.create () in
+  Stats.incr s "a";
+  Stats.incr s "a";
+  Stats.add s "b" 5;
+  check_int "a" 2 (Stats.counter s "a");
+  check_int "b" 5 (Stats.counter s "b");
+  check_int "missing" 0 (Stats.counter s "zzz")
+
+let test_stats_series () =
+  let s = Stats.create () in
+  Stats.record s "lat" 1.0;
+  Stats.record s "lat" 3.0;
+  check_int "count" 2 (Stats.count s "lat");
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean s "lat");
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.min_value s "lat");
+  Alcotest.(check (float 1e-9)) "max" 3.0 (Stats.max_value s "lat")
+
+(* ------------------------------------------------------------------ *)
+(* Time *)
+
+let test_time_units () =
+  check_int "us" 1_000 (Time.us 1);
+  check_int "ms" 1_000_000 (Time.ms 1);
+  check_int "sec" 1_000_000_000 (Time.sec 1);
+  check_int "us_f" 800 (Time.us_f 0.8);
+  Alcotest.(check (float 1e-9)) "to_ms" 1.27 (Time.to_ms (Time.us_f 1270.))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "cancel" `Quick test_heap_cancel;
+          Alcotest.test_case "peek skips cancelled" `Quick test_heap_peek_skips_cancelled;
+        ]
+        @ qsuite [ prop_heap_sorted; prop_heap_cancel_subset ] );
+      ( "engine",
+        [
+          Alcotest.test_case "order" `Quick test_engine_order;
+          Alcotest.test_case "same-instant fifo" `Quick test_engine_same_instant_fifo;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "until" `Quick test_engine_until;
+          Alcotest.test_case "stop" `Quick test_engine_stop;
+        ] );
+      ( "fiber",
+        [
+          Alcotest.test_case "sleep" `Quick test_fiber_sleep;
+          Alcotest.test_case "sequential sleeps" `Quick test_fiber_sequential_sleeps;
+          Alcotest.test_case "join" `Quick test_fiber_join;
+          Alcotest.test_case "join dead" `Quick test_fiber_join_dead;
+          Alcotest.test_case "kill suspended" `Quick test_fiber_kill_suspended;
+          Alcotest.test_case "kill runs exit hooks" `Quick test_fiber_kill_runs_exit_hooks;
+          Alcotest.test_case "exception propagates" `Quick test_fiber_exception_propagates;
+          Alcotest.test_case "self name" `Quick test_fiber_self_name;
+          Alcotest.test_case "unique ids" `Quick test_fiber_ids_unique;
+        ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "fifo" `Quick test_mailbox_fifo;
+          Alcotest.test_case "blocks until send" `Quick test_mailbox_blocks_until_send;
+          Alcotest.test_case "two receivers" `Quick test_mailbox_two_receivers;
+          Alcotest.test_case "try_recv" `Quick test_mailbox_try_recv;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+        ]
+        @ qsuite [ prop_rng_int_in_bounds; prop_rng_float_in_bounds ] );
+      ( "stats",
+        [
+          Alcotest.test_case "counters" `Quick test_stats_counters;
+          Alcotest.test_case "series" `Quick test_stats_series;
+        ] );
+      ("time", [ Alcotest.test_case "units" `Quick test_time_units ]);
+    ]
