@@ -122,6 +122,8 @@ let print_table3 ?(procs = [ 1; 8; 16; 32 ]) () =
     Printf.printf "(all runs validated against host-side sequential results)\n"
 
 let print_breakdown () =
+  let rpc_analytic = Core.Experiments.rpc_breakdown () in
+  let grp_analytic = Core.Experiments.group_breakdown () in
   hr "RPC null-latency gap breakdown [us] (paper, Sec. 4.2)";
   let paper =
     [
@@ -135,8 +137,7 @@ let print_breakdown () =
   in
   List.iter2
     (fun (label, v) (_, pv) -> Printf.printf "  %-36s %6.0f (paper ~%3.0f)\n" label v pv)
-    (Core.Experiments.rpc_breakdown ())
-    paper;
+    rpc_analytic paper;
   hr "Group breakdown [us]: total gap + user-path mechanism costs (paper, Sec. 4.3)";
   let paper =
     [
@@ -151,8 +152,21 @@ let print_breakdown () =
   List.iter2
     (fun (label, v) (_, pv) ->
       Printf.printf "  %-48s %6.0f (paper's differential ~%4.0f)\n" label v pv)
-    (Core.Experiments.group_breakdown ())
-    paper
+    grp_analytic paper;
+  hr "Measured accounting from the cost ledger [us/round] (Sec. 4.2/4.3 re-derived)";
+  let rpc_measured, grp_measured = Core.Experiments.measured_breakdown () in
+  let print_side analytic rows =
+    List.iter
+      (fun (label, v) ->
+        match List.assoc_opt label analytic with
+        | Some a -> Printf.printf "  %-48s %6.1f (analytic %6.1f)\n" label v a
+        | None -> Printf.printf "  %-48s %6.1f\n" label v)
+      rows
+  in
+  Printf.printf "RPC (user-kernel ledger deltas):\n";
+  print_side rpc_analytic rpc_measured;
+  Printf.printf "group (user path; total and header rows are deltas):\n";
+  print_side grp_analytic grp_measured
 
 let print_ablations () =
   hr "Ablation: dedicated sequencer for LEQ [s]";
@@ -218,14 +232,57 @@ let run_bechamel () =
       | Some [] | None -> Printf.printf "  %-24s (no estimate)\n" name)
     results
 
+(* Observability options, recognised anywhere on the command line and
+   stripped before artifact selection:
+     --obs-log      turn on the simulator's timestamped event log
+     --trace FILE   write a Chrome trace_event JSON of a user-space null
+                    RPC run (load in chrome://tracing or Perfetto)
+     --obs          dump the same run's ledger and statistics as CSV *)
+let rec strip_obs = function
+  | [] -> ([], [])
+  | [ "--trace" ] ->
+    prerr_endline "--trace needs a FILE argument";
+    exit 2
+  | "--trace" :: file :: rest ->
+    let obs, sel = strip_obs rest in
+    (`Trace file :: obs, sel)
+  | "--obs" :: rest ->
+    let obs, sel = strip_obs rest in
+    (`Obs :: obs, sel)
+  | "--obs-log" :: rest ->
+    let obs, sel = strip_obs rest in
+    (`Log :: obs, sel)
+  | a :: rest ->
+    let obs, sel = strip_obs rest in
+    (obs, a :: sel)
+
+let run_obs = function
+  | `Log -> ()
+  | `Trace file -> (
+    let r, _busy = Core.Experiments.recorded_rpc () in
+    try
+      Obs.Export.to_file file (Obs.Export.chrome_trace r);
+      Printf.printf
+        "wrote Chrome trace of a user-space null RPC run to %s (%d spans)\n" file
+        (Obs.Recorder.n_spans r)
+    with Sys_error msg ->
+      Printf.eprintf "cannot write trace: %s\n" msg;
+      exit 1)
+  | `Obs ->
+    let r, _busy = Core.Experiments.recorded_rpc () in
+    print_string (Obs.Export.csv r)
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let obs_opts, args = strip_obs (List.tl (Array.to_list Sys.argv)) in
+  if List.mem `Log obs_opts then Obs.Log.enabled := true;
+  let everything = args = [] && obs_opts = [] in
   let quick = List.mem "quick" args in
   let procs = if quick then [ 1; 8 ] else [ 1; 8; 16; 32 ] in
-  let wants name = args = [] || List.mem name args || args = [ "quick" ] in
+  let wants name = everything || List.mem name args || args = [ "quick" ] in
   if wants "table1" then print_table1 ();
   if wants "table2" then print_table2 ();
   if wants "breakdown" then print_breakdown ();
   if wants "table3" then print_table3 ~procs ();
   if wants "ablation" then print_ablations ();
-  if List.mem "bechamel" args || args = [] then run_bechamel ()
+  if List.mem "bechamel" args || everything then run_bechamel ();
+  List.iter run_obs obs_opts

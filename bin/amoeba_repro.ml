@@ -22,16 +22,49 @@ let size_arg = Arg.(value & opt int 0 & info [ "size" ] ~doc:"Message payload by
 
 (* --- latency --- *)
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record the RPC run and write a Chrome trace_event JSON to $(docv) \
+           (load in chrome://tracing or Perfetto)")
+
+let obs_arg =
+  Arg.(
+    value & flag
+    & info [ "obs" ] ~doc:"Dump the recorded RPC run's cost ledger and statistics as CSV")
+
+let obs_log_arg =
+  Arg.(
+    value & flag
+    & info [ "obs-log" ] ~doc:"Print the simulator's timestamped event log")
+
 let latency_cmd =
-  let run impl size =
+  let run impl size trace obs obs_log =
+    if obs_log then Obs.Log.enabled := true;
     let impl2 = match impl with Core.Cluster.Kernel -> `Kernel | _ -> `User in
     Printf.printf "RPC   %-6s %5d B: %.3f ms\n" (Core.Cluster.impl_label impl) size
       (Core.Experiments.rpc_latency ~impl:impl2 ~size ());
     Printf.printf "group %-6s %5d B: %.3f ms\n" (Core.Cluster.impl_label impl) size
-      (Core.Experiments.group_latency ~impl:impl2 ~size ())
+      (Core.Experiments.group_latency ~impl:impl2 ~size ());
+    if trace <> None || obs then begin
+      let r, _busy = Core.Experiments.recorded_rpc ~impl:impl2 ~size () in
+      (match trace with
+       | Some file -> (
+         try
+           Obs.Export.to_file file (Obs.Export.chrome_trace r);
+           Printf.printf "trace: %s (%d spans)\n" file (Obs.Recorder.n_spans r)
+         with Sys_error msg ->
+           Printf.eprintf "cannot write trace: %s\n" msg;
+           exit 1)
+       | None -> ());
+      if obs then print_string (Obs.Export.csv r)
+    end
   in
   Cmd.v (Cmd.info "latency" ~doc:"Measure RPC and group latency (Table 1 entries)")
-    Term.(const run $ impl_arg $ size_arg)
+    Term.(const run $ impl_arg $ size_arg $ trace_arg $ obs_arg $ obs_log_arg)
 
 (* --- throughput --- *)
 
@@ -89,7 +122,14 @@ let breakdown () =
     (Core.Experiments.rpc_breakdown ());
   List.iter
     (fun (l, v) -> Printf.printf "grp: %-40s %7.1f us\n" l v)
-    (Core.Experiments.group_breakdown ())
+    (Core.Experiments.group_breakdown ());
+  let rpc_m, grp_m = Core.Experiments.measured_breakdown () in
+  List.iter
+    (fun (l, v) -> Printf.printf "rpc measured: %-40s %7.1f us\n" l v)
+    rpc_m;
+  List.iter
+    (fun (l, v) -> Printf.printf "grp measured: %-40s %7.1f us\n" l v)
+    grp_m
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))

@@ -150,17 +150,21 @@ let m_eng m = Mach.engine (m_mach m)
 
 let data_size t size = t.cfg.header_bytes + size
 
+(* Data-bearing messages (Pb_req/Bb_data/Ordered) carry the group header
+   inside [data_size]; accepts and control traffic stay unattributed. *)
+let grp_hdr t = (Obs.Layer.Amoeba_grp, t.cfg.header_bytes)
+
 (* ------------------------------------------------------------------ *)
 (* Sequencer (kernel, interrupt context on the sequencer's machine) *)
 
 let seq_mach s = Flip.Flip_iface.machine s.sq_flip
 
-let seq_multicast t s ~size payload =
-  Flip.Flip_iface.multicast s.sq_flip ~src:t.saddr ~group:t.gaddr ~size payload
+let seq_multicast ?hdr t s ~size payload =
+  Flip.Flip_iface.multicast ?hdr s.sq_flip ~src:t.saddr ~group:t.gaddr ~size payload
 
-let seq_unicast t s ~dst ~size payload =
+let seq_unicast ?hdr t s ~dst ~size payload =
   ignore s;
-  Flip.Flip_iface.unicast s.sq_flip ~src:t.saddr ~dst ~size payload
+  Flip.Flip_iface.unicast ?hdr s.sq_flip ~src:t.saddr ~dst ~size payload
 
 (* Evict members that have ignored many consecutive status rounds, so a
    crashed member cannot block history trimming forever.  The threshold is
@@ -184,7 +188,8 @@ let evict_unresponsive t s =
       s.sq_sys_local <- s.sq_sys_local + 1;
       Hashtbl.replace s.ordered_ids (system_sender, s.sq_sys_local) queued_mark;
       let local = s.sq_sys_local in
-      Mach.interrupt (seq_mach s) ~name:"grp.evict" ~cost:t.cfg.seq_process (fun () ->
+      Mach.interrupt (seq_mach s) ~layer:Obs.Layer.Amoeba_grp ~name:"grp.evict"
+        ~cost:t.cfg.seq_process (fun () ->
           let e =
             { e_seq = s.next_seq; e_sender = system_sender; e_local = local;
               e_size = t.cfg.accept_bytes; e_user = Member_left ix }
@@ -194,7 +199,8 @@ let evict_unresponsive t s =
           Hashtbl.replace s.ordered_ids (system_sender, local) e.e_seq;
           Hashtbl.replace s.left_seq ix e.e_seq;
           t.n_ordered <- t.n_ordered + 1;
-          seq_multicast t s ~size:(data_size t e.e_size) (Ordered e)))
+          seq_multicast ~hdr:(grp_hdr t) t s ~size:(data_size t e.e_size)
+            (Ordered e)))
     stale
 
 (* Every live member has confirmed delivery of the full sequence. *)
@@ -214,7 +220,8 @@ let rec start_status_round t s =
   ignore
     (Sim.Engine.after (Mach.engine (seq_mach s)) (2 * t.cfg.retrans_timeout) (fun () ->
          if s.status_outstanding then
-           Mach.interrupt (seq_mach s) ~name:"grp.status" ~cost:t.cfg.seq_process
+           Mach.interrupt (seq_mach s) ~layer:Obs.Layer.Amoeba_grp
+             ~name:"grp.status" ~cost:t.cfg.seq_process
              (fun () -> start_status_round t s)))
 
 let maybe_status_exchange t s =
@@ -236,7 +243,8 @@ let rec arm_idle_check t s =
            if not (all_caught_up s) then begin
              if not s.status_outstanding then begin
                s.status_outstanding <- true;
-               Mach.interrupt (seq_mach s) ~name:"grp.status" ~cost:t.cfg.seq_process
+               Mach.interrupt (seq_mach s) ~layer:Obs.Layer.Amoeba_grp
+                 ~name:"grp.status" ~cost:t.cfg.seq_process
                  (fun () -> start_status_round t s)
              end;
              arm_idle_check t s
@@ -250,7 +258,7 @@ let do_order t s ~sender ~local_id ~size ~user =
   t.n_ordered <- t.n_ordered + 1;
   if size <= t.cfg.bb_threshold then
     (* PB: the sequencer multicasts the full message. *)
-    seq_multicast t s ~size:(data_size t size) (Ordered e)
+    seq_multicast ~hdr:(grp_hdr t) t s ~size:(data_size t size) (Ordered e)
   else
     (* BB: the data was multicast by the sender; a small accept orders it. *)
     seq_multicast t s ~size:t.cfg.accept_bytes
@@ -275,14 +283,16 @@ let do_order t s ~sender ~local_id ~size ~user =
    interrupt on its machine, preempting whatever thread runs there. *)
 let schedule_order t s ~sender ~local_id ~size ~user =
   Hashtbl.replace s.ordered_ids (sender, local_id) queued_mark;
-  Mach.interrupt (seq_mach s) ~name:"grp.sequencer" ~cost:t.cfg.seq_process (fun () ->
+  Mach.interrupt (seq_mach s) ~layer:Obs.Layer.Amoeba_grp ~name:"grp.sequencer"
+    ~cost:t.cfg.seq_process (fun () ->
       do_order t s ~sender ~local_id ~size ~user)
 
 let resend_ordered t s ~seq ~to_member =
   match (Hashtbl.find_opt s.history seq, Hashtbl.find_opt s.sq_members to_member) with
   | Some e, Some addr ->
     t.n_retrans <- t.n_retrans + 1;
-    seq_unicast t s ~dst:addr ~size:(data_size t e.e_size) (Ordered e)
+    seq_unicast ~hdr:(grp_hdr t) t s ~dst:addr ~size:(data_size t e.e_size)
+      (Ordered e)
   | _ -> () (* trimmed, or the member is gone *)
 
 let trim_history t s =
@@ -308,7 +318,7 @@ let re_announce t s ~seq =
   | Some e ->
     t.n_retrans <- t.n_retrans + 1;
     if e.e_size <= t.cfg.bb_threshold then
-      seq_multicast t s ~size:(data_size t e.e_size) (Ordered e)
+      seq_multicast ~hdr:(grp_hdr t) t s ~size:(data_size t e.e_size) (Ordered e)
     else
       seq_multicast t s ~size:t.cfg.accept_bytes
         (Accept { a_seq = e.e_seq; a_sender = e.e_sender; a_local = e.e_local })
@@ -355,7 +365,7 @@ let seq_handle t s payload =
       | None -> schedule_order t s ~sender ~local_id ~size ~user)
   | Retrans_req { rq_member; rq_from } ->
     let upto = min (s.next_seq - 1) (rq_from + max_retrans_burst - 1) in
-    Mach.interrupt (seq_mach s) ~name:"grp.retrans"
+    Mach.interrupt (seq_mach s) ~layer:Obs.Layer.Amoeba_grp ~name:"grp.retrans"
       ~cost:(t.cfg.seq_process * max 1 (upto - rq_from + 1))
       (fun () ->
         for seq = rq_from to upto do
@@ -539,12 +549,13 @@ let member_input m frag =
 (* Member API *)
 
 let send m ~size payload =
+  Obs.Recorder.with_span (m_eng m) Obs.Layer.Amoeba_grp "send" @@ fun () ->
   let t = m.grp in
   let thread = Thread.self () in
   assert (Thread.machine thread == m_mach m);
   if m.m_index < 0 || not m.m_active then
     raise (Group_failure "send from a member that has not joined (or has left)");
-  Thread.call_frames t.cfg.call_depth;
+  Thread.call_frames ~layer:Obs.Layer.Amoeba_grp t.cfg.call_depth;
   m.next_local <- m.next_local + 1;
   let sw =
     {
@@ -563,10 +574,12 @@ let send m ~size payload =
   let msg_id = Flip.Flip_iface.alloc_msg_id m.m_flip in
   let transmit () =
     if size <= t.cfg.bb_threshold then
-      Flip.Flip_iface.unicast ~msg_id m.m_flip ~src:m.m_addr ~dst:t.saddr ~size:msg_size
+      Flip.Flip_iface.unicast ~msg_id ~hdr:(grp_hdr t) m.m_flip ~src:m.m_addr
+        ~dst:t.saddr ~size:msg_size
         (Pb_req { sender = m.m_index; local_id = sw.sw_local; size; user = payload })
     else
-      Flip.Flip_iface.multicast ~msg_id m.m_flip ~src:m.m_addr ~group:t.gaddr ~size:msg_size
+      Flip.Flip_iface.multicast ~msg_id ~hdr:(grp_hdr t) m.m_flip ~src:m.m_addr
+        ~group:t.gaddr ~size:msg_size
         (Bb_data { sender = m.m_index; local_id = sw.sw_local; size; user = payload })
   in
   let rec arm () =
@@ -586,33 +599,43 @@ let send m ~size payload =
                else begin
                  sw.sw_tries <- sw.sw_tries + 1;
                  t.n_retrans <- t.n_retrans + 1;
-                 Mach.interrupt (m_mach m) ~name:"grp.resend"
-                   ~cost:(Flip.Flip_iface.send_cost m.m_flip ~size:msg_size)
-                   transmit;
+                 let cost = Flip.Flip_iface.send_cost m.m_flip ~size:msg_size in
+                 Mach.interrupt (m_mach m) ~layer:Obs.Layer.Amoeba_grp
+                   ~charges:[ (Obs.Layer.Flip, Obs.Cause.Proto_proc, cost) ]
+                   ~name:"grp.resend" ~cost transmit;
                  arm ()
                end))
   in
   (* Transmission overlaps the system call's copy work, as in the RPC. *)
   transmit ();
   arm ();
-  Thread.syscall
-    ~kernel_work:
-      ((size * t.cfg.copy_byte) + Flip.Flip_iface.send_cost m.m_flip ~size:msg_size)
+  let copy = size * t.cfg.copy_byte in
+  let out = Flip.Flip_iface.send_cost m.m_flip ~size:msg_size in
+  Thread.syscall ~layer:Obs.Layer.Amoeba_grp ~kernel_work:(copy + out)
+    ~charges:
+      [ (Obs.Layer.Amoeba_grp, Obs.Cause.Copy, copy);
+        (Obs.Layer.Flip, Obs.Cause.Proto_proc, out) ]
     ();
   if not sw.sw_done then Thread.suspend (fun _ resume -> sw.sw_resume <- Some resume);
-  Thread.ret_frames t.cfg.call_depth;
+  Thread.ret_frames ~layer:Obs.Layer.Amoeba_grp t.cfg.call_depth;
   if sw.sw_failed then raise (Group_failure "broadcast not ordered after retries")
 
-let rec receive m =
+let rec receive_loop m =
   let t = m.grp in
-  Thread.syscall ();
+  Thread.syscall ~layer:Obs.Layer.Amoeba_grp ();
   match Queue.take_opt m.deliver_q with
   | Some (sender, size, user) ->
-    Thread.compute (t.cfg.deliver_fixed + (size * t.cfg.copy_byte));
+    Thread.compute_parts ~layer:Obs.Layer.Amoeba_grp
+      [ (Obs.Cause.Proto_proc, t.cfg.deliver_fixed);
+        (Obs.Cause.Copy, size * t.cfg.copy_byte) ];
     (sender, size, user)
   | None ->
     Thread.suspend (fun _ resume -> Queue.push resume m.recv_waiters);
-    receive m
+    receive_loop m
+
+let receive m =
+  Obs.Recorder.with_span (m_eng m) Obs.Layer.Amoeba_grp "receive" (fun () ->
+      receive_loop m)
 
 (* ------------------------------------------------------------------ *)
 (* Construction and membership *)
@@ -733,7 +756,10 @@ let join t flip =
                arm (tries + 1)
              end))
   in
-  Thread.syscall ~kernel_work:(Flip.Flip_iface.send_cost m.m_flip ~size:t.cfg.accept_bytes) ();
+  let out = Flip.Flip_iface.send_cost m.m_flip ~size:t.cfg.accept_bytes in
+  Thread.syscall ~layer:Obs.Layer.Amoeba_grp ~kernel_work:out
+    ~charges:[ (Obs.Layer.Flip, Obs.Cause.Proto_proc, out) ]
+    ();
   send_join ();
   arm 0;
   Thread.suspend (fun _ resume -> m.join_waiter <- Some resume);
@@ -760,8 +786,10 @@ let leave m =
                  arm (tries + 1)
                end))
     in
-    Thread.syscall
-      ~kernel_work:(Flip.Flip_iface.send_cost m.m_flip ~size:t.cfg.accept_bytes) ();
+    let out = Flip.Flip_iface.send_cost m.m_flip ~size:t.cfg.accept_bytes in
+    Thread.syscall ~layer:Obs.Layer.Amoeba_grp ~kernel_work:out
+      ~charges:[ (Obs.Layer.Flip, Obs.Cause.Proto_proc, out) ]
+      ();
     send_leave ();
     arm 0;
     Thread.suspend (fun _ resume -> m.leave_waiter <- Some resume);

@@ -91,8 +91,11 @@ let eng t = Mach.engine (mach t)
 (* Total bytes a protocol message occupies as a FLIP message. *)
 let wire_size t payload_bytes = t.cfg.header_bytes + payload_bytes
 
+let rpc_hdr t = (Obs.Layer.Amoeba_rpc, t.cfg.header_bytes)
+
 let send_request t p =
-  Flip.Flip_iface.unicast ~msg_id:p.p_msg_id t.flip ~src:t.client_addr ~dst:p.p_dst
+  Flip.Flip_iface.unicast ~msg_id:p.p_msg_id ~hdr:(rpc_hdr t) t.flip
+    ~src:t.client_addr ~dst:p.p_dst
     ~size:(wire_size t p.p_size)
     (Request { client = t.client_addr; trans_id = p.p_id; size = p.p_size; user = p.p_user })
 
@@ -115,9 +118,15 @@ let rec arm_timer t p =
              else begin
                p.p_tries <- p.p_tries + 1;
                t.n_retrans <- t.n_retrans + 1;
+               Obs.Log.log (eng t) "amoeba.rpc" "retransmit to %a (try %d)"
+                 Flip.Address.pp p.p_dst p.p_tries;
                (* The retransmission runs in kernel timer context. *)
-               Mach.interrupt (mach t) ~name:"rpc.retrans"
-                 ~cost:(Flip.Flip_iface.send_cost t.flip ~size:(wire_size t p.p_size))
+               let cost =
+                 Flip.Flip_iface.send_cost t.flip ~size:(wire_size t p.p_size)
+               in
+               Mach.interrupt (mach t) ~layer:Obs.Layer.Amoeba_rpc
+                 ~charges:[ (Obs.Layer.Flip, Obs.Cause.Proto_proc, cost) ]
+                 ~name:"rpc.retrans" ~cost
                  (fun () -> send_request t p);
                arm_timer t p
              end))
@@ -162,9 +171,10 @@ let create ?(config = default_config) flip =
   t
 
 let trans t ~dst ~size payload =
+  Obs.Recorder.with_span (eng t) Obs.Layer.Amoeba_rpc "trans" @@ fun () ->
   let thread = Thread.self () in
   assert (Thread.machine thread == mach t);
-  Thread.call_frames t.cfg.call_depth;
+  Thread.call_frames ~layer:Obs.Layer.Amoeba_rpc t.cfg.call_depth;
   t.next_trans <- t.next_trans + 1;
   t.n_trans <- t.n_trans + 1;
   let p =
@@ -187,9 +197,12 @@ let trans t ~dst ~size payload =
      transmission overlaps the system call's copy work. *)
   send_request t p;
   arm_timer t p;
-  Thread.syscall
-    ~kernel_work:
-      ((size * t.cfg.copy_byte) + Flip.Flip_iface.send_cost t.flip ~size:(wire_size t size))
+  let copy = size * t.cfg.copy_byte in
+  let out = Flip.Flip_iface.send_cost t.flip ~size:(wire_size t size) in
+  Thread.syscall ~layer:Obs.Layer.Amoeba_rpc ~kernel_work:(copy + out)
+    ~charges:
+      [ (Obs.Layer.Amoeba_rpc, Obs.Cause.Copy, copy);
+        (Obs.Layer.Flip, Obs.Cause.Proto_proc, out) ]
     ();
   (* The reply may already have arrived while the send syscall ran. *)
   if p.p_reply = None && not p.p_failed then
@@ -199,11 +212,13 @@ let trans t ~dst ~size payload =
   | Some (rsize, ruser) ->
     (* Copy the reply up to user space and return down the (shallow)
        protocol stack. *)
-    Thread.compute (t.cfg.deliver_fixed + (rsize * t.cfg.copy_byte));
-    Thread.ret_frames t.cfg.call_depth;
+    Thread.compute_parts ~layer:Obs.Layer.Amoeba_rpc
+      [ (Obs.Cause.Proto_proc, t.cfg.deliver_fixed);
+        (Obs.Cause.Copy, rsize * t.cfg.copy_byte) ];
+    Thread.ret_frames ~layer:Obs.Layer.Amoeba_rpc t.cfg.call_depth;
     (rsize, ruser)
   | None ->
-    Thread.ret_frames t.cfg.call_depth;
+    Thread.ret_frames ~layer:Obs.Layer.Amoeba_rpc t.cfg.call_depth;
     raise (Rpc_failure "transaction timed out")
 
 (* ------------------------------------------------------------------ *)
@@ -219,7 +234,8 @@ let bound_states port =
 
 let send_reply_from_kernel port ~client ~trans_id ~size ~user ~msg_id =
   let t = port.rpc in
-  Flip.Flip_iface.unicast ~msg_id t.flip ~src:port.addr ~dst:client
+  Flip.Flip_iface.unicast ~msg_id ~hdr:(rpc_hdr t) t.flip ~src:port.addr
+    ~dst:client
     ~size:(wire_size t size)
     (Reply { trans_id; size; user })
 
@@ -269,24 +285,31 @@ let export t ~name =
   Flip.Flip_iface.register t.flip addr (fun frag -> server_input port frag);
   port
 
-let rec get_request port =
+let rec get_request_loop port =
   let t = port.rpc in
   let thread = Thread.self () in
   assert (Thread.machine thread == mach t);
-  Thread.syscall ();
+  Thread.syscall ~layer:Obs.Layer.Amoeba_rpc ();
   match Queue.take_opt port.queue with
   | Some r ->
     r.r_thread <- Some thread;
-    Thread.compute (t.cfg.deliver_fixed + (r.r_size * t.cfg.copy_byte));
+    Thread.compute_parts ~layer:Obs.Layer.Amoeba_rpc
+      [ (Obs.Cause.Proto_proc, t.cfg.deliver_fixed);
+        (Obs.Cause.Copy, r.r_size * t.cfg.copy_byte) ];
     r
   | None ->
     Thread.suspend (fun _ resume -> Queue.push resume port.waiters);
     (* A same-instant competitor may have taken the request; retry.  The
        retry costs another syscall, as a real re-issued get_request would. *)
-    get_request port
+    get_request_loop port
+
+let get_request port =
+  Obs.Recorder.with_span (eng port.rpc) Obs.Layer.Amoeba_rpc "get_request"
+    (fun () -> get_request_loop port)
 
 let put_reply port r ~size payload =
   let t = port.rpc in
+  Obs.Recorder.with_span (eng t) Obs.Layer.Amoeba_rpc "put_reply" @@ fun () ->
   let thread = Thread.self () in
   (match r.r_thread with
    | Some owner when owner == thread -> ()
@@ -298,7 +321,10 @@ let put_reply port r ~size payload =
   (* As in trans: the reply's transmission overlaps the copy work. *)
   send_reply_from_kernel port ~client:r.r_client ~trans_id:r.r_trans ~size ~user:payload
     ~msg_id;
-  Thread.syscall
-    ~kernel_work:
-      ((size * t.cfg.copy_byte) + Flip.Flip_iface.send_cost t.flip ~size:(wire_size t size))
+  let copy = size * t.cfg.copy_byte in
+  let out = Flip.Flip_iface.send_cost t.flip ~size:(wire_size t size) in
+  Thread.syscall ~layer:Obs.Layer.Amoeba_rpc ~kernel_work:(copy + out)
+    ~charges:
+      [ (Obs.Layer.Amoeba_rpc, Obs.Cause.Copy, copy);
+        (Obs.Layer.Flip, Obs.Cause.Proto_proc, out) ]
     ()

@@ -1,5 +1,6 @@
 module Thread = Machine.Thread
 module Mach = Machine.Mach
+module Cpu = Machine.Cpu
 
 type profile = {
   p_machine : Machine.Mach.config;
@@ -124,8 +125,26 @@ let multicast_latency ?(profile = default_profile) ~size () =
 (* ------------------------------------------------------------------ *)
 (* Table 1: RPC latency *)
 
-let rpc_run profile ~impl ~size ~rounds =
+(* When a recorder is supplied, [window] selects what it sees: [`Measured]
+   installs it from the start of the first measured round to the end of the
+   last one (warmup and post-run drain excluded, matching the latency
+   window); [`Whole] records the entire run, so the ledger can be compared
+   against total CPU busy time. *)
+let record_round recorder window i =
+  match (recorder, window) with
+  | Some r, `Measured when i = warmup_rounds + 1 -> Obs.Recorder.install r
+  | _ -> ()
+
+let record_done recorder window =
+  match (recorder, window) with
+  | Some _, `Measured -> Obs.Recorder.uninstall ()
+  | _ -> ()
+
+let rpc_run ?recorder ?(window = `Measured) profile ~impl ~size ~rounds =
   let eng, machines, flips = micro_pool profile 2 in
+  (match (recorder, window) with
+   | Some r, `Whole -> Obs.Recorder.install r
+   | _ -> ());
   let marks = ref [] in
   (match impl with
    | `Kernel ->
@@ -140,10 +159,12 @@ let rpc_run profile ~impl ~size ~rounds =
      let crpc = Amoeba.Rpc.create ~config:profile.p_arpc flips.(0) in
      ignore
        (Thread.spawn machines.(0) "client" (fun () ->
-            for _ = 1 to rounds do
+            for i = 1 to rounds do
+              record_round recorder window i;
               ignore (Amoeba.Rpc.trans crpc ~dst:(Amoeba.Rpc.address port) ~size Ping);
               marks := Sim.Engine.now eng :: !marks
-            done))
+            done;
+            record_done recorder window))
    | `User ->
      let sys =
        Array.mapi
@@ -158,16 +179,21 @@ let rpc_run profile ~impl ~size ~rounds =
      let crpc = Panda.Rpc.create ~config:profile.p_prpc sys.(0) in
      ignore
        (Thread.spawn machines.(0) "client" (fun () ->
-            for _ = 1 to rounds do
+            for i = 1 to rounds do
+              record_round recorder window i;
               ignore (Panda.Rpc.trans crpc ~dst:(Panda.Rpc.address srpc) ~size Ping);
               marks := Sim.Engine.now eng :: !marks
-            done)));
+            done;
+            record_done recorder window)));
   Sim.Engine.run eng;
-  List.rev !marks
+  (match (recorder, window) with
+   | Some _, `Whole -> Obs.Recorder.uninstall ()
+   | _ -> ());
+  (List.rev !marks, machines)
 
 let rpc_latency ?(profile = default_profile) ~impl ~size () =
   let rounds = warmup_rounds + measure_rounds in
-  let marks = rpc_run profile ~impl ~size ~rounds in
+  let marks, _ = rpc_run profile ~impl ~size ~rounds in
   let t0 = List.nth marks (warmup_rounds - 1) in
   let t1 = List.nth marks (rounds - 1) in
   Sim.Time.to_ms (t1 - t0) /. float_of_int measure_rounds
@@ -177,8 +203,11 @@ let rpc_latency ?(profile = default_profile) ~impl ~size () =
 
 (* One sending member; the sequencer is on the other machine, as in the
    paper's measurement. *)
-let group_run profile ~impl ~size ~rounds =
+let group_run ?recorder ?(window = `Measured) profile ~impl ~size ~rounds =
   let eng, machines, flips = micro_pool profile 2 in
+  (match (recorder, window) with
+   | Some r, `Whole -> Obs.Recorder.install r
+   | _ -> ());
   let marks = ref [] in
   (match impl with
    | `Kernel ->
@@ -195,10 +224,12 @@ let group_run profile ~impl ~size ~rounds =
        members;
      ignore
        (Thread.spawn machines.(0) "sender" (fun () ->
-            for _ = 1 to rounds do
+            for i = 1 to rounds do
+              record_round recorder window i;
               Amoeba.Group.send members.(0) ~size Ping;
               marks := Sim.Engine.now eng :: !marks
-            done))
+            done;
+            record_done recorder window))
    | `User ->
      let sys =
        Array.mapi
@@ -216,16 +247,21 @@ let group_run profile ~impl ~size ~rounds =
        members;
      ignore
        (Thread.spawn machines.(0) "sender" (fun () ->
-            for _ = 1 to rounds do
+            for i = 1 to rounds do
+              record_round recorder window i;
               Panda.Group.send members.(0) ~size Ping;
               marks := Sim.Engine.now eng :: !marks
-            done)));
+            done;
+            record_done recorder window)));
   Sim.Engine.run eng;
-  List.rev !marks
+  (match (recorder, window) with
+   | Some _, `Whole -> Obs.Recorder.uninstall ()
+   | _ -> ());
+  (List.rev !marks, machines)
 
 let group_latency ?(profile = default_profile) ~impl ~size () =
   let rounds = warmup_rounds + measure_rounds in
-  let marks = group_run profile ~impl ~size ~rounds in
+  let marks, _ = group_run profile ~impl ~size ~rounds in
   let t0 = List.nth marks (warmup_rounds - 1) in
   let t1 = List.nth marks (rounds - 1) in
   Sim.Time.to_ms (t1 - t0) /. float_of_int measure_rounds
@@ -260,7 +296,7 @@ let table1 ?(profile = default_profile) () =
 let rpc_throughput profile ~impl =
   let rounds = 40 in
   let size = 8000 in
-  let marks = rpc_run profile ~impl ~size ~rounds in
+  let marks, _ = rpc_run profile ~impl ~size ~rounds in
   let t0 = List.nth marks (warmup_rounds - 1) in
   let t1 = List.nth marks (rounds - 1) in
   let secs = Sim.Time.to_sec (t1 - t0) in
@@ -438,6 +474,88 @@ let group_breakdown () =
     ("header size difference", base -. user equal_headers_group);
     ("untuned user-level FLIP interface (user path)", base -. user no_flip_extra);
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Measured breakdowns: the same accounting derived from the observability
+   ledger of two recorded null-latency runs, instead of differential
+   re-simulation.  Components that exist identically on both stacks cancel
+   in the user-kernel delta; what remains is the paper's overhead list. *)
+
+(* Header bytes charged to FLIP itself (and their NIC reception share)
+   appear identically on both stacks, so the header component is the delta
+   of upper-layer header wire cost only. *)
+let upper_header_ns r =
+  List.fold_left
+    (fun acc ly ->
+      if ly = Obs.Layer.Flip || ly = Obs.Layer.Nic then acc
+      else acc + Obs.Recorder.ledger_ns r ~layer:ly ~cause:Obs.Cause.Header_wire)
+    0 Obs.Layer.all
+
+let user_flip_ns r = Obs.Recorder.ledger_ns r ~layer:Obs.Layer.Flip ~cause:Obs.Cause.Uk_crossing
+
+(* Records the measured rounds of one null run; returns the recorder and
+   the per-round latency in µs. *)
+let recorded_null run impl =
+  let rounds = warmup_rounds + measure_rounds in
+  let r = Obs.Recorder.create () in
+  let marks, _ =
+    run ?recorder:(Some r) ?window:(Some `Measured) default_profile ~impl ~size:0
+      ~rounds
+  in
+  let t0 = List.nth marks (warmup_rounds - 1) in
+  let t1 = List.nth marks (rounds - 1) in
+  (r, Sim.Time.to_us (t1 - t0) /. float_of_int measure_rounds)
+
+let us_per_round ns = float_of_int ns /. float_of_int measure_rounds /. 1000.
+
+let measured_breakdown () =
+  let rpc =
+    let ru, lat_u = recorded_null rpc_run `User in
+    let rk, lat_k = recorded_null rpc_run `Kernel in
+    let delta f = us_per_round (f ru - f rk) in
+    let cause c r = Obs.Recorder.cause_ns r c in
+    [
+      ("total user-kernel gap", lat_u -. lat_k);
+      ("context switches", delta (cause Obs.Cause.Ctx_switch));
+      ("register-window traps", delta (cause Obs.Cause.Regwin_trap));
+      ("double fragmentation", delta (cause Obs.Cause.Fragmentation));
+      ("header size difference", delta upper_header_ns);
+      ("untuned user-level FLIP interface", delta user_flip_ns);
+      ("kernel crossings (other)",
+       delta (fun r -> Obs.Recorder.cause_ns r Obs.Cause.Uk_crossing - user_flip_ns r));
+      ("protocol processing (other)", delta (cause Obs.Cause.Proto_proc));
+      ("data copying", delta (cause Obs.Cause.Copy));
+    ]
+  in
+  let group =
+    let ru, lat_u = recorded_null group_run `User in
+    let rk, lat_k = recorded_null group_run `Kernel in
+    let user f = us_per_round (f ru) in
+    let cause c r = Obs.Recorder.cause_ns r c in
+    [
+      ("total user-kernel gap", lat_u -. lat_k);
+      ("context switches (user path)", user (cause Obs.Cause.Ctx_switch));
+      ("register-window traps (user path)", user (cause Obs.Cause.Regwin_trap));
+      ("double fragmentation (user path)", user (cause Obs.Cause.Fragmentation));
+      ("header size difference", us_per_round (upper_header_ns ru - upper_header_ns rk));
+      ("untuned user-level FLIP interface (user path)", user user_flip_ns);
+    ]
+  in
+  (rpc, group)
+
+(* A whole-run recording of one Table 1 null-RPC benchmark, plus the total
+   CPU busy time of both machines — for trace export and for checking the
+   ledger-vs-CPU-time invariant. *)
+let recorded_rpc ?(impl = `User) ?(size = 0) () =
+  let rounds = warmup_rounds + measure_rounds in
+  let r = Obs.Recorder.create () in
+  let _marks, machines =
+    rpc_run ~recorder:r ~window:`Whole default_profile ~impl ~size ~rounds
+  in
+  let busy =
+    Array.fold_left (fun acc m -> acc + Cpu.busy_time (Mach.cpu m)) 0 machines
+  in
+  (r, busy)
 
 (* ------------------------------------------------------------------ *)
 (* Ablations *)

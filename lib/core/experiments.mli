@@ -64,6 +64,24 @@ val rpc_breakdown : unit -> (string * float) list
 
 val group_breakdown : unit -> (string * float) list
 
+(** {1 Measured breakdowns (observability ledger)} *)
+
+val measured_breakdown : unit -> (string * float) list * (string * float) list
+(** [(rpc_rows, group_rows)]: the §4.2/§4.3 accounting re-derived from the
+    cost-attribution ledger of recorded null-latency runs (only the
+    measured rounds are recorded).  RPC rows are user-kernel deltas in µs
+    per round; group rows decompose the user path (as {!group_breakdown}
+    does), except the total-gap and header rows, which are deltas.  The
+    extra RPC rows beyond {!rpc_breakdown} itemise the rest of the gap. *)
+
+val recorded_rpc :
+  ?impl:[ `User | `Kernel ] -> ?size:int -> unit -> Obs.Recorder.t * Sim.Time.span
+(** Runs one Table 1 RPC benchmark (default: user-space, null) with a
+    recorder installed for the whole run; returns the recorder and the
+    summed CPU busy time of both machines.  With the NIC header-reception
+    correction counter, the ledger's CPU total equals the busy time
+    exactly.  Intended for trace export and the obs test suite. *)
+
 (** {1 Ablations} *)
 
 val ablation_dedicated_sequencer : ?procs:int list -> unit -> Runner.outcome list

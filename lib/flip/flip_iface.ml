@@ -18,7 +18,8 @@ let default_config =
   }
 
 type pending = {
-  mutable queued : Fragment.t list; (* reverse order *)
+  (* reverse order; each fragment keeps its upper-layer header attribution *)
+  mutable queued : (Fragment.t * (Obs.Layer.t * int) option) list;
   mutable attempts : int;
   mutable timer : Sim.Engine.handle option;
 }
@@ -54,19 +55,27 @@ let send_cost t ~size = fragments_of t ~size * t.cfg.out_packet_cost
 (* Local delivery models the kernel looping a packet back to an endpoint on
    the same machine: a software interrupt per fragment. *)
 let loopback t frag =
-  Machine.Mach.interrupt t.mach ~name:"flip.loopback" ~cost:t.cfg.loopback_cost
+  Machine.Mach.interrupt t.mach ~layer:Obs.Layer.Flip ~name:"flip.loopback"
+    ~cost:t.cfg.loopback_cost
     (fun () ->
       match Hashtbl.find_opt t.registry frag.Fragment.dst with
       | Some handler -> handler frag
       | None -> ())
 
-let transmit_fragment t ~dest frag =
+let transmit_fragment t ~dest ?upper frag =
   t.n_out <- t.n_out + 1;
   let bytes = t.cfg.header_bytes + frag.Fragment.bytes in
-  Net.Nic.send t.nic (Net.Frame.make ~src:(mac t) ~dest ~bytes (Data frag))
+  let hdr =
+    (Obs.Layer.Flip, t.cfg.header_bytes)
+    :: (match upper with Some h -> [ h ] | None -> [])
+  in
+  Net.Nic.send t.nic (Net.Frame.make ~hdr ~src:(mac t) ~dest ~bytes (Data frag))
 
 let send_control t ~dest payload =
-  Net.Nic.send t.nic (Net.Frame.make ~src:(mac t) ~dest ~bytes:t.cfg.header_bytes payload)
+  Net.Nic.send t.nic
+    (Net.Frame.make
+       ~hdr:[ (Obs.Layer.Flip, t.cfg.header_bytes) ]
+       ~src:(mac t) ~dest ~bytes:t.cfg.header_bytes payload)
 
 let rec locate t dst =
   match Hashtbl.find_opt t.pendings dst with
@@ -81,21 +90,24 @@ let rec locate t dst =
     else begin
       p.attempts <- p.attempts + 1;
       t.locates <- t.locates + 1;
+      Obs.Log.log (eng t) "flip" "locate %a (attempt %d)" Address.pp dst
+        p.attempts;
       send_control t ~dest:Net.Frame.Broadcast (Locate_req dst);
       p.timer <- Some (Sim.Engine.after (eng t) t.cfg.locate_timeout (fun () -> locate t dst))
     end
 
-let route_fragment t frag =
+let route_fragment t ?upper frag =
   let dst = frag.Fragment.dst in
   if Hashtbl.mem t.registry dst then loopback t frag
   else
     match Hashtbl.find_opt t.routes dst with
-    | Some station -> transmit_fragment t ~dest:(Net.Frame.Unicast station) frag
+    | Some station ->
+      transmit_fragment t ~dest:(Net.Frame.Unicast station) ?upper frag
     | None -> (
         match Hashtbl.find_opt t.pendings dst with
-        | Some p -> p.queued <- frag :: p.queued
+        | Some p -> p.queued <- (frag, upper) :: p.queued
         | None ->
-          let p = { queued = [ frag ]; attempts = 0; timer = None } in
+          let p = { queued = [ (frag, upper) ]; attempts = 0; timer = None } in
           Hashtbl.add t.pendings dst p;
           locate t dst)
 
@@ -103,15 +115,21 @@ let alloc_msg_id t =
   t.next_msg_id <- t.next_msg_id + 1;
   t.next_msg_id
 
-let unicast ?msg_id t ~src ~dst ~size payload =
+(* The upper-layer header travels in the message's first fragment only. *)
+let upper_for hdr frag =
+  match hdr with
+  | Some _ when frag.Fragment.index = 0 -> hdr
+  | _ -> None
+
+let unicast ?msg_id ?hdr t ~src ~dst ~size payload =
   (match dst with
    | Address.Group _ -> invalid_arg "Flip_iface.unicast: group address"
    | Address.Point _ -> ());
   let msg_id = match msg_id with Some id -> id | None -> alloc_msg_id t in
   let frags = Fragment.split ~src ~dst ~msg_id ~mtu:t.cfg.mtu ~size payload in
-  List.iter (fun frag -> route_fragment t frag) frags
+  List.iter (fun frag -> route_fragment t ?upper:(upper_for hdr frag) frag) frags
 
-let multicast ?msg_id t ~src ~group ~size payload =
+let multicast ?msg_id ?hdr t ~src ~group ~size payload =
   (match group with
    | Address.Point _ -> invalid_arg "Flip_iface.multicast: point address"
    | Address.Group _ -> ());
@@ -121,7 +139,8 @@ let multicast ?msg_id t ~src ~group ~size payload =
   in
   List.iter
     (fun frag ->
-      transmit_fragment t ~dest:Net.Frame.Multicast frag;
+      transmit_fragment t ~dest:Net.Frame.Multicast
+        ?upper:(upper_for hdr frag) frag;
       if Hashtbl.mem t.registry group then loopback t frag)
     frags
 
@@ -132,7 +151,8 @@ let flush_pending t dst station =
     (match p.timer with Some h -> Sim.Engine.cancel h | None -> ());
     Hashtbl.remove t.pendings dst;
     List.iter
-      (fun frag -> transmit_fragment t ~dest:(Net.Frame.Unicast station) frag)
+      (fun (frag, upper) ->
+        transmit_fragment t ~dest:(Net.Frame.Unicast station) ?upper frag)
       (List.rev p.queued)
 
 (* Runs in interrupt context, after the NIC's reception interrupt cost. *)

@@ -55,15 +55,21 @@ val alloc_msg_id : t -> int
     complete one reassembly (as in real FLIP). *)
 
 val unicast :
-  ?msg_id:int -> t -> src:Address.t -> dst:Address.t -> size:int -> Sim.Payload.t -> unit
+  ?msg_id:int ->
+  ?hdr:Obs.Layer.t * int ->
+  t -> src:Address.t -> dst:Address.t -> size:int -> Sim.Payload.t -> unit
 (** Unreliable datagram to a point address.  Fragments, locates if needed,
     and transmits.  Local destinations are looped back without touching the
-    wire. *)
+    wire.  [hdr] declares the upper-layer protocol header carried inside
+    [size] (attributed on the first fragment, for cost accounting only). *)
 
 val multicast :
-  ?msg_id:int -> t -> src:Address.t -> group:Address.t -> size:int -> Sim.Payload.t -> unit
+  ?msg_id:int ->
+  ?hdr:Obs.Layer.t * int ->
+  t -> src:Address.t -> group:Address.t -> size:int -> Sim.Payload.t -> unit
 (** Unreliable datagram to every machine where [group] is registered,
-    including this one (kernel loopback), using hardware multicast. *)
+    including this one (kernel loopback), using hardware multicast.
+    [hdr] as for {!unicast}. *)
 
 val fragments_of : t -> size:int -> int
 (** Number of packets a [size]-byte message produces. *)

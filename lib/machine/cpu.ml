@@ -7,6 +7,8 @@ type switch_costs = {
 type job = {
   key : int;
   prio : int;
+  label : string;
+  layer : Obs.Layer.t;
   mutable needs_switch : bool;
   mutable remaining : Sim.Time.span;
   on_complete : unit -> unit;
@@ -22,6 +24,7 @@ type running = {
 type t = {
   eng : Sim.Engine.t;
   costs : switch_costs;
+  track : string;
   mutable current : running option;
   (* One FIFO per priority level; level 0 = interrupts. *)
   ready : job Queue.t array;
@@ -34,10 +37,11 @@ let n_prios = 3
 let interrupt_key = -1
 let idle_key = -2
 
-let create eng costs =
+let create ?(name = "cpu") eng costs =
   {
     eng;
     costs;
+    track = "cpu:" ^ name;
     current = None;
     ready = Array.init n_prios (fun _ -> Queue.create ());
     last = idle_key;
@@ -69,7 +73,11 @@ let rec start t ~preempting job =
        switch twice. *)
     job.needs_switch <- false
   end;
+  (* Each switch-in charges its switch cost; requested work is charged by
+     the semantic submitter, so ledger CPU totals match [busy_time]. *)
+  Obs.Recorder.charge ~layer:job.layer ~cause:Obs.Cause.Ctx_switch switch;
   let now = Sim.Engine.now t.eng in
+  Obs.Recorder.span_begin ~track:t.track ~layer:job.layer ~name:job.label ~now;
   let total = switch + job.remaining in
   let running = { job; started = now; switch; handle = None } in
   let handle = Sim.Engine.after t.eng total (fun () -> complete t running) in
@@ -79,6 +87,7 @@ let rec start t ~preempting job =
 and complete t running =
   let now = Sim.Engine.now t.eng in
   t.busy_ns <- t.busy_ns + (now - running.started);
+  Obs.Recorder.span_end ~track:t.track ~now;
   t.current <- None;
   running.job.on_complete ();
   dispatch t
@@ -100,6 +109,7 @@ let preempt t running =
    | Some h -> Sim.Engine.cancel h
    | None -> assert false);
   t.busy_ns <- t.busy_ns + (now - running.started);
+  Obs.Recorder.span_end ~track:t.track ~now;
   (* Time spent switching in does not count as job progress. *)
   let elapsed_work = max 0 (now - running.started - running.switch) in
   running.job.remaining <- max 0 (running.job.remaining - elapsed_work);
@@ -112,9 +122,10 @@ let preempt t running =
   Queue.push running.job q;
   Queue.transfer rest q
 
-let submit ?(needs_switch = true) t ~key ~prio ~cost on_complete =
+let submit ?(needs_switch = true) ?(label = "job") ?(layer = Obs.Layer.App) t
+    ~key ~prio ~cost on_complete =
   assert (prio >= 0 && prio < n_prios);
-  let job = { key; prio; needs_switch; remaining = cost; on_complete } in
+  let job = { key; prio; label; layer; needs_switch; remaining = cost; on_complete } in
   match t.current with
   | None ->
     Queue.push job t.ready.(prio);

@@ -21,7 +21,9 @@ type switch_costs = {
   cold_preempt : Sim.Time.span;
 }
 
-val create : Sim.Engine.t -> switch_costs -> t
+val create : ?name:string -> Sim.Engine.t -> switch_costs -> t
+(** [name] (default ["cpu"]) labels this processor's observability track
+    (["cpu:<name>"]). *)
 
 val interrupt_key : int
 (** Pseudo context key used by interrupt jobs.  Interrupt jobs never update
@@ -30,13 +32,18 @@ val interrupt_key : int
 
 val submit :
   ?needs_switch:bool ->
+  ?label:string ->
+  ?layer:Obs.Layer.t ->
   t -> key:int -> prio:int -> cost:Sim.Time.span -> (unit -> unit) -> unit
 (** [submit t ~key ~prio ~cost k] queues [cost] worth of CPU work for
     context [key]; [k] runs when the work completes.  [prio] 0 is reserved
     for interrupts.  [needs_switch] (default [true]) says the context comes
     off a blocking wait, so a scheduler invocation is due even if this
     context is still the one loaded (the warm-switch case); pass [false]
-    for back-to-back work by a thread that never blocked. *)
+    for back-to-back work by a thread that never blocked.
+
+    [label]/[layer] name the job's span on the CPU track and attribute any
+    context-switch cost it incurs; they do not affect timing. *)
 
 val busy : t -> bool
 

@@ -26,7 +26,8 @@ let create eng ~id ~name config =
       cold_preempt = config.ctx_cold_preempt;
     }
   in
-  { mid = id; mname = name; eng; cpu = Cpu.create eng costs; config; stats = Sim.Stats.create () }
+  { mid = id; mname = name; eng; cpu = Cpu.create ~name eng costs; config;
+    stats = Sim.Stats.create () }
 
 let id t = t.mid
 let name t = t.mname
@@ -35,9 +36,24 @@ let cpu t = t.cpu
 let config t = t.config
 let stats t = t.stats
 
-let interrupt t ~name ~cost handler =
+let interrupt ?(layer = Obs.Layer.App) ?charges t ~name ~cost handler =
   Sim.Stats.incr t.stats ("interrupt." ^ name);
-  Cpu.submit t.cpu ~key:Cpu.interrupt_key ~prio:0
+  (* Interrupt entry is a kernel-boundary crossing; the body defaults to
+     protocol processing unless the caller itemises it. *)
+  Obs.Recorder.charge ~layer ~cause:Obs.Cause.Uk_crossing
+    t.config.interrupt_entry;
+  let itemized =
+    match charges with
+    | None -> 0
+    | Some parts ->
+      List.fold_left
+        (fun acc (ly, cause, ns) ->
+          Obs.Recorder.charge ~layer:ly ~cause ns;
+          acc + ns)
+        0 parts
+  in
+  Obs.Recorder.charge ~layer ~cause:Obs.Cause.Proto_proc (cost - itemized);
+  Cpu.submit t.cpu ~key:Cpu.interrupt_key ~prio:0 ~label:("irq:" ^ name) ~layer
     ~cost:(t.config.interrupt_entry + cost)
     handler
 

@@ -34,10 +34,18 @@ val cpu : t -> Cpu.t
 val config : t -> config
 val stats : t -> Sim.Stats.t
 
-val interrupt : t -> name:string -> cost:Sim.Time.span -> (unit -> unit) -> unit
+val interrupt :
+  ?layer:Obs.Layer.t ->
+  ?charges:(Obs.Layer.t * Obs.Cause.t * Sim.Time.span) list ->
+  t -> name:string -> cost:Sim.Time.span -> (unit -> unit) -> unit
 (** [interrupt t ~name ~cost handler] models a hardware/software interrupt:
     [cost] CPU time at top priority (preempting any thread), then [handler]
-    runs to completion in interrupt context.  Handlers must not block. *)
+    runs to completion in interrupt context.  Handlers must not block.
+
+    For cost attribution (timing is unaffected): the fixed interrupt entry
+    is charged to [(layer, Uk_crossing)]; [cost] is charged per [charges]
+    with any un-itemised remainder going to [(layer, Proto_proc)].  [layer]
+    defaults to [App]. *)
 
 val utilization : t -> until:Sim.Time.t -> float
 (** CPU busy fraction over [0, until]. *)

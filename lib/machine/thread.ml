@@ -52,9 +52,12 @@ let alive t = match t.fib with Some f -> Sim.Fiber.alive f | None -> false
 let kill t = match t.fib with Some f -> Sim.Fiber.kill f | None -> ()
 let join t = match t.fib with Some f -> Sim.Fiber.join f | None -> ()
 
-let compute d =
+(* One CPU submission of [d] work for the calling thread.  All semantic
+   entry points funnel through here so a logical operation with several
+   attributed parts still costs exactly one CPU job (identical timing to a
+   single [compute]). *)
+let submit_self t ~layer d =
   if d < 0 then invalid_arg "Thread.compute: negative duration";
-  let t = self () in
   if d = 0 then ()
   else begin
     Sim.Stats.add (Mach.stats t.mach) "cpu.requested_ns" d;
@@ -62,29 +65,63 @@ let compute d =
     t.blocked_since_run <- false;
     Sim.Fiber.suspend (fun fib resume ->
         ignore fib;
-        Cpu.submit ~needs_switch (Mach.cpu t.mach)
+        Cpu.submit ~needs_switch ~label:t.tname ~layer (Mach.cpu t.mach)
           ~key:(Sim.Fiber.id (fiber t))
           ~prio:(prio_level t.tprio) ~cost:d resume)
   end
 
-let charge_traps t n =
+let compute ?(cause = Obs.Cause.Proto_proc) ?(layer = Obs.Layer.App) d =
+  let t = self () in
+  Obs.Recorder.charge ~layer ~cause d;
+  submit_self t ~layer d
+
+let compute_parts ?(layer = Obs.Layer.App) parts =
+  let t = self () in
+  let total =
+    List.fold_left
+      (fun acc (cause, d) ->
+        if d < 0 then invalid_arg "Thread.compute_parts: negative duration";
+        Obs.Recorder.charge ~layer ~cause d;
+        acc + d)
+      0 parts
+  in
+  submit_self t ~layer total
+
+let charge_traps t ~layer n =
   if n > 0 then begin
     Sim.Stats.add (Mach.stats t.mach) "regwin.traps" n;
-    compute (n * (Mach.config t.mach).Mach.trap_cost)
+    let d = n * (Mach.config t.mach).Mach.trap_cost in
+    Obs.Recorder.charge ~layer ~cause:Obs.Cause.Regwin_trap d;
+    Obs.Recorder.count "obs.regwin.traps" n;
+    submit_self t ~layer d
   end
 
-let call_frames n =
+let call_frames ?(layer = Obs.Layer.App) n =
   let t = self () in
-  charge_traps t (Regwin.call t.regwin n)
+  charge_traps t ~layer (Regwin.call t.regwin n)
 
-let ret_frames n =
+let ret_frames ?(layer = Obs.Layer.App) n =
   let t = self () in
-  charge_traps t (Regwin.ret t.regwin n)
+  charge_traps t ~layer (Regwin.ret t.regwin n)
 
-let syscall ?(kernel_work = 0) () =
+let syscall ?(kernel_work = 0) ?(layer = Obs.Layer.App) ?charges () =
   let t = self () in
   Sim.Stats.incr (Mach.stats t.mach) "syscalls";
-  compute ((Mach.config t.mach).Mach.syscall_base + kernel_work);
+  let base = (Mach.config t.mach).Mach.syscall_base in
+  Obs.Recorder.charge ~layer ~cause:Obs.Cause.Uk_crossing base;
+  let itemized =
+    match charges with
+    | None -> 0
+    | Some parts ->
+      List.fold_left
+        (fun acc (ly, cause, ns) ->
+          Obs.Recorder.charge ~layer:ly ~cause ns;
+          acc + ns)
+        0 parts
+  in
+  Obs.Recorder.charge ~layer ~cause:Obs.Cause.Proto_proc
+    (kernel_work - itemized);
+  submit_self t ~layer (base + kernel_work);
   Regwin.syscall_save t.regwin
 
 let mark_direct_wake t = t.blocked_since_run <- false

@@ -30,20 +30,35 @@ val alive : t -> bool
 val kill : t -> unit
 val join : t -> unit
 
-val compute : Sim.Time.span -> unit
+val compute : ?cause:Obs.Cause.t -> ?layer:Obs.Layer.t -> Sim.Time.span -> unit
 (** [compute d] occupies the calling thread's CPU for [d] (plus any
-    context-switch cost and preemption delays). *)
+    context-switch cost and preemption delays).  For cost attribution only
+    (no timing effect), the work is charged to [(layer, cause)], defaulting
+    to [(App, Proto_proc)]. *)
 
-val call_frames : int -> unit
+val compute_parts :
+  ?layer:Obs.Layer.t -> (Obs.Cause.t * Sim.Time.span) list -> unit
+(** Like {!compute} on the sum of the parts — a single CPU job, identical
+    timing — but each part is attributed to its own cause. *)
+
+val call_frames : ?layer:Obs.Layer.t -> int -> unit
 (** Models descending [n] call frames; charges overflow traps. *)
 
-val ret_frames : int -> unit
+val ret_frames : ?layer:Obs.Layer.t -> int -> unit
 (** Models returning [n] call frames; charges underflow traps. *)
 
-val syscall : ?kernel_work:Sim.Time.span -> unit -> unit
+val syscall :
+  ?kernel_work:Sim.Time.span ->
+  ?layer:Obs.Layer.t ->
+  ?charges:(Obs.Layer.t * Obs.Cause.t * Sim.Time.span) list ->
+  unit -> unit
 (** One user/kernel round trip from the calling thread: charges the base
     crossing cost plus [kernel_work], and marks all register windows saved
-    so the thread's subsequent [ret_frames] suffer underflow traps. *)
+    so the thread's subsequent [ret_frames] suffer underflow traps.
+
+    Attribution (timing unaffected): the base crossing goes to
+    [(layer, Uk_crossing)]; [kernel_work] follows [charges] with any
+    remainder charged to [(layer, Proto_proc)]. *)
 
 val mark_direct_wake : t -> unit
 (** Declares that [t]'s pending wakeup is a direct return from kernel or

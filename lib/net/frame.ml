@@ -4,12 +4,16 @@ type t = {
   src : int;
   dest : dest;
   bytes : int;
+  hdr : (Obs.Layer.t * int) list;
   payload : Sim.Payload.t;
 }
 
-let make ~src ~dest ~bytes payload =
+let make ?(hdr = []) ~src ~dest ~bytes payload =
   assert (bytes >= 0);
-  { src; dest; bytes; payload }
+  assert (List.for_all (fun (_, b) -> b >= 0) hdr);
+  { src; dest; bytes; hdr; payload }
+
+let hdr_bytes t = List.fold_left (fun acc (_, b) -> acc + b) 0 t.hdr
 
 let is_for ~mac t =
   if t.src = mac then false

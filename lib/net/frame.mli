@@ -13,10 +13,18 @@ type t = {
   src : int;  (** source station (MAC) *)
   dest : dest;
   bytes : int;  (** payload size on the wire, protocol headers included *)
+  hdr : (Obs.Layer.t * int) list;
+      (** protocol-header bytes within [bytes], attributed per layer; used
+          only for cost accounting ([Header_wire]), never for timing *)
   payload : Sim.Payload.t;
 }
 
-val make : src:int -> dest:dest -> bytes:int -> Sim.Payload.t -> t
+val make :
+  ?hdr:(Obs.Layer.t * int) list ->
+  src:int -> dest:dest -> bytes:int -> Sim.Payload.t -> t
+
+val hdr_bytes : t -> int
+(** Total declared header bytes. *)
 
 val is_for : mac:int -> t -> bool
 (** Station-level filter: true for frames addressed to [mac], multicast and

@@ -60,6 +60,12 @@ let rec start_next t =
   | Some (from, frame) ->
     t.transmitting <- true;
     let wt = wire_time t frame in
+    (* Wire occupancy attributable to protocol headers (not CPU time). *)
+    List.iter
+      (fun (ly, b) ->
+        Obs.Recorder.charge ~layer:ly ~cause:Obs.Cause.Header_wire
+          (b * t.config.byte_time))
+      frame.Frame.hdr;
     t.bytes <- t.bytes + frame.Frame.bytes;
     t.frames <- t.frames + 1;
     t.busy_ns <- t.busy_ns + wt;

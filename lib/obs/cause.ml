@@ -1,0 +1,45 @@
+type t =
+  | Ctx_switch
+  | Regwin_trap
+  | Uk_crossing
+  | Fragmentation
+  | Header_wire
+  | Proto_proc
+  | Copy
+  | Idle
+
+let all =
+  [ Ctx_switch; Regwin_trap; Uk_crossing; Fragmentation; Header_wire; Proto_proc;
+    Copy; Idle ]
+
+let count = List.length all
+
+let index = function
+  | Ctx_switch -> 0
+  | Regwin_trap -> 1
+  | Uk_crossing -> 2
+  | Fragmentation -> 3
+  | Header_wire -> 4
+  | Proto_proc -> 5
+  | Copy -> 6
+  | Idle -> 7
+
+let to_string = function
+  | Ctx_switch -> "ctx_switch"
+  | Regwin_trap -> "regwin_trap"
+  | Uk_crossing -> "uk_crossing"
+  | Fragmentation -> "fragmentation"
+  | Header_wire -> "header_wire"
+  | Proto_proc -> "proto_proc"
+  | Copy -> "copy"
+  | Idle -> "idle"
+
+(* Causes that consume simulated CPU time.  Header_wire is wire/NIC time
+   attributable to protocol header bytes and Idle is derived, so neither
+   counts towards CPU occupancy. *)
+let is_cpu = function
+  | Ctx_switch | Regwin_trap | Uk_crossing | Fragmentation | Proto_proc | Copy ->
+    true
+  | Header_wire | Idle -> false
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,26 @@
+(** What a charged cost is mechanistically caused by — the paper's §4.2/§4.3
+    overhead taxonomy. *)
+
+type t =
+  | Ctx_switch  (** scheduler context switches (warm or cold) *)
+  | Regwin_trap  (** SPARC register-window overflow/underflow traps *)
+  | Uk_crossing  (** user/kernel boundary crossings (syscall base,
+                     interrupt entry, untuned user-level FLIP interface) *)
+  | Fragmentation  (** the duplicated user-space fragmentation layer *)
+  | Header_wire  (** wire and NIC time attributable to protocol header
+                     bytes (not CPU time) *)
+  | Proto_proc  (** protocol processing proper *)
+  | Copy  (** per-byte data copying *)
+  | Idle  (** derived: CPU time charged to nothing *)
+
+val all : t list
+val count : int
+
+val index : t -> int
+(** Dense index in [0, count): stable, for ledger arrays. *)
+
+val is_cpu : t -> bool
+(** Whether charges under this cause represent simulated CPU occupancy. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

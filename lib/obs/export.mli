@@ -1,0 +1,14 @@
+(** Deterministic exporters for a {!Recorder.t}. *)
+
+val chrome_trace : Recorder.t -> string
+(** Chrome [trace_event] JSON ({["{\"traceEvents\":[...]}"]}) with one
+    complete ("X") event per span and thread-name metadata per track.
+    Open [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto} and load
+    the file.  Timestamps and durations are simulated microseconds. *)
+
+val csv : Recorder.t -> string
+(** CSV dump: the (layer x cause) ledger in nanoseconds, then counters, then
+    series with count/mean/min/max and p50/p90/p99. *)
+
+val to_file : string -> string -> unit
+(** [to_file path contents] writes [contents] to [path]. *)

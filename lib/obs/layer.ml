@@ -1,0 +1,39 @@
+type t =
+  | Nic
+  | Flip
+  | Panda_sys
+  | Panda_rpc
+  | Panda_grp
+  | Amoeba_rpc
+  | Amoeba_grp
+  | Orca
+  | App
+
+let all =
+  [ Nic; Flip; Panda_sys; Panda_rpc; Panda_grp; Amoeba_rpc; Amoeba_grp; Orca; App ]
+
+let count = List.length all
+
+let index = function
+  | Nic -> 0
+  | Flip -> 1
+  | Panda_sys -> 2
+  | Panda_rpc -> 3
+  | Panda_grp -> 4
+  | Amoeba_rpc -> 5
+  | Amoeba_grp -> 6
+  | Orca -> 7
+  | App -> 8
+
+let to_string = function
+  | Nic -> "nic"
+  | Flip -> "flip"
+  | Panda_sys -> "panda_sys"
+  | Panda_rpc -> "panda_rpc"
+  | Panda_grp -> "panda_grp"
+  | Amoeba_rpc -> "amoeba_rpc"
+  | Amoeba_grp -> "amoeba_grp"
+  | Orca -> "orca"
+  | App -> "app"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

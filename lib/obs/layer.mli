@@ -1,0 +1,21 @@
+(** The protocol-stack layer a span or cost charge belongs to. *)
+
+type t =
+  | Nic  (** network interface: reception interrupts, per-byte DMA *)
+  | Flip  (** the FLIP packet layer (kernel side and user interface) *)
+  | Panda_sys  (** Panda's user-space system layer (daemon, fragmentation) *)
+  | Panda_rpc  (** Panda RPC over the system layer *)
+  | Panda_grp  (** Panda totally-ordered group communication *)
+  | Amoeba_rpc  (** Amoeba's kernel RPC *)
+  | Amoeba_grp  (** Amoeba's kernel group communication *)
+  | Orca  (** the Orca runtime system *)
+  | App  (** application / unattributed thread work *)
+
+val all : t list
+val count : int
+
+val index : t -> int
+(** Dense index in [0, count): stable, for ledger arrays. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,8 @@
+let enabled = ref false
+
+let log engine who fmt =
+  if !enabled then
+    Format.eprintf
+      ("[%a] %s: " ^^ fmt ^^ "@.")
+      Sim.Time.pp (Sim.Engine.now engine) who
+  else Format.ifprintf Format.err_formatter fmt

@@ -1,0 +1,10 @@
+(** Lightweight simulation logging on stderr (successor of [Sim.Trace]).
+
+    Disabled by default; enable (e.g. via [--obs-log]) for debugging a run.
+    Every line is prefixed with the simulated timestamp. *)
+
+val enabled : bool ref
+
+val log :
+  Sim.Engine.t -> string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [log engine who fmt ...] prints ["[<time>] <who>: ..."] when enabled. *)

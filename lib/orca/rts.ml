@@ -125,7 +125,7 @@ let guard_ok op st arg =
 (* Execute the operation body in the calling thread's context. *)
 let exec_op dom od rank op arg =
   let st = replica od rank in
-  Thread.compute (dom.rts_overhead + op.op_cost st arg);
+  Thread.compute ~layer:Obs.Layer.Orca (dom.rts_overhead + op.op_cost st arg);
   op.op_exec st arg
 
 (* After a write, re-evaluate blocked continuations at this replica; fire
@@ -337,6 +337,10 @@ let op_size op arg = op_msg_overhead + op.op_arg_size arg
 let invoke ?(nonblocking = false) { or_od = od; or_op = op } arg =
   let dom = od.od_dom in
   let rank = rank_here dom in
+  Obs.Recorder.with_span
+    (Mach.engine (Thread.machine (Thread.self ())))
+    Obs.Layer.Orca "invoke"
+  @@ fun () ->
   match od.od_placement with
   | Owned _ | Adaptive _ ->
     (* The owner is dynamic for adaptive objects; chase it until an

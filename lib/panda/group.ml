@@ -121,6 +121,11 @@ let history_length t =
 let m_eng m = Mach.engine (System_layer.machine m.m_sys)
 let data_size t size = t.cfg.header_bytes + size
 
+(* Only data-bearing messages (Gpb/Gbb/Gord) carry the group protocol
+   header inside [data_size]; accepts and control traffic are sized
+   independently and stay unattributed. *)
+let grp_hdr t = (Obs.Layer.Panda_grp, t.cfg.header_bytes)
+
 (* ------------------------------------------------------------------ *)
 (* Sequencer thread *)
 
@@ -176,7 +181,7 @@ let seq_resend t s ~seq ~to_member =
   | None -> ()
   | Some e ->
     t.n_retrans <- t.n_retrans + 1;
-    System_layer.send s.sq_sys ~dst:t.member_sys_addrs.(to_member)
+    System_layer.send ~hdr:(grp_hdr t) s.sq_sys ~dst:t.member_sys_addrs.(to_member)
       ~size:(data_size t e.e_size)
       (Gord { g_seq = e.e_seq; g_sender = e.e_sender; g_local = e.e_local;
               g_size = e.e_size; g_user = e.e_user })
@@ -185,15 +190,26 @@ let max_retrans_burst = 32
 
 let seq_handle_item t s item =
   let sys_cfg = System_layer.config s.sq_sys in
+  Obs.Recorder.with_span
+    (Mach.engine (System_layer.machine s.sq_sys))
+    Obs.Layer.Panda_grp "sequence"
+  @@ fun () ->
   (* First system call: fetch the message from the network into user
      space. *)
-  Thread.syscall ~kernel_work:sys_cfg.System_layer.user_flip_extra ();
+  Thread.syscall ~layer:Obs.Layer.Panda_grp
+    ~kernel_work:sys_cfg.System_layer.user_flip_extra
+    ~charges:
+      [ (Obs.Layer.Flip, Obs.Cause.Uk_crossing,
+         sys_cfg.System_layer.user_flip_extra) ]
+    ();
   match item with
   | It_order { o_bb; o_sender; o_local; o_size; o_user } -> (
       (* Fragment-level ordering: BB data is never copied up into the
          sequencer, only its ordering information. *)
       let copied = if o_bb then 0 else o_size in
-      Thread.compute (t.cfg.order_fixed + (copied * t.cfg.copy_byte));
+      Thread.compute_parts ~layer:Obs.Layer.Panda_grp
+        [ (Obs.Cause.Proto_proc, t.cfg.order_fixed);
+          (Obs.Cause.Copy, copied * t.cfg.copy_byte) ];
       match Hashtbl.find_opt s.ordered_ids (o_sender, o_local) with
       | Some seq -> (
           (* Duplicate: the ordering multicast was lost on the wire (for
@@ -206,7 +222,8 @@ let seq_handle_item t s item =
               System_layer.mcast s.sq_sys ~group:t.gaddr ~size:t.cfg.accept_bytes
                 (Gacc { g_seq = e.e_seq; g_sender = e.e_sender; g_local = e.e_local })
             else
-              System_layer.mcast s.sq_sys ~group:t.gaddr ~size:(data_size t e.e_size)
+              System_layer.mcast ~hdr:(grp_hdr t) s.sq_sys ~group:t.gaddr
+                ~size:(data_size t e.e_size)
                 (Gord { g_seq = e.e_seq; g_sender = e.e_sender; g_local = e.e_local;
                         g_size = e.e_size; g_user = e.e_user }))
       | None ->
@@ -224,7 +241,8 @@ let seq_handle_item t s item =
           System_layer.mcast s.sq_sys ~group:t.gaddr ~size:t.cfg.accept_bytes
             (Gacc { g_seq = e.e_seq; g_sender = o_sender; g_local = o_local })
         else
-          System_layer.mcast s.sq_sys ~group:t.gaddr ~size:(data_size t o_size)
+          System_layer.mcast ~hdr:(grp_hdr t) s.sq_sys ~group:t.gaddr
+            ~size:(data_size t o_size)
             (Gord { g_seq = e.e_seq; g_sender = o_sender; g_local = o_local;
                     g_size = o_size; g_user = o_user });
         maybe_status t s;
@@ -239,7 +257,7 @@ let seq_handle_item t s item =
     trim_history t s;
     if all_caught_up s then s.catch_up_rounds <- 0
   | It_catch_up ->
-    Thread.compute t.cfg.order_fixed;
+    Thread.compute ~layer:Obs.Layer.Panda_grp t.cfg.order_fixed;
     System_layer.mcast s.sq_sys ~group:t.gaddr ~size:t.cfg.accept_bytes
       (Gstat_req { gsr_next = s.next_seq })
 
@@ -299,8 +317,10 @@ let rec arm_gap_timer m =
              end))
 
 let deliver m e =
+  Obs.Recorder.with_span (m_eng m) Obs.Layer.Panda_grp "deliver" @@ fun () ->
   (* Ordering/delivery bookkeeping runs in the daemon thread. *)
-  if Thread.self_opt () <> None then Thread.compute m.grp.cfg.deliver_cost;
+  if Thread.self_opt () <> None then
+    Thread.compute ~layer:Obs.Layer.Panda_grp m.grp.cfg.deliver_cost;
   (match m.handler with
    | Some f -> f ~sender:e.e_sender ~size:e.e_size e.e_user
    | None -> ());
@@ -388,6 +408,7 @@ let on_member_msg m payload =
 (* Member API *)
 
 let send_impl ~blocking m ~size payload =
+  Obs.Recorder.with_span (m_eng m) Obs.Layer.Panda_grp "send" @@ fun () ->
   let t = m.grp in
   m.next_local <- m.next_local + 1;
   let bb = size > t.cfg.bb_threshold in
@@ -409,18 +430,20 @@ let send_impl ~blocking m ~size payload =
   let tag = System_layer.alloc_tag m.m_sys in
   let first_transmit () =
     if bb then
-      System_layer.mcast ~tag m.m_sys ~group:t.gaddr ~size:msg_size
+      System_layer.mcast ~tag ~hdr:(grp_hdr t) m.m_sys ~group:t.gaddr ~size:msg_size
         (Gbb { sender = m.m_index; local = sw.sw_local; size; user = payload })
     else
-      System_layer.send ~tag m.m_sys ~dst:t.saddr ~size:msg_size
+      System_layer.send ~tag ~hdr:(grp_hdr t) m.m_sys ~dst:t.saddr ~size:msg_size
         (Gpb { sender = m.m_index; local = sw.sw_local; size; user = payload })
   in
   let retransmit () =
     if bb then
-      System_layer.mcast_from_interrupt ~tag m.m_sys ~group:t.gaddr ~size:msg_size
+      System_layer.mcast_from_interrupt ~tag ~hdr:(grp_hdr t) m.m_sys
+        ~group:t.gaddr ~size:msg_size
         (Gbb { sender = m.m_index; local = sw.sw_local; size; user = payload })
     else
-      System_layer.send_from_interrupt ~tag m.m_sys ~dst:t.saddr ~size:msg_size
+      System_layer.send_from_interrupt ~tag ~hdr:(grp_hdr t) m.m_sys
+        ~dst:t.saddr ~size:msg_size
         (Gpb { sender = m.m_index; local = sw.sw_local; size; user = payload })
   in
   let rec arm () =

@@ -134,8 +134,11 @@ let note_ack_due t dst trans_id =
 
 (* --- client --- *)
 
+let rpc_hdr t = (Obs.Layer.Panda_rpc, t.cfg.header_bytes)
+
 let send_request t p ~acks =
-  System_layer.send ~tag:p.p_tag t.sys ~dst:p.p_dst ~size:(msg_size t p.p_size)
+  System_layer.send ~tag:p.p_tag ~hdr:(rpc_hdr t) t.sys ~dst:p.p_dst
+    ~size:(msg_size t p.p_size)
     (Preq { client = address t; trans_id = p.p_id; acks; size = p.p_size; user = p.p_user })
 
 let rec arm_retrans t p =
@@ -152,7 +155,8 @@ let rec arm_retrans t p =
              else begin
                p.p_tries <- p.p_tries + 1;
                t.n_retrans <- t.n_retrans + 1;
-               System_layer.send_from_interrupt ~tag:p.p_tag t.sys ~dst:p.p_dst
+               System_layer.send_from_interrupt ~tag:p.p_tag ~hdr:(rpc_hdr t)
+                 t.sys ~dst:p.p_dst
                  ~size:(msg_size t p.p_size)
                  (Preq
                     { client = address t; trans_id = p.p_id; acks = []; size = p.p_size;
@@ -161,8 +165,9 @@ let rec arm_retrans t p =
              end))
 
 let trans t ~dst ~size payload =
-  Thread.call_frames t.cfg.call_depth;
-  Thread.compute t.cfg.proc_cost;
+  Obs.Recorder.with_span (eng t) Obs.Layer.Panda_rpc "trans" @@ fun () ->
+  Thread.call_frames ~layer:Obs.Layer.Panda_rpc t.cfg.call_depth;
+  Thread.compute ~layer:Obs.Layer.Panda_rpc t.cfg.proc_cost;
   t.next_trans <- t.next_trans + 1;
   t.n_trans <- t.n_trans + 1;
   let p =
@@ -190,10 +195,10 @@ let trans t ~dst ~size payload =
     (* The reply must be acknowledged: piggybacked on the next request to
        this server, or sent explicitly after ack_delay. *)
     note_ack_due t dst p.p_id;
-    Thread.ret_frames t.cfg.call_depth;
+    Thread.ret_frames ~layer:Obs.Layer.Panda_rpc t.cfg.call_depth;
     (rsize, ruser)
   | None ->
-    Thread.ret_frames t.cfg.call_depth;
+    Thread.ret_frames ~layer:Obs.Layer.Panda_rpc t.cfg.call_depth;
     raise (Rpc_failure "panda transaction timed out")
 
 (* --- server --- *)
@@ -202,22 +207,23 @@ let pan_rpc_reply t ~client ~trans_id ~size payload =
   let rp_tag = System_layer.alloc_tag t.sys in
   Hashtbl.replace t.states (client, trans_id)
     (Replied { rp_size = size; rp_user = payload; rp_tag });
-  System_layer.send ~tag:rp_tag t.sys ~dst:client ~size:(msg_size t size)
+  System_layer.send ~tag:rp_tag ~hdr:(rpc_hdr t) t.sys ~dst:client
+    ~size:(msg_size t size)
     (Prep { trans_id; size; user = payload })
 
 (* Runs as an upcall in the system-layer daemon. *)
 let on_message t ~src ~size:_ payload =
   match payload with
   | Preq { client; trans_id; acks; size; user } ->
-    Thread.compute t.cfg.proc_cost;
+    Thread.compute ~layer:Obs.Layer.Panda_rpc t.cfg.proc_cost;
     List.iter (fun id -> Hashtbl.remove t.states (client, id)) acks;
     (match Hashtbl.find_opt t.states (client, trans_id) with
      | Some Processing -> () (* duplicate while the handler runs *)
      | Some (Replied { rp_size; rp_user; rp_tag }) ->
        (* Reply was lost: replay it under the same tag (charged to the
           daemon). *)
-       System_layer.send_from_daemon ~tag:rp_tag t.sys ~dst:client
-         ~size:(msg_size t rp_size)
+       System_layer.send_from_daemon ~tag:rp_tag ~hdr:(rpc_hdr t) t.sys
+         ~dst:client ~size:(msg_size t rp_size)
          (Prep { trans_id; size = rp_size; user = rp_user })
      | None -> (
          match t.handler with
@@ -226,11 +232,14 @@ let on_message t ~src ~size:_ payload =
            Hashtbl.replace t.states (client, trans_id) Processing;
            Queue.push (client, trans_id) t.state_order;
            bound_states t;
-           handler ~client ~size user
-             ~reply:(fun ~size payload -> pan_rpc_reply t ~client ~trans_id ~size payload)));
+           Obs.Recorder.with_span (eng t) Obs.Layer.Panda_rpc "serve"
+             (fun () ->
+               handler ~client ~size user
+                 ~reply:(fun ~size payload ->
+                   pan_rpc_reply t ~client ~trans_id ~size payload))));
     true
   | Prep { trans_id; size; user } ->
-    Thread.compute t.cfg.proc_cost;
+    Thread.compute ~layer:Obs.Layer.Panda_rpc t.cfg.proc_cost;
     (match Hashtbl.find_opt t.pending trans_id with
      | Some p when p.p_reply = None ->
        (match p.p_timer with Some h -> Sim.Engine.cancel h | None -> ());

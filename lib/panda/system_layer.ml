@@ -69,13 +69,13 @@ let inject t pan_frag =
   | None -> ()
 
 let upcall t ~src ~size payload =
-  Thread.call_frames t.cfg.upcall_depth;
+  Thread.call_frames ~layer:Obs.Layer.Panda_sys t.cfg.upcall_depth;
   let rec try_handlers = function
     | [] -> ()
     | h :: rest -> if not (h ~src ~size payload) then try_handlers rest
   in
   try_handlers t.handlers;
-  Thread.ret_frames t.cfg.upcall_depth
+  Thread.ret_frames ~layer:Obs.Layer.Panda_sys t.cfg.upcall_depth
 
 let rec daemon_loop t =
   (match Queue.take_opt t.rx_q with
@@ -84,20 +84,28 @@ let rec daemon_loop t =
      ()
    | Some frag ->
      t.n_packets <- t.n_packets + 1;
-     (* One receive system call per packet, plus the kernel-to-user copy
-        and the untuned user-level FLIP interface overhead. *)
-     Thread.syscall ~kernel_work:t.cfg.user_flip_extra ();
-     Thread.compute (t.cfg.recv_fixed + (frag.Flip.Fragment.bytes * t.cfg.copy_byte));
-     (* Shared protocol state is guarded by user-space locks; this is where
-        the paper's 7x lock traffic comes from. *)
-     Sync.Mutex.lock t.qmutex;
-     let completed = Flip.Reassembly.add t.reasm frag in
-     Sync.Mutex.unlock t.qmutex;
-     (match completed with
-      | Some (src, total, payload) ->
-        t.n_msgs_in <- t.n_msgs_in + 1;
-        upcall t ~src ~size:total payload
-      | None -> ()));
+     Obs.Recorder.with_span (Mach.engine (machine t)) Obs.Layer.Panda_sys "rx"
+       (fun () ->
+         (* One receive system call per packet, plus the kernel-to-user copy
+            and the untuned user-level FLIP interface overhead. *)
+         Thread.syscall ~layer:Obs.Layer.Panda_sys
+           ~kernel_work:t.cfg.user_flip_extra
+           ~charges:
+             [ (Obs.Layer.Flip, Obs.Cause.Uk_crossing, t.cfg.user_flip_extra) ]
+           ();
+         Thread.compute_parts ~layer:Obs.Layer.Panda_sys
+           [ (Obs.Cause.Proto_proc, t.cfg.recv_fixed);
+             (Obs.Cause.Copy, frag.Flip.Fragment.bytes * t.cfg.copy_byte) ];
+         (* Shared protocol state is guarded by user-space locks; this is
+            where the paper's 7x lock traffic comes from. *)
+         Sync.Mutex.lock t.qmutex;
+         let completed = Flip.Reassembly.add t.reasm frag in
+         Sync.Mutex.unlock t.qmutex;
+         match completed with
+         | Some (src, total, payload) ->
+           t.n_msgs_in <- t.n_msgs_in + 1;
+           upcall t ~src ~size:total payload
+         | None -> ()));
   daemon_loop t
 
 (* Sending: Panda fragments the message itself (the duplicated portable
@@ -112,45 +120,60 @@ let fragments ?tag t ~dst ~size payload =
 
 let wire_bytes t frag = t.cfg.pan_header + frag.Flip.Fragment.bytes
 
-let transmit_one t ~target frag =
+(* The upper protocol's header rides in the first Panda fragment; the Panda
+   fragmentation header itself is deliberately left unattributed (it exists
+   on both stacks' wire formats the paper compares against). *)
+let upper_for hdr (frag : Flip.Fragment.t) =
+  match hdr with Some _ when frag.Flip.Fragment.index = 0 -> hdr | _ -> None
+
+let transmit_one ?hdr t ~target frag =
   let size = wire_bytes t frag in
+  let hdr = upper_for hdr frag in
   match target with
-  | `Unicast dst -> Flip.Flip_iface.unicast t.flip ~src:t.addr ~dst ~size (Pan frag)
-  | `Mcast group -> Flip.Flip_iface.multicast t.flip ~src:t.addr ~group ~size (Pan frag)
+  | `Unicast dst ->
+    Flip.Flip_iface.unicast ?hdr t.flip ~src:t.addr ~dst ~size (Pan frag)
+  | `Mcast group ->
+    Flip.Flip_iface.multicast ?hdr t.flip ~src:t.addr ~group ~size (Pan frag)
 
-let send_from_thread ?tag t ~target ~size payload =
+let send_from_thread ?tag ?hdr t ~target ~size payload =
   t.n_msgs_out <- t.n_msgs_out + 1;
-  Thread.call_frames t.cfg.send_depth;
-  Sync.Mutex.lock t.qmutex;
-  let frags =
-    fragments ?tag t
-      ~dst:(match target with `Unicast d -> d | `Mcast g -> g)
-      ~size payload
-  in
-  Sync.Mutex.unlock t.qmutex;
-  Thread.compute t.cfg.frag_cost;
-  List.iter
-    (fun frag ->
-      Thread.syscall
-        ~kernel_work:
-          (t.cfg.user_flip_extra
-          + (frag.Flip.Fragment.bytes * t.cfg.copy_byte)
-          + Flip.Flip_iface.send_cost t.flip ~size:(wire_bytes t frag))
-        ();
-      transmit_one t ~target frag)
-    frags;
-  Thread.ret_frames t.cfg.send_depth
+  Obs.Recorder.with_span (Mach.engine (machine t)) Obs.Layer.Panda_sys "send"
+    (fun () ->
+      Thread.call_frames ~layer:Obs.Layer.Panda_sys t.cfg.send_depth;
+      Sync.Mutex.lock t.qmutex;
+      let frags =
+        fragments ?tag t
+          ~dst:(match target with `Unicast d -> d | `Mcast g -> g)
+          ~size payload
+      in
+      Sync.Mutex.unlock t.qmutex;
+      Thread.compute ~layer:Obs.Layer.Panda_sys ~cause:Obs.Cause.Fragmentation
+        t.cfg.frag_cost;
+      List.iter
+        (fun frag ->
+          let copy = frag.Flip.Fragment.bytes * t.cfg.copy_byte in
+          let out = Flip.Flip_iface.send_cost t.flip ~size:(wire_bytes t frag) in
+          Thread.syscall ~layer:Obs.Layer.Panda_sys
+            ~kernel_work:(t.cfg.user_flip_extra + copy + out)
+            ~charges:
+              [ (Obs.Layer.Flip, Obs.Cause.Uk_crossing, t.cfg.user_flip_extra);
+                (Obs.Layer.Panda_sys, Obs.Cause.Copy, copy);
+                (Obs.Layer.Flip, Obs.Cause.Proto_proc, out) ]
+            ();
+          transmit_one ?hdr t ~target frag)
+        frags;
+      Thread.ret_frames ~layer:Obs.Layer.Panda_sys t.cfg.send_depth)
 
-let send ?tag t ~dst ~size payload =
-  send_from_thread ?tag t ~target:(`Unicast dst) ~size payload
+let send ?tag ?hdr t ~dst ~size payload =
+  send_from_thread ?tag ?hdr t ~target:(`Unicast dst) ~size payload
 
-let mcast ?tag t ~group ~size payload =
-  send_from_thread ?tag t ~target:(`Mcast group) ~size payload
+let mcast ?tag ?hdr t ~group ~size payload =
+  send_from_thread ?tag ?hdr t ~target:(`Mcast group) ~size payload
 
 let send_from_daemon = send
 let mcast_from_daemon = mcast
 
-let transmit_from_interrupt ?tag t ~target ~size payload =
+let transmit_from_interrupt ?tag ?hdr t ~target ~size payload =
   t.n_msgs_out <- t.n_msgs_out + 1;
   let dst = match target with `Unicast d -> d | `Mcast g -> g in
   let frags = fragments ?tag t ~dst ~size payload in
@@ -159,18 +182,21 @@ let transmit_from_interrupt ?tag t ~target ~size payload =
       (fun acc frag -> acc + Flip.Flip_iface.send_cost t.flip ~size:(wire_bytes t frag))
       0 frags
   in
-  Mach.interrupt (machine t) ~name:"panda.retrans" ~cost (fun () ->
-      List.iter (fun frag -> transmit_one t ~target frag) frags)
+  Mach.interrupt (machine t) ~layer:Obs.Layer.Panda_sys
+    ~charges:[ (Obs.Layer.Flip, Obs.Cause.Proto_proc, cost) ]
+    ~name:"panda.retrans" ~cost (fun () ->
+      List.iter (fun frag -> transmit_one ?hdr t ~target frag) frags)
 
-let send_from_interrupt ?tag t ~dst ~size payload =
-  transmit_from_interrupt ?tag t ~target:(`Unicast dst) ~size payload
+let send_from_interrupt ?tag ?hdr t ~dst ~size payload =
+  transmit_from_interrupt ?tag ?hdr t ~target:(`Unicast dst) ~size payload
 
-let mcast_from_interrupt ?tag t ~group ~size payload =
-  transmit_from_interrupt ?tag t ~target:(`Mcast group) ~size payload
+let mcast_from_interrupt ?tag ?hdr t ~group ~size payload =
+  transmit_from_interrupt ?tag ?hdr t ~target:(`Mcast group) ~size payload
 
 let wake_blocked t resume =
   ignore t;
-  if Thread.self_opt () <> None then Thread.syscall ();
+  if Thread.self_opt () <> None then
+    Thread.syscall ~layer:Obs.Layer.Panda_sys ();
   resume ()
 
 let create ?(config = default_config) ~name flip =

@@ -52,18 +52,28 @@ val alloc_tag : t -> int
     of one logical message so fragments surviving different attempts
     complete one reassembly. *)
 
-val send : ?tag:int -> t -> dst:Flip.Address.t -> size:int -> Sim.Payload.t -> unit
+val send :
+  ?tag:int -> ?hdr:Obs.Layer.t * int ->
+  t -> dst:Flip.Address.t -> size:int -> Sim.Payload.t -> unit
 (** Sends a message from the calling user thread: Panda-fragments it and
-    issues one FLIP system call per fragment. *)
+    issues one FLIP system call per fragment.  [hdr] declares the upper
+    protocol's header carried inside [size] (first fragment only; cost
+    accounting only). *)
 
-val mcast : ?tag:int -> t -> group:Flip.Address.t -> size:int -> Sim.Payload.t -> unit
+val mcast :
+  ?tag:int -> ?hdr:Obs.Layer.t * int ->
+  t -> group:Flip.Address.t -> size:int -> Sim.Payload.t -> unit
 (** Multicast variant of {!send}. *)
 
-val send_from_daemon : ?tag:int -> t -> dst:Flip.Address.t -> size:int -> Sim.Payload.t -> unit
+val send_from_daemon :
+  ?tag:int -> ?hdr:Obs.Layer.t * int ->
+  t -> dst:Flip.Address.t -> size:int -> Sim.Payload.t -> unit
 (** Same as {!send}; named separately for call sites that run inside
     upcalls, where the daemon thread pays the system calls. *)
 
-val mcast_from_daemon : ?tag:int -> t -> group:Flip.Address.t -> size:int -> Sim.Payload.t -> unit
+val mcast_from_daemon :
+  ?tag:int -> ?hdr:Obs.Layer.t * int ->
+  t -> group:Flip.Address.t -> size:int -> Sim.Payload.t -> unit
 
 val inject : t -> Flip.Fragment.t -> unit
 (** Feeds a fragment into the daemon's receive queue exactly as the
@@ -71,12 +81,14 @@ val inject : t -> Flip.Fragment.t -> unit
     which registers the group address itself. *)
 
 val send_from_interrupt :
-  ?tag:int -> t -> dst:Flip.Address.t -> size:int -> Sim.Payload.t -> unit
+  ?tag:int -> ?hdr:Obs.Layer.t * int ->
+  t -> dst:Flip.Address.t -> size:int -> Sim.Payload.t -> unit
 (** Transmission from timer/interrupt context (protocol retransmissions):
     no thread is charged; the machine pays an interrupt-level cost. *)
 
 val mcast_from_interrupt :
-  ?tag:int -> t -> group:Flip.Address.t -> size:int -> Sim.Payload.t -> unit
+  ?tag:int -> ?hdr:Obs.Layer.t * int ->
+  t -> group:Flip.Address.t -> size:int -> Sim.Payload.t -> unit
 (** Multicast variant of {!send_from_interrupt}. *)
 
 val unwrap : Flip.Fragment.t -> Flip.Fragment.t option

@@ -1,5 +1,21 @@
 (** Named counters and numeric series for instrumenting simulations. *)
 
+(** Deterministic fixed-log-bucket histogram (16 sub-buckets per power of
+    two).  Retains only bucket counts, so memory is O(1) per series while
+    percentile queries stay within ~3% relative error.  Shared with the
+    [Obs] observability subsystem. *)
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+
+  val percentile : t -> float -> float
+  (** [percentile t p] for [p] in [0..100]: the midpoint of the bucket
+      holding the rank-[p] sample; 0 when empty.  Monotone in [p]. *)
+end
+
 type t
 
 val create : unit -> t
@@ -11,7 +27,8 @@ val add : t -> string -> int -> unit
 val counter : t -> string -> int
 (** [counter t name] is the counter's value; 0 if never touched. *)
 
-(** {1 Numeric series} — retains count/sum/min/max, not the samples. *)
+(** {1 Numeric series} — retains count/sum/min/max plus a log-bucket
+    histogram, not the raw samples. *)
 
 val record : t -> string -> float -> unit
 val count : t -> string -> int
@@ -21,6 +38,13 @@ val mean : t -> string -> float
 
 val min_value : t -> string -> float
 val max_value : t -> string -> float
+
+val percentile : t -> string -> float -> float
+(** [percentile t name p] estimates the [p]-th percentile of the series
+    from its histogram, clamped to the observed [min, max]; 0 when the
+    series is empty or unknown. *)
+
+val histogram : t -> string -> Histogram.t option
 
 val counters : t -> (string * int) list
 (** All counters, sorted by name. *)

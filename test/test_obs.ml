@@ -1,0 +1,193 @@
+(* The observability subsystem: spans balance, the cost ledger accounts for
+   exactly the CPU time the simulator spent, percentiles behave, exports
+   are deterministic, and the measured breakdown agrees with the analytic
+   differential where the two accountings coincide. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let recorded = lazy (Core.Experiments.recorded_rpc ())
+
+(* ---------- spans ---------- *)
+
+let test_span_balance () =
+  let r, _busy = Lazy.force recorded in
+  check_bool "recorded some spans" true (Obs.Recorder.n_spans r > 0);
+  check_int "no span left open" 0 (Obs.Recorder.open_spans r);
+  List.iter
+    (fun sp ->
+      check_bool "span closed" true (sp.Obs.Recorder.sp_end >= 0);
+      check_bool "span has nonnegative duration" true
+        (sp.Obs.Recorder.sp_end >= sp.Obs.Recorder.sp_begin);
+      check_bool "depth nonnegative" true (sp.Obs.Recorder.sp_depth >= 0))
+    (Obs.Recorder.spans r)
+
+let test_span_tracks () =
+  let r, _busy = Lazy.force recorded in
+  let tracks = Obs.Recorder.tracks r in
+  let has prefix =
+    List.exists
+      (fun t ->
+        String.length t >= String.length prefix
+        && String.sub t 0 (String.length prefix) = prefix)
+      tracks
+  in
+  check_bool "has CPU tracks" true (has "cpu:");
+  check_bool "has the client fiber's track" true (has "m0/client#");
+  (* Nesting exists: the user-space stack wraps trans > send > ... *)
+  check_bool "some spans are nested" true
+    (List.exists (fun sp -> sp.Obs.Recorder.sp_depth > 0) (Obs.Recorder.spans r))
+
+(* ---------- ledger ---------- *)
+
+(* Every nanosecond of CPU busy time must be attributed to exactly one
+   (layer, cause) ledger cell.  The single exception is the header share of
+   NIC reception, charged as [Header_wire] (a non-CPU cause, so the header
+   measurement matches the analytic differential) and tracked by a
+   correction counter. *)
+let test_ledger_accounts_for_cpu_time () =
+  let r, busy = Lazy.force recorded in
+  let correction = Sim.Stats.counter (Obs.Recorder.stats r) "obs.nic.header_rx_ns" in
+  check_bool "simulation did work" true (busy > 0);
+  check_int "ledger CPU total equals CPU busy time"
+    busy
+    (Obs.Recorder.cpu_ns r + correction)
+
+let test_ledger_composition () =
+  let r, _busy = Lazy.force recorded in
+  (* A user-space RPC run exercises every mechanism the paper names. *)
+  check_bool "context switches charged" true
+    (Obs.Recorder.cause_ns r Obs.Cause.Ctx_switch > 0);
+  check_bool "register-window traps charged" true
+    (Obs.Recorder.cause_ns r Obs.Cause.Regwin_trap > 0);
+  check_bool "kernel crossings charged" true
+    (Obs.Recorder.cause_ns r Obs.Cause.Uk_crossing > 0);
+  check_bool "copies charged" true (Obs.Recorder.cause_ns r Obs.Cause.Copy > 0);
+  check_bool "panda layers active" true
+    (Obs.Recorder.layer_ns r Obs.Layer.Panda_sys > 0
+     && Obs.Recorder.layer_ns r Obs.Layer.Panda_rpc > 0);
+  check_bool "kernel stack layers silent on a user run" true
+    (Obs.Recorder.layer_ns r Obs.Layer.Amoeba_rpc = 0
+     && Obs.Recorder.layer_ns r Obs.Layer.Amoeba_grp = 0)
+
+(* ---------- percentiles ---------- *)
+
+let test_percentiles () =
+  let s = Sim.Stats.create () in
+  (* A deterministic shuffle of 1..1000. *)
+  for i = 0 to 999 do
+    Sim.Stats.record s "lat" (float_of_int (((i * 467) mod 1000) + 1))
+  done;
+  let p q = Sim.Stats.percentile s "lat" q in
+  check_bool "p50 <= p90" true (p 50. <= p 90.);
+  check_bool "p90 <= p99" true (p 90. <= p 99.);
+  (* Log buckets are 1/16 octave wide: ~4.4% relative error. *)
+  check_bool "p50 near 500" true (abs_float (p 50. -. 500.) < 30.);
+  check_bool "p99 near 990" true (abs_float (p 99. -. 990.) < 60.);
+  check_bool "clamped to observed range" true (p 0. >= 1. && p 100. <= 1000.);
+  check_bool "empty series is 0" true (Sim.Stats.percentile s "nope" 50. = 0.)
+
+(* ---------- export determinism ---------- *)
+
+let test_export_determinism () =
+  let r1, _ = Core.Experiments.recorded_rpc () in
+  let r2, _ = Core.Experiments.recorded_rpc () in
+  check_string "chrome traces identical across reruns"
+    (Obs.Export.chrome_trace r1) (Obs.Export.chrome_trace r2);
+  check_string "CSVs identical across reruns" (Obs.Export.csv r1) (Obs.Export.csv r2)
+
+let test_chrome_trace_shape () =
+  let r, _ = Lazy.force recorded in
+  let trace = Obs.Export.chrome_trace r in
+  let contains needle =
+    let n = String.length needle and h = String.length trace in
+    let rec go i = i + n <= h && (String.sub trace i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "is a trace_event container" true
+    (String.length trace > 2 && String.sub trace 0 15 = {|{"traceEvents":|});
+  check_bool "names threads" true (contains {|"thread_name"|});
+  check_bool "has complete events" true (contains {|"ph":"X"|});
+  check_bool "tags layers as categories" true (contains {|"cat":"panda_rpc"|})
+
+(* ---------- measured vs analytic breakdown ---------- *)
+
+let test_measured_breakdown_matches_analytic () =
+  let rpc_m, grp_m = Core.Experiments.measured_breakdown () in
+  let analytic = Core.Experiments.rpc_breakdown () in
+  let m label = List.assoc label rpc_m in
+  let a label = List.assoc label analytic in
+  let close ?(tol = 5.) label =
+    check_bool
+      (Printf.sprintf "%s: measured %.1f ~ analytic %.1f" label (m label) (a label))
+      true
+      (abs_float (m label -. a label) <= tol)
+  in
+  (* The total gap and the components whose cost is charged exactly where
+     the differential removes it must agree tightly. *)
+  close ~tol:1. "total user-kernel gap";
+  close "context switches";
+  close "double fragmentation";
+  close "header size difference";
+  close ~tol:10. "untuned user-level FLIP interface";
+  (* Traps: the ledger charges every trap, while the differential only sees
+     the latency-critical ones (removing traps also removes knock-on
+     effects), so only sign and magnitude are comparable. *)
+  check_bool "traps measured positive" true (m "register-window traps" > 0.);
+  check_bool "traps within 2x-ish of analytic scale" true
+    (m "register-window traps" < 10. *. a "register-window traps");
+  (* Group rows: the user-path decomposition is positive for every
+     mechanism, and the header row keeps the paper's negative sign (user
+     headers are smaller). *)
+  check_bool "group gap positive" true (List.assoc "total user-kernel gap" grp_m > 0.);
+  check_bool "group header difference negative" true
+    (List.assoc "header size difference" grp_m < 0.);
+  List.iter
+    (fun label ->
+      check_bool (label ^ " positive") true (List.assoc label grp_m > 0.))
+    [
+      "context switches (user path)";
+      "register-window traps (user path)";
+      "double fragmentation (user path)";
+      "untuned user-level FLIP interface (user path)";
+    ]
+
+(* Recording must not perturb the simulation: latencies measured with a
+   recorder installed equal the unrecorded ones. *)
+let test_recording_is_zero_cost () =
+  let unrecorded = Core.Experiments.rpc_latency ~impl:`User ~size:0 () in
+  let r, _ = Lazy.force recorded in
+  ignore r;
+  let again = Core.Experiments.rpc_latency ~impl:`User ~size:0 () in
+  Alcotest.(check (float 0.)) "latency unchanged by recording" unrecorded again
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "balance" `Quick test_span_balance;
+          Alcotest.test_case "tracks and nesting" `Quick test_span_tracks;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "accounts for CPU time" `Quick
+            test_ledger_accounts_for_cpu_time;
+          Alcotest.test_case "composition" `Quick test_ledger_composition;
+        ] );
+      ( "stats",
+        [ Alcotest.test_case "percentiles" `Quick test_percentiles ] );
+      ( "export",
+        [
+          Alcotest.test_case "deterministic" `Quick test_export_determinism;
+          Alcotest.test_case "chrome trace shape" `Quick test_chrome_trace_shape;
+        ] );
+      ( "breakdown",
+        [
+          Alcotest.test_case "measured vs analytic" `Quick
+            test_measured_breakdown_matches_analytic;
+          Alcotest.test_case "recording is zero-cost" `Quick
+            test_recording_is_zero_cost;
+        ] );
+    ]
