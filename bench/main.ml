@@ -5,9 +5,17 @@
      dune exec bench/main.exe                 -- everything
      dune exec bench/main.exe -- table1       -- one artifact
      dune exec bench/main.exe -- table3 quick -- Table 3 at P in {1,8} only
+     dune exec bench/main.exe -- table3 -j 4  -- fan cells out over 4 domains
+     dune exec bench/main.exe -- table1 json  -- also write BENCH_results.json
 
-   A Bechamel group (one Test.make per table) measures the host-side cost
-   of regenerating each artifact; run it with `bechamel`. *)
+   `-j N` runs the independent simulations of each artifact on a pool of
+   N domains (default: the host's recommended domain count; `-j 1` is the
+   sequential path).  Every simulation is deterministic and confined to
+   one domain, so the printed tables are bit-identical for every N.
+
+   A Bechamel group (one Test.make per table, plus event-heap
+   microbenchmarks) measures the host-side cost of regenerating each
+   artifact; run it with `bechamel`. *)
 
 let hr title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -38,12 +46,12 @@ let paper_table3 =
       ] );
   ]
 
-let print_table1 () =
+let print_table1 ?pool () =
   hr "Table 1: communication latencies [ms] (paper values in parentheses)";
   Printf.printf
     "%6s  %-14s %-14s %-14s %-14s %-14s %-14s\n"
     "size" "unicast/user" "mcast/user" "RPC/user" "RPC/kernel" "group/user" "group/kernel";
-  let rows = Core.Experiments.table1 () in
+  let rows = Core.Experiments.table1 ?pool () in
   List.iter2
     (fun r (_, (pu, pm, pru, prk, pgu, pgk)) ->
       Printf.printf
@@ -54,7 +62,7 @@ let print_table1 () =
         r.Core.Experiments.lr_grp_kernel pgk)
     rows paper_table1
 
-let print_table2 () =
+let print_table2 ?pool () =
   hr "Table 2: communication throughputs [KB/s] (paper values in parentheses)";
   let paper = [ ("RPC", (825., 897.)); ("group", (941., 941.)) ] in
   List.iter2
@@ -62,7 +70,7 @@ let print_table2 () =
       Printf.printf "%-6s  user %5.0f (%4.0f)   kernel %5.0f (%4.0f)\n"
         r.Core.Experiments.tr_proto r.Core.Experiments.tr_user pu
         r.Core.Experiments.tr_kernel pk)
-    (Core.Experiments.table2 ())
+    (Core.Experiments.table2 ?pool ())
     paper
 
 let paper_time app impl procs =
@@ -76,12 +84,12 @@ let paper_time app impl procs =
           | Some idx -> List.nth_opt times idx
           | None -> None))
 
-let print_table3 ?(procs = [ 1; 8; 16; 32 ]) () =
+let print_table3 ?pool ?(procs = [ 1; 8; 16; 32 ]) () =
   hr "Table 3: Orca application runtimes [s] (paper values in parentheses)";
   Printf.printf "%-4s %-15s" "app" "implementation";
   List.iter (fun p -> Printf.printf "  %12s" (Printf.sprintf "P=%d" p)) procs;
   Printf.printf "  %8s\n" "speedup";
-  let outcomes = Core.Experiments.table3 ~procs () in
+  let outcomes = Core.Experiments.table3 ?pool ~procs () in
   let by_key = Hashtbl.create 64 in
   List.iter
     (fun o ->
@@ -121,9 +129,9 @@ let print_table3 ?(procs = [ 1; 8; 16; 32 ]) () =
   else
     Printf.printf "(all runs validated against host-side sequential results)\n"
 
-let print_breakdown () =
-  let rpc_analytic = Core.Experiments.rpc_breakdown () in
-  let grp_analytic = Core.Experiments.group_breakdown () in
+let print_breakdown ?pool () =
+  let rpc_analytic = Core.Experiments.rpc_breakdown ?pool () in
+  let grp_analytic = Core.Experiments.group_breakdown ?pool () in
   hr "RPC null-latency gap breakdown [us] (paper, Sec. 4.2)";
   let paper =
     [
@@ -154,7 +162,7 @@ let print_breakdown () =
       Printf.printf "  %-48s %6.0f (paper's differential ~%4.0f)\n" label v pv)
     grp_analytic paper;
   hr "Measured accounting from the cost ledger [us/round] (Sec. 4.2/4.3 re-derived)";
-  let rpc_measured, grp_measured = Core.Experiments.measured_breakdown () in
+  let rpc_measured, grp_measured = Core.Experiments.measured_breakdown ?pool () in
   let print_side analytic rows =
     List.iter
       (fun (label, v) ->
@@ -168,30 +176,85 @@ let print_breakdown () =
   Printf.printf "group (user path; total and header rows are deltas):\n";
   print_side grp_analytic grp_measured
 
-let print_ablations () =
+let print_ablations ?pool () =
   hr "Ablation: dedicated sequencer for LEQ [s]";
   List.iter
     (fun o -> Format.printf "  %a@." Core.Runner.pp_outcome o)
-    (Core.Experiments.ablation_dedicated_sequencer ~procs:[ 8; 16; 32 ] ());
+    (Core.Experiments.ablation_dedicated_sequencer ?pool ~procs:[ 8; 16; 32 ] ());
   hr "Ablation: nonblocking broadcast (paper Sec. 6 extension)";
   List.iter
     (fun (label, ms) -> Printf.printf "  %-28s %6.3f ms\n" label ms)
-    (Core.Experiments.ablation_nonblocking ());
+    (Core.Experiments.ablation_nonblocking ?pool ());
   hr "Ablation: adaptive object placement (Sec. 2 runtime heuristic)";
   List.iter
     (fun (label, v) -> Printf.printf "  %-40s %8.1f\n" label v)
-    (Core.Experiments.ablation_migration ());
+    (Core.Experiments.ablation_migration ?pool ());
   hr "Ablation: user-level network access (the paper's Sec. 6 projection)";
   List.iter
     (fun (label, v) -> Printf.printf "  %-42s %6.3f ms\n" label v)
-    (Core.Experiments.ablation_user_level_network ());
+    (Core.Experiments.ablation_user_level_network ?pool ());
   hr "Ablation: continuations vs blocked server threads (RL, P=16)";
   List.iter
     (fun (label, s) -> Printf.printf "  %-40s %6.1f s\n" label s)
-    (Core.Experiments.ablation_continuations ~procs:16 ())
+    (Core.Experiments.ablation_continuations ?pool ~procs:16 ())
 
 (* ------------------------------------------------------------------ *)
-(* Bechamel: host-side cost of regenerating each artifact. *)
+(* Wall-clock accounting, for the json report: per-artifact host
+   seconds and simulated events executed (across all pool domains). *)
+
+type timing = { tm_name : string; tm_wall : float; tm_events : int }
+
+let timings : timing list ref = ref []
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let e0 = Sim.Engine.events_total () in
+  f ();
+  let wall = Unix.gettimeofday () -. t0 in
+  let events = Sim.Engine.events_total () - e0 in
+  timings := { tm_name = name; tm_wall = wall; tm_events = events } :: !timings
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json ~jobs file =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"host\": {\"os_type\": \"%s\", \"ocaml_version\": \"%s\", \"word_size\": %d, \"recommended_domains\": %d},\n"
+       (json_escape Sys.os_type) (json_escape Sys.ocaml_version) Sys.word_size
+       (Exec.Pool.recommended ()));
+  Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  Buffer.add_string b "  \"artifacts\": [\n";
+  let rows = List.rev !timings in
+  List.iteri
+    (fun i t ->
+      let eps = if t.tm_wall > 0. then float_of_int t.tm_events /. t.tm_wall else 0. in
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"wall_seconds\": %.6f, \"sim_events\": %d, \"events_per_sec\": %.0f}%s\n"
+           (json_escape t.tm_name) t.tm_wall t.tm_events eps
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "\nwrote %s (%d artifacts, -j %d)\n" file (List.length rows) jobs
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel: host-side cost of regenerating each artifact, and
+   microbenchmarks of the event-heap hot path. *)
 
 let bechamel_tests () =
   let open Bechamel in
@@ -214,7 +277,69 @@ let bechamel_tests () =
     Test.make ~name:"breakdown-rpc"
       (Staged.stage (fun () -> ignore (Core.Experiments.rpc_breakdown ())))
   in
-  Test.make_grouped ~name:"repro" [ t1; t2; t3; tb ]
+  (* Event-heap hot paths: 1k push/pop (the engine's steady state), 1k
+     push/cancel/drain (timer churn, exercises lazy deletion and
+     compaction). *)
+  let n = 1024 in
+  let theap =
+    let h = Sim.Heap.create ~dummy:0 ~capacity:(2 * n) () in
+    Test.make ~name:"heap-push-pop-1k"
+      (Staged.stage (fun () ->
+           for i = 0 to n - 1 do
+             ignore (Sim.Heap.push h ~time:(i * 7 mod 97) i)
+           done;
+           while not (Sim.Heap.is_empty h) do
+             ignore (Sim.Heap.pop_min_exn h)
+           done))
+  in
+  let tcancel =
+    let h = Sim.Heap.create ~dummy:0 ~capacity:(2 * n) () in
+    let handles = Array.make n None in
+    Test.make ~name:"heap-push-cancel-1k"
+      (Staged.stage (fun () ->
+           for i = 0 to n - 1 do
+             handles.(i) <- Some (Sim.Heap.push h ~time:(i * 7 mod 97) i)
+           done;
+           Array.iteri
+             (fun i h' -> match h' with
+                | Some hd -> if i land 1 = 0 then Sim.Heap.cancel h hd
+                | None -> ())
+             handles;
+           while not (Sim.Heap.is_empty h) do
+             ignore (Sim.Heap.pop_min_exn h)
+           done))
+  in
+  let tengine =
+    Test.make ~name:"engine-timer-wheel-1k"
+      (Staged.stage (fun () ->
+           let e = Sim.Engine.create () in
+           for i = 1 to n do
+             ignore (Sim.Engine.at e i ignore)
+           done;
+           Sim.Engine.run e))
+  in
+  Test.make_grouped ~name:"repro" [ t1; t2; t3; tb; theap; tcancel; tengine ]
+
+(* Steady-state allocation per heap event: with the unboxed slot arrays
+   there is no per-push handle or option box, so this prints ~0. *)
+let report_heap_words () =
+  let n = 100_000 in
+  let h = Sim.Heap.create ~dummy:0 ~capacity:(2 * n) () in
+  let measure () =
+    let w0 = Gc.allocated_bytes () in
+    for i = 0 to n - 1 do
+      ignore (Sim.Heap.push h ~time:(i * 31 mod 1009) i)
+    done;
+    while not (Sim.Heap.is_empty h) do
+      ignore (Sim.Heap.pop_min_exn h)
+    done;
+    (Gc.allocated_bytes () -. w0) /. 8.
+  in
+  ignore (measure ());
+  (* warm: arrays at capacity *)
+  let words = measure () in
+  Printf.printf "  heap words/event (steady-state push+pop): %.3f\n"
+    (words /. float_of_int n)
 
 let run_bechamel () =
   hr "Bechamel: host cost of regenerating each artifact";
@@ -230,7 +355,8 @@ let run_bechamel () =
       match Analyze.OLS.estimates ols_result with
       | Some (est :: _) -> Printf.printf "  %-24s %10.3f ms/run\n" name (est /. 1e6)
       | Some [] | None -> Printf.printf "  %-24s (no estimate)\n" name)
-    results
+    results;
+  report_heap_words ()
 
 (* Observability options, recognised anywhere on the command line and
    stripped before artifact selection:
@@ -256,6 +382,23 @@ let rec strip_obs = function
     let obs, sel = strip_obs rest in
     (obs, a :: sel)
 
+(* `-j N` anywhere on the command line sets the pool size. *)
+let rec strip_jobs = function
+  | [] -> (None, [])
+  | [ "-j" ] ->
+    prerr_endline "-j needs a domain count";
+    exit 2
+  | "-j" :: n :: rest -> (
+      let jobs, sel = strip_jobs rest in
+      match int_of_string_opt n with
+      | Some j when j >= 1 -> ((match jobs with Some _ -> jobs | None -> Some j), sel)
+      | _ ->
+        Printf.eprintf "-j: bad domain count %S\n" n;
+        exit 2)
+  | a :: rest ->
+    let jobs, sel = strip_jobs rest in
+    (jobs, a :: sel)
+
 let run_obs = function
   | `Log -> ()
   | `Trace file -> (
@@ -274,15 +417,27 @@ let run_obs = function
 
 let () =
   let obs_opts, args = strip_obs (List.tl (Array.to_list Sys.argv)) in
-  if List.mem `Log obs_opts then Obs.Log.enabled := true;
-  let everything = args = [] && obs_opts = [] in
+  let jobs_opt, args = strip_jobs args in
+  if List.mem `Log obs_opts then Obs.Log.set_enabled true;
+  let jobs = match jobs_opt with Some j -> j | None -> Exec.Pool.recommended () in
+  let json = List.mem "json" args in
+  let selected = List.filter (fun a -> a <> "quick" && a <> "json") args in
+  let everything = selected = [] && obs_opts = [] in
   let quick = List.mem "quick" args in
   let procs = if quick then [ 1; 8 ] else [ 1; 8; 16; 32 ] in
-  let wants name = everything || List.mem name args || args = [ "quick" ] in
-  if wants "table1" then print_table1 ();
-  if wants "table2" then print_table2 ();
-  if wants "breakdown" then print_breakdown ();
-  if wants "table3" then print_table3 ~procs ();
-  if wants "ablation" then print_ablations ();
-  if List.mem "bechamel" args || everything then run_bechamel ();
-  List.iter run_obs obs_opts
+  let wants name = everything || List.mem name selected in
+  let with_pool f =
+    if jobs <= 1 then f ?pool:None ()
+    else Exec.Pool.with_pool ~jobs (fun p -> f ?pool:(Some p) ())
+  in
+  if wants "table1" then timed "table1" (fun () -> with_pool print_table1);
+  if wants "table2" then timed "table2" (fun () -> with_pool print_table2);
+  if wants "breakdown" then timed "breakdown" (fun () -> with_pool print_breakdown);
+  if wants "table3" then
+    timed
+      (if quick then "table3-quick" else "table3")
+      (fun () -> with_pool (fun ?pool () -> print_table3 ?pool ~procs ()));
+  if wants "ablation" then timed "ablation" (fun () -> with_pool print_ablations);
+  if List.mem "bechamel" selected || everything then run_bechamel ();
+  List.iter run_obs obs_opts;
+  if json then write_json ~jobs "BENCH_results.json"

@@ -20,6 +20,23 @@ let procs_arg =
 
 let size_arg = Arg.(value & opt int 0 & info [ "size" ] ~doc:"Message payload bytes")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Run the experiment's independent simulations on $(docv) domains. \
+           The output is bit-identical for every value; 1 (the default) is \
+           the plain sequential path."
+        ~docv:"N")
+
+(* [with_pool jobs f] runs [f ?pool] under a domain pool of [jobs]
+   workers; [jobs <= 1] passes no pool at all (the sequential path). *)
+let with_pool jobs f =
+  if jobs <= 1 then f ?pool:None ()
+  else Exec.Pool.with_pool ~jobs (fun p -> f ?pool:(Some p) ())
+
 (* --- latency --- *)
 
 let trace_arg =
@@ -43,7 +60,7 @@ let obs_log_arg =
 
 let latency_cmd =
   let run impl size trace obs obs_log =
-    if obs_log then Obs.Log.enabled := true;
+    if obs_log then Obs.Log.set_enabled true;
     let impl2 = match impl with Core.Cluster.Kernel -> `Kernel | _ -> `User in
     Printf.printf "RPC   %-6s %5d B: %.3f ms\n" (Core.Cluster.impl_label impl) size
       (Core.Experiments.rpc_latency ~impl:impl2 ~size ());
@@ -69,16 +86,16 @@ let latency_cmd =
 (* --- throughput --- *)
 
 let throughput_cmd =
-  let run () =
+  let run jobs =
     List.iter
       (fun r ->
         Printf.printf "%-6s user %6.0f KB/s   kernel %6.0f KB/s\n"
           r.Core.Experiments.tr_proto r.Core.Experiments.tr_user
           r.Core.Experiments.tr_kernel)
-      (Core.Experiments.table2 ())
+      (with_pool jobs (fun ?pool () -> Core.Experiments.table2 ?pool ()))
   in
   Cmd.v (Cmd.info "throughput" ~doc:"Measure RPC and group throughput (Table 2)")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 (* --- app --- *)
 
@@ -104,9 +121,9 @@ let app_cmd =
 (* --- tables --- *)
 
 let table_cmd name doc f =
-  Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ jobs_arg)
 
-let table1 () =
+let table1 jobs =
   List.iter
     (fun r ->
       Printf.printf "%5d  uni %.2f  mcast %.2f  rpcU %.2f  rpcK %.2f  grpU %.2f  grpK %.2f\n"
@@ -114,22 +131,23 @@ let table1 () =
         r.Core.Experiments.lr_multicast r.Core.Experiments.lr_rpc_user
         r.Core.Experiments.lr_rpc_kernel r.Core.Experiments.lr_grp_user
         r.Core.Experiments.lr_grp_kernel)
-    (Core.Experiments.table1 ())
+    (with_pool jobs (fun ?pool () -> Core.Experiments.table1 ?pool ()))
 
-let breakdown () =
-  List.iter
-    (fun (l, v) -> Printf.printf "rpc: %-40s %7.1f us\n" l v)
-    (Core.Experiments.rpc_breakdown ());
-  List.iter
-    (fun (l, v) -> Printf.printf "grp: %-40s %7.1f us\n" l v)
-    (Core.Experiments.group_breakdown ());
-  let rpc_m, grp_m = Core.Experiments.measured_breakdown () in
-  List.iter
-    (fun (l, v) -> Printf.printf "rpc measured: %-40s %7.1f us\n" l v)
-    rpc_m;
-  List.iter
-    (fun (l, v) -> Printf.printf "grp measured: %-40s %7.1f us\n" l v)
-    grp_m
+let breakdown jobs =
+  with_pool jobs (fun ?pool () ->
+      List.iter
+        (fun (l, v) -> Printf.printf "rpc: %-40s %7.1f us\n" l v)
+        (Core.Experiments.rpc_breakdown ?pool ());
+      List.iter
+        (fun (l, v) -> Printf.printf "grp: %-40s %7.1f us\n" l v)
+        (Core.Experiments.group_breakdown ?pool ());
+      let rpc_m, grp_m = Core.Experiments.measured_breakdown ?pool () in
+      List.iter
+        (fun (l, v) -> Printf.printf "rpc measured: %-40s %7.1f us\n" l v)
+        rpc_m;
+      List.iter
+        (fun (l, v) -> Printf.printf "grp measured: %-40s %7.1f us\n" l v)
+        grp_m)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))

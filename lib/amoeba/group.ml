@@ -235,7 +235,9 @@ let maybe_status_exchange t s =
    guarantees the *last* broadcast of a run reaches everyone — losing it
    leaves no later traffic to expose the gap. *)
 let rec arm_idle_check t s =
-  (match s.idle_timer with Some h -> Sim.Engine.cancel h | None -> ());
+  (match s.idle_timer with
+   | Some h -> Sim.Engine.cancel (Mach.engine (seq_mach s)) h
+   | None -> ());
   s.idle_timer <-
     Some
       (Sim.Engine.after (Mach.engine (seq_mach s)) (2 * t.cfg.retrans_timeout) (fun () ->
@@ -412,7 +414,7 @@ let membership_event m event =
       m.m_active <- false;
       (match m.gap_timer with
        | Some h ->
-         Sim.Engine.cancel h;
+         Sim.Engine.cancel (m_eng m) h;
          m.gap_timer <- None
        | None -> ());
       Hashtbl.reset m.stash;
@@ -440,7 +442,7 @@ let deliver m e =
       | Some sw ->
         Hashtbl.remove m.sends e.e_local;
         sw.sw_done <- true;
-        (match sw.sw_timer with Some h -> Sim.Engine.cancel h | None -> ());
+        (match sw.sw_timer with Some h -> Sim.Engine.cancel (m_eng m) h | None -> ());
         (match sw.sw_resume with
          | Some resume ->
            sw.sw_resume <- None;
@@ -645,7 +647,7 @@ let make_member t flip ~index ~active =
     grp = t;
     m_flip = flip;
     m_index = index;
-    m_addr = Flip.Address.fresh_point ();
+    m_addr = Flip.Address.fresh_point (Mach.engine (Flip.Flip_iface.machine flip));
     m_reasm = Flip.Reassembly.create ();
     m_active = active;
     expected = (if active then 0 else -1);
@@ -679,12 +681,13 @@ let register_member t ?seq_tap m =
 let create_static ?(config = default_config) ~name ~sequencer flips =
   let n = Array.length flips in
   assert (n > 0 && sequencer >= 0 && sequencer < n);
+  let eng = Mach.engine (Flip.Flip_iface.machine flips.(0)) in
   let t =
     {
       cfg = config;
       gname = name;
-      gaddr = Flip.Address.fresh_group ();
-      saddr = Flip.Address.fresh_point ();
+      gaddr = Flip.Address.fresh_group eng;
+      saddr = Flip.Address.fresh_point eng;
       seqst = None;
       n_ordered = 0;
       n_retrans = 0;

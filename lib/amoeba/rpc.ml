@@ -142,7 +142,7 @@ let client_input t frag =
            ~size:(wire_size t 0)
            (Ack { client = t.client_addr; trans_id });
          if p.p_reply = None then begin
-           (match p.p_timer with Some h -> Sim.Engine.cancel h | None -> ());
+           (match p.p_timer with Some h -> Sim.Engine.cancel (eng t) h | None -> ());
            p.p_reply <- Some (size, user);
            (* Amoeba delivers the reply directly into the blocked client:
               no scheduler invocation. *)
@@ -154,7 +154,9 @@ let client_input t frag =
   | Some _ | None -> ()
 
 let create ?(config = default_config) flip =
-  let client_addr = Flip.Address.fresh_point () in
+  let client_addr =
+    Flip.Address.fresh_point (Mach.engine (Flip.Flip_iface.machine flip))
+  in
   let t =
     {
       flip;
@@ -270,7 +272,7 @@ let server_input port frag =
 
 let export t ~name =
   ignore name;
-  let addr = Flip.Address.fresh_point () in
+  let addr = Flip.Address.fresh_point (eng t) in
   let port =
     {
       rpc = t;

@@ -52,6 +52,16 @@ type Sim.Payload.t += Ping
 let warmup_rounds = 2
 let measure_rounds = 10
 
+(* Every experiment below decomposes into independent simulations (cells);
+   [run_cells] evaluates them in input order — sequentially without a
+   pool (today's exact code path), concurrently with one.  Each cell
+   builds its own engine and machines, so cells share no mutable state
+   and the results are identical either way. *)
+let run_cells ?pool thunks =
+  match pool with
+  | None -> List.map (fun f -> f ()) thunks
+  | Some p -> Exec.Pool.map_list p (fun f -> f ()) thunks
+
 (* ------------------------------------------------------------------ *)
 (* Table 1: system-layer unicast/multicast (user space only) *)
 
@@ -66,7 +76,7 @@ let raw_pingpong ~mcast profile ~size () =
         Panda.System_layer.create ~config:profile.p_psys ~name:(Printf.sprintf "s%d" i) flip)
       flips
   in
-  let gaddr = Flip.Address.fresh_group () in
+  let gaddr = Flip.Address.fresh_group eng in
   if mcast then
     Array.iteri
       (fun i flip ->
@@ -276,19 +286,40 @@ type lat_row = {
   lr_grp_kernel : float;
 }
 
-let table1 ?(profile = default_profile) () =
-  List.map
-    (fun size ->
+let table1_sizes = [ 0; 1024; 2048; 3072; 4096 ]
+
+let table1 ?pool ?(profile = default_profile) ?(sizes = table1_sizes) () =
+  (* One cell per (size, column): 6 independent simulations per row. *)
+  let cells =
+    List.concat_map
+      (fun size ->
+        [
+          (fun () -> unicast_latency ~profile ~size ());
+          (fun () -> multicast_latency ~profile ~size ());
+          (fun () -> rpc_latency ~profile ~impl:`User ~size ());
+          (fun () -> rpc_latency ~profile ~impl:`Kernel ~size ());
+          (fun () -> group_latency ~profile ~impl:`User ~size ());
+          (fun () -> group_latency ~profile ~impl:`Kernel ~size ());
+        ])
+      sizes
+  in
+  let rec rows sizes vals =
+    match (sizes, vals) with
+    | [], [] -> []
+    | size :: sizes, u :: m :: ru :: rk :: gu :: gk :: vals ->
       {
         lr_size = size;
-        lr_unicast = unicast_latency ~profile ~size ();
-        lr_multicast = multicast_latency ~profile ~size ();
-        lr_rpc_user = rpc_latency ~profile ~impl:`User ~size ();
-        lr_rpc_kernel = rpc_latency ~profile ~impl:`Kernel ~size ();
-        lr_grp_user = group_latency ~profile ~impl:`User ~size ();
-        lr_grp_kernel = group_latency ~profile ~impl:`Kernel ~size ();
-      })
-    [ 0; 1024; 2048; 3072; 4096 ]
+        lr_unicast = u;
+        lr_multicast = m;
+        lr_rpc_user = ru;
+        lr_rpc_kernel = rk;
+        lr_grp_user = gu;
+        lr_grp_kernel = gk;
+      }
+      :: rows sizes vals
+    | _ -> assert false
+  in
+  rows sizes (run_cells ?pool cells)
 
 (* ------------------------------------------------------------------ *)
 (* Table 2: throughput *)
@@ -372,41 +403,47 @@ type tput_row = {
   tr_kernel : float;
 }
 
-let table2 ?(profile = default_profile) () =
-  [
-    {
-      tr_proto = "RPC";
-      tr_user = rpc_throughput profile ~impl:`User;
-      tr_kernel = rpc_throughput profile ~impl:`Kernel;
-    };
-    {
-      tr_proto = "group";
-      tr_user = group_throughput profile ~impl:`User;
-      tr_kernel = group_throughput profile ~impl:`Kernel;
-    };
-  ]
+let table2 ?pool ?(profile = default_profile) () =
+  match
+    run_cells ?pool
+      [
+        (fun () -> rpc_throughput profile ~impl:`User);
+        (fun () -> rpc_throughput profile ~impl:`Kernel);
+        (fun () -> group_throughput profile ~impl:`User);
+        (fun () -> group_throughput profile ~impl:`Kernel);
+      ]
+  with
+  | [ ru; rk; gu; gk ] ->
+    [
+      { tr_proto = "RPC"; tr_user = ru; tr_kernel = rk };
+      { tr_proto = "group"; tr_user = gu; tr_kernel = gk };
+    ]
+  | _ -> assert false
 
 (* ------------------------------------------------------------------ *)
 (* Table 3 *)
 
-let table3 ?(procs = [ 1; 8; 16; 32 ]) ?app_names () =
+let table3 ?pool ?(procs = [ 1; 8; 16; 32 ]) ?app_names () =
   let apps =
     match app_names with
     | None -> Runner.apps
     | Some names -> List.map Runner.app_named names
   in
-  List.concat_map
-    (fun app ->
-      List.concat_map
-        (fun p ->
-          let impls =
-            if app.Runner.app_name = "leq" then
-              [ Cluster.Kernel; Cluster.User; Cluster.User_dedicated ]
-            else [ Cluster.Kernel; Cluster.User ]
-          in
-          List.map (fun impl -> Runner.run ~impl ~procs:p app) impls)
-        procs)
-    apps
+  let cells =
+    List.concat_map
+      (fun app ->
+        List.concat_map
+          (fun p ->
+            let impls =
+              if app.Runner.app_name = "leq" then
+                [ Cluster.Kernel; Cluster.User; Cluster.User_dedicated ]
+              else [ Cluster.Kernel; Cluster.User ]
+            in
+            List.map (fun impl -> (impl, p, app)) impls)
+          procs)
+      apps
+  in
+  Runner.run_many ?pool cells
 
 (* ------------------------------------------------------------------ *)
 (* Breakdowns: re-measure the user/kernel gap with one mechanism at a
@@ -415,11 +452,6 @@ let table3 ?(procs = [ 1; 8; 16; 32 ]) ?app_names () =
 let null_rpc_gap profile =
   let user = rpc_latency ~profile ~impl:`User ~size:0 () in
   let kernel = rpc_latency ~profile ~impl:`Kernel ~size:0 () in
-  (user -. kernel) *. 1000.
-
-let null_group_gap profile =
-  let user = group_latency ~profile ~impl:`User ~size:0 () in
-  let kernel = group_latency ~profile ~impl:`Kernel ~size:0 () in
   (user -. kernel) *. 1000.
 
 let no_ctx_switches p =
@@ -446,34 +478,59 @@ let no_flip_extra p =
 
 (* The RPC gap decomposes cleanly as a differential (re-measure the gap
    with one mechanism free at a time). *)
-let rpc_breakdown () =
-  let base = null_rpc_gap default_profile in
-  let component transform = base -. null_rpc_gap (transform default_profile) in
-  [
-    ("total user-kernel gap", base);
-    ("context switches", component no_ctx_switches);
-    ("register-window traps", component no_traps);
-    ("double fragmentation", component no_double_frag);
-    ("header size difference", component equal_headers_rpc);
-    ("untuned user-level FLIP interface", component no_flip_extra);
-  ]
+let rpc_breakdown ?pool () =
+  let labelled =
+    [
+      ("context switches", no_ctx_switches);
+      ("register-window traps", no_traps);
+      ("double fragmentation", no_double_frag);
+      ("header size difference", equal_headers_rpc);
+      ("untuned user-level FLIP interface", no_flip_extra);
+    ]
+  in
+  let gaps =
+    run_cells ?pool
+      ((fun () -> null_rpc_gap default_profile)
+       :: List.map
+            (fun (_, transform) () -> null_rpc_gap (transform default_profile))
+            labelled)
+  in
+  match gaps with
+  | base :: rest ->
+    ("total user-kernel gap", base)
+    :: List.map2 (fun (label, _) gap -> (label, base -. gap)) labelled rest
+  | [] -> assert false
 
 (* The group paths interleave with the wire on both sides, so differential
    gaps are unstable; decompose the user-space latency itself instead (how
    much of it each mechanism costs), next to the measured total gap. *)
-let group_breakdown () =
-  let user transform =
+let group_breakdown ?pool () =
+  let user transform () =
     group_latency ~profile:(transform default_profile) ~impl:`User ~size:0 () *. 1000.
   in
-  let base = user Fun.id in
-  [
-    ("total user-kernel gap", null_group_gap default_profile);
-    ("context switches (user path)", base -. user no_ctx_switches);
-    ("register-window traps (user path)", base -. user no_traps);
-    ("double fragmentation (user path)", base -. user no_double_frag);
-    ("header size difference", base -. user equal_headers_group);
-    ("untuned user-level FLIP interface (user path)", base -. user no_flip_extra);
-  ]
+  let kernel () = group_latency ~impl:`Kernel ~size:0 () *. 1000. in
+  match
+    run_cells ?pool
+      [
+        user Fun.id;
+        kernel;
+        user no_ctx_switches;
+        user no_traps;
+        user no_double_frag;
+        user equal_headers_group;
+        user no_flip_extra;
+      ]
+  with
+  | [ base; kern; ctx; traps; frag; hdr; flip ] ->
+    [
+      ("total user-kernel gap", base -. kern);
+      ("context switches (user path)", base -. ctx);
+      ("register-window traps (user path)", base -. traps);
+      ("double fragmentation (user path)", base -. frag);
+      ("header size difference", base -. hdr);
+      ("untuned user-level FLIP interface (user path)", base -. flip);
+    ]
+  | _ -> assert false
 
 (* ------------------------------------------------------------------ *)
 (* Measured breakdowns: the same accounting derived from the observability
@@ -508,10 +565,23 @@ let recorded_null run impl =
 
 let us_per_round ns = float_of_int ns /. float_of_int measure_rounds /. 1000.
 
-let measured_breakdown () =
+let measured_breakdown ?pool () =
+  (* Four independent recorded runs; the accounting below is pure. *)
+  let runs =
+    run_cells ?pool
+      [
+        (fun () -> recorded_null rpc_run `User);
+        (fun () -> recorded_null rpc_run `Kernel);
+        (fun () -> recorded_null group_run `User);
+        (fun () -> recorded_null group_run `Kernel);
+      ]
+  in
+  let rpc_u, rpc_k, grp_u, grp_k =
+    match runs with [ a; b; c; d ] -> (a, b, c, d) | _ -> assert false
+  in
   let rpc =
-    let ru, lat_u = recorded_null rpc_run `User in
-    let rk, lat_k = recorded_null rpc_run `Kernel in
+    let ru, lat_u = rpc_u in
+    let rk, lat_k = rpc_k in
     let delta f = us_per_round (f ru - f rk) in
     let cause c r = Obs.Recorder.cause_ns r c in
     [
@@ -528,8 +598,8 @@ let measured_breakdown () =
     ]
   in
   let group =
-    let ru, lat_u = recorded_null group_run `User in
-    let rk, lat_k = recorded_null group_run `Kernel in
+    let ru, lat_u = grp_u in
+    let rk, lat_k = grp_k in
     let user f = us_per_round (f ru) in
     let cause c r = Obs.Recorder.cause_ns r c in
     [
@@ -560,17 +630,14 @@ let recorded_rpc ?(impl = `User) ?(size = 0) () =
 (* ------------------------------------------------------------------ *)
 (* Ablations *)
 
-let ablation_dedicated_sequencer ?(procs = [ 8; 16; 32 ]) () =
+let ablation_dedicated_sequencer ?pool ?(procs = [ 8; 16; 32 ]) () =
   let app = Runner.app_named "leq" in
-  List.concat_map
-    (fun p ->
-      [
-        Runner.run ~impl:Cluster.User ~procs:p app;
-        Runner.run ~impl:Cluster.User_dedicated ~procs:p app;
-      ])
-    procs
+  Runner.run_many ?pool
+    (List.concat_map
+       (fun p -> [ (Cluster.User, p, app); (Cluster.User_dedicated, p, app) ])
+       procs)
 
-let ablation_nonblocking () =
+let ablation_nonblocking ?pool () =
   (* Time the sender perceives per broadcast, blocking vs nonblocking. *)
   let measure ~nonblocking =
     let eng, machines, flips = micro_pool default_profile 2 in
@@ -601,12 +668,18 @@ let ablation_nonblocking () =
     let t1 = List.nth marks (rounds - 1) in
     Sim.Time.to_ms (t1 - t0) /. float_of_int measure_rounds
   in
-  [
-    ("blocking send (ms)", measure ~nonblocking:false);
-    ("nonblocking send (ms)", measure ~nonblocking:true);
-  ]
+  match
+    run_cells ?pool
+      [
+        (fun () -> measure ~nonblocking:false);
+        (fun () -> measure ~nonblocking:true);
+      ]
+  with
+  | [ blocking; nonblocking ] ->
+    [ ("blocking send (ms)", blocking); ("nonblocking send (ms)", nonblocking) ]
+  | _ -> assert false
 
-let ablation_migration () =
+let ablation_migration ?pool () =
   (* A central object accessed overwhelmingly by one remote process: with
      static placement every access is an RPC; the adaptive heuristic
      migrates the object to the accessor. *)
@@ -633,8 +706,19 @@ let ablation_migration () =
     Sim.Engine.run eng;
     (Sim.Time.to_ms !finish, Orca.Rts.migrations dom)
   in
-  let static_ms, _ = run (Orca.Rts.Owned 0) in
-  let adaptive_ms, migs = run (Orca.Rts.Adaptive { owner = 0; state_bytes = 128 }) in
+  let static_run, adaptive_run =
+    match
+      run_cells ?pool
+        [
+          (fun () -> run (Orca.Rts.Owned 0));
+          (fun () -> run (Orca.Rts.Adaptive { owner = 0; state_bytes = 128 }));
+        ]
+    with
+    | [ s; a ] -> (s, a)
+    | _ -> assert false
+  in
+  let static_ms, _ = static_run in
+  let adaptive_ms, migs = adaptive_run in
   [
     ("static placement (remote owner), ms", static_ms);
     ("adaptive placement, ms", adaptive_ms);
@@ -648,7 +732,7 @@ let ablation_migration () =
    network interface, so its per-packet kernel crossings and the untuned
    user-level FLIP interface go away (a trap-free fast path), while the
    kernel stack is unchanged. *)
-let ablation_user_level_network () =
+let ablation_user_level_network ?pool () =
   let user_mapped =
     { default_profile with
       p_psys =
@@ -659,12 +743,22 @@ let ablation_user_level_network () =
   in
   (* Only the user columns are meaningful under the modified machine: the
      kernel numbers come from the untouched default profile. *)
-  let base_user = rpc_latency ~impl:`User ~size:0 () in
-  let base_kernel = rpc_latency ~impl:`Kernel ~size:0 () in
-  let mapped_user = rpc_latency ~profile:user_mapped ~impl:`User ~size:0 () in
-  let grp_base_user = group_latency ~impl:`User ~size:0 () in
-  let grp_base_kernel = group_latency ~impl:`Kernel ~size:0 () in
-  let grp_mapped_user = group_latency ~profile:user_mapped ~impl:`User ~size:0 () in
+  let base_user, mapped_user, base_kernel, grp_base_user, grp_mapped_user,
+      grp_base_kernel =
+    match
+      run_cells ?pool
+        [
+          (fun () -> rpc_latency ~impl:`User ~size:0 ());
+          (fun () -> rpc_latency ~profile:user_mapped ~impl:`User ~size:0 ());
+          (fun () -> rpc_latency ~impl:`Kernel ~size:0 ());
+          (fun () -> group_latency ~impl:`User ~size:0 ());
+          (fun () -> group_latency ~profile:user_mapped ~impl:`User ~size:0 ());
+          (fun () -> group_latency ~impl:`Kernel ~size:0 ());
+        ]
+    with
+    | [ a; b; c; d; e; f ] -> (a, b, c, d, e, f)
+    | _ -> assert false
+  in
   [
     ("RPC user (today), ms", base_user);
     ("RPC user with user-level network, ms", mapped_user);
@@ -674,11 +768,14 @@ let ablation_user_level_network () =
     ("group kernel (reference), ms", grp_base_kernel);
   ]
 
-let ablation_continuations ?(procs = 16) () =
+let ablation_continuations ?pool ?(procs = 16) () =
   let app = Runner.app_named "rl" in
-  let k = Runner.run ~impl:Cluster.Kernel ~procs app in
-  let u = Runner.run ~impl:Cluster.User ~procs app in
-  [
-    ("kernel (blocked server threads), s", k.Runner.o_seconds);
-    ("user (continuations), s", u.Runner.o_seconds);
-  ]
+  match
+    Runner.run_many ?pool [ (Cluster.Kernel, procs, app); (Cluster.User, procs, app) ]
+  with
+  | [ k; u ] ->
+    [
+      ("kernel (blocked server threads), s", k.Runner.o_seconds);
+      ("user (continuations), s", u.Runner.o_seconds);
+    ]
+  | _ -> assert false

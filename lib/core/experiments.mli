@@ -17,6 +17,13 @@ type profile = {
 
 val default_profile : profile
 
+(** Every driver below optionally takes [?pool].  Each table cell,
+    latency point, breakdown arm and ablation arm is an independent
+    simulation; with a pool they run concurrently on its domains and are
+    reassembled in canonical order, so the results — and thus every
+    printed table — are identical to the sequential ([?pool] absent)
+    path. *)
+
 (** {1 Table 1: latencies} *)
 
 type lat_row = {
@@ -29,8 +36,9 @@ type lat_row = {
   lr_grp_kernel : float;
 }
 
-val table1 : ?profile:profile -> unit -> lat_row list
-(** Sizes 0..4 KB, as the paper's Table 1. *)
+val table1 :
+  ?pool:Exec.Pool.t -> ?profile:profile -> ?sizes:int list -> unit -> lat_row list
+(** Sizes 0..4 KB (override with [?sizes]), as the paper's Table 1. *)
 
 val unicast_latency : ?profile:profile -> size:int -> unit -> float
 val multicast_latency : ?profile:profile -> size:int -> unit -> float
@@ -45,28 +53,33 @@ type tput_row = {
   tr_kernel : float;  (** KB/s *)
 }
 
-val table2 : ?profile:profile -> unit -> tput_row list
+val table2 : ?pool:Exec.Pool.t -> ?profile:profile -> unit -> tput_row list
 
 (** {1 Table 3: the six applications} *)
 
 val table3 :
-  ?procs:int list -> ?app_names:string list -> unit -> Runner.outcome list
+  ?pool:Exec.Pool.t ->
+  ?procs:int list ->
+  ?app_names:string list ->
+  unit ->
+  Runner.outcome list
 (** Runs every application at each processor count under kernel-space and
     user-space protocols, plus the dedicated-sequencer variant for LEQ
     (the paper's extra row). *)
 
 (** {1 In-text breakdowns (§4.2, §4.3)} *)
 
-val rpc_breakdown : unit -> (string * float) list
+val rpc_breakdown : ?pool:Exec.Pool.t -> unit -> (string * float) list
 (** Overhead components of the user-kernel null-RPC gap, in µs, found by
     re-measuring under profiles with single mechanisms disabled.  Labels
     match the paper's accounting. *)
 
-val group_breakdown : unit -> (string * float) list
+val group_breakdown : ?pool:Exec.Pool.t -> unit -> (string * float) list
 
 (** {1 Measured breakdowns (observability ledger)} *)
 
-val measured_breakdown : unit -> (string * float) list * (string * float) list
+val measured_breakdown :
+  ?pool:Exec.Pool.t -> unit -> (string * float) list * (string * float) list
 (** [(rpc_rows, group_rows)]: the §4.2/§4.3 accounting re-derived from the
     cost-attribution ledger of recorded null-latency runs (only the
     measured rounds are recorded).  RPC rows are user-kernel deltas in µs
@@ -84,23 +97,26 @@ val recorded_rpc :
 
 (** {1 Ablations} *)
 
-val ablation_dedicated_sequencer : ?procs:int list -> unit -> Runner.outcome list
+val ablation_dedicated_sequencer :
+  ?pool:Exec.Pool.t -> ?procs:int list -> unit -> Runner.outcome list
 (** LEQ under user-space protocols with and without a dedicated
     sequencer. *)
 
-val ablation_nonblocking : unit -> (string * float) list
+val ablation_nonblocking : ?pool:Exec.Pool.t -> unit -> (string * float) list
 (** Group latency perceived by the sender: blocking vs the §6 nonblocking
     broadcast, microbenchmark. *)
 
-val ablation_migration : unit -> (string * float) list
+val ablation_migration : ?pool:Exec.Pool.t -> unit -> (string * float) list
 (** Adaptive object placement (the paper's §2 runtime heuristic) vs static
     placement, for a heavily skewed access pattern. *)
 
-val ablation_user_level_network : unit -> (string * float) list
+val ablation_user_level_network :
+  ?pool:Exec.Pool.t -> unit -> (string * float) list
 (** The paper's §6 projection: give the user-space stack direct network
     access (no per-packet system calls, no untuned FLIP interface) and
     compare its null latencies against today's stacks. *)
 
-val ablation_continuations : ?procs:int -> unit -> (string * float) list
+val ablation_continuations :
+  ?pool:Exec.Pool.t -> ?procs:int -> unit -> (string * float) list
 (** RL with guarded operations: kernel (blocked server thread) vs user
     (continuations), runtimes in seconds. *)

@@ -118,6 +118,19 @@ let run ~impl ~procs app =
     o_stats = stats;
   }
 
+let prepare app = ignore (Lazy.force app.app_reference)
+
+let run_cell (impl, procs, app) = run ~impl ~procs app
+
+let run_many ?pool cells =
+  match pool with
+  | None -> List.map run_cell cells
+  | Some p ->
+    (* Force every sequential reference before fanning out: [Lazy.force]
+       from two domains at once is a race. *)
+    List.iter (fun (_, _, app) -> prepare app) cells;
+    Exec.Pool.map_list p run_cell cells
+
 let pp_stats fmt s =
   Format.fprintf fmt
     "broadcasts=%d rpcs=%d parked=%d migrations=%d net=%dKB net-util=%.0f%% cpu-util=%.0f%% switches=%d"

@@ -37,6 +37,21 @@ type outcome = {
 
 val run : impl:Cluster.impl -> procs:int -> app -> outcome
 
+val prepare : app -> unit
+(** Forces the app's sequential reference result.  Must be called (in one
+    domain) before [run] may execute on worker domains: forcing the same
+    lazy from two domains concurrently is a race.  [run_many] does this
+    itself. *)
+
+val run_many :
+  ?pool:Exec.Pool.t -> (Cluster.impl * int * app) list -> outcome list
+(** Runs each (impl, procs, app) cell as an independent simulation and
+    returns outcomes in input order.  Without [?pool] the cells run
+    sequentially in order — exactly [List.map] over {!run}.  With a pool
+    the cells run concurrently on its domains; since every simulation is
+    deterministic and confined to one domain, the result list is
+    identical either way. *)
+
 val pp_outcome : Format.formatter -> outcome -> unit
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,112 @@
+type t = {
+  n_jobs : int;
+  mu : Mutex.t;
+  work : Condition.t;
+  tasks : (unit -> unit) Queue.t;
+  mutable closing : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let recommended () = Domain.recommended_domain_count ()
+let jobs t = t.n_jobs
+
+(* Workers block on [work] until a task arrives or the pool closes.
+   Tasks are wrapped by the submitter and never raise. *)
+let rec worker_loop t =
+  Mutex.lock t.mu;
+  while Queue.is_empty t.tasks && not t.closing do
+    Condition.wait t.work t.mu
+  done;
+  match Queue.take_opt t.tasks with
+  | None ->
+    Mutex.unlock t.mu (* closing *)
+  | Some task ->
+    Mutex.unlock t.mu;
+    task ();
+    worker_loop t
+
+let create ~jobs =
+  let t =
+    {
+      n_jobs = max 1 jobs;
+      mu = Mutex.create ();
+      work = Condition.create ();
+      tasks = Queue.create ();
+      closing = false;
+      domains = [];
+    }
+  in
+  t.domains <-
+    List.init (t.n_jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mu;
+  t.closing <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mu;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let try_pop t =
+  Mutex.lock t.mu;
+  let r = Queue.take_opt t.tasks in
+  Mutex.unlock t.mu;
+  r
+
+let map_array t f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else if t.n_jobs = 1 || n = 1 then Array.map f xs
+  else begin
+    let results = Array.make n None in
+    let remaining = Atomic.make n in
+    let done_mu = Mutex.create () in
+    let done_c = Condition.create () in
+    let run_one i =
+      let r =
+        try Ok (f xs.(i))
+        with e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      results.(i) <- Some r;
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        Mutex.lock done_mu;
+        Condition.signal done_c;
+        Mutex.unlock done_mu
+      end
+    in
+    Mutex.lock t.mu;
+    for i = 0 to n - 1 do
+      Queue.add (fun () -> run_one i) t.tasks
+    done;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mu;
+    (* The caller is one of the pool's workers while it waits.  It may
+       execute tasks from overlapping maps; that only helps. *)
+    let rec help () =
+      if Atomic.get remaining > 0 then
+        match try_pop t with
+        | Some task ->
+          task ();
+          help ()
+        | None ->
+          Mutex.lock done_mu;
+          while Atomic.get remaining > 0 do
+            Condition.wait done_c done_mu
+          done;
+          Mutex.unlock done_mu
+    in
+    help ();
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
+      results
+  end
+
+let map_list t f xs = Array.to_list (map_array t f (Array.of_list xs))

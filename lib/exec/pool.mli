@@ -1,0 +1,41 @@
+(** A fixed-size domain pool with a shared work queue.
+
+    Built on the stdlib only ([Domain], [Mutex], [Condition]): the repo
+    vendors no external parallelism library.  A pool of [jobs] workers
+    executes submitted thunks; the caller participates in draining the
+    queue while it waits, so a pool of size [j] uses at most [j] domains
+    including the caller's.
+
+    Determinism contract: [map_array]/[map_list] return results in input
+    order, regardless of which domain executed which item and in what
+    order they finished.  Jobs must be independent (they may not share
+    mutable state); each simulation engine is confined to the single
+    domain that happens to run its job. *)
+
+type t
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count ()]: the default for [-j]. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [max 0 (jobs - 1)] worker domains (the caller
+    is the remaining worker).  [jobs <= 1] spawns nothing: every map runs
+    sequentially in the calling domain, preserving the exact single-core
+    code path. *)
+
+val jobs : t -> int
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array t f xs] applies [f] to every element, possibly in
+    parallel, and returns the results in input order.  If any [f x]
+    raises, the first raising item's exception (by input index) is
+    re-raised in the caller after all items have settled. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+val shutdown : t -> unit
+(** Joins the worker domains.  The pool must be idle.  Idempotent. *)
+
+val with_pool : jobs:int -> (t -> 'b) -> 'b
+(** [with_pool ~jobs f] runs [f] with a fresh pool, shutting it down on
+    exit (normal or exceptional). *)

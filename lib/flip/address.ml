@@ -3,15 +3,11 @@ type t = Point of int | Group of int
 let point n = Point n
 let group n = Group n
 
-let counter = ref 0
-
-let fresh_point () =
-  incr counter;
-  Point !counter
-
-let fresh_group () =
-  incr counter;
-  Group !counter
+(* Fresh addresses draw from the engine's per-simulation id source: every
+   simulation allocates the same address values in the same order, no
+   matter what ran before it or concurrently with it on other domains. *)
+let fresh_point eng = Point (Sim.Engine.fresh_id eng)
+let fresh_group eng = Group (Sim.Engine.fresh_id eng)
 
 let is_group = function Group _ -> true | Point _ -> false
 let equal a b = a = b

@@ -12,10 +12,13 @@ type t =
 val point : int -> t
 val group : int -> t
 
-val fresh_point : unit -> t
-(** A globally unique point address. *)
+val fresh_point : Sim.Engine.t -> t
+(** A point address unique within the engine's simulation.  Allocation is
+    per-engine (via {!Sim.Engine.fresh_id}), so concurrent simulations
+    never share address state and each simulation sees a deterministic
+    address sequence. *)
 
-val fresh_group : unit -> t
+val fresh_group : Sim.Engine.t -> t
 
 val is_group : t -> bool
 val equal : t -> t -> bool

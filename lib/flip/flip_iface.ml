@@ -148,7 +148,7 @@ let flush_pending t dst station =
   match Hashtbl.find_opt t.pendings dst with
   | None -> ()
   | Some p ->
-    (match p.timer with Some h -> Sim.Engine.cancel h | None -> ());
+    (match p.timer with Some h -> Sim.Engine.cancel (eng t) h | None -> ());
     Hashtbl.remove t.pendings dst;
     List.iter
       (fun (frag, upper) ->

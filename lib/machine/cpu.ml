@@ -106,7 +106,7 @@ and dispatch t =
 let preempt t running =
   let now = Sim.Engine.now t.eng in
   (match running.handle with
-   | Some h -> Sim.Engine.cancel h
+   | Some h -> Sim.Engine.cancel t.eng h
    | None -> assert false);
   t.busy_ns <- t.busy_ns + (now - running.started);
   Obs.Recorder.span_end ~track:t.track ~now;

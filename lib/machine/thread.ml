@@ -11,12 +11,18 @@ type t = {
   regwin : Regwin.t;
 }
 
-let table : (int, t) Hashtbl.t = Hashtbl.create 64
+(* Fiber-id -> thread, domain-local: fiber ids are unique within a domain
+   (see [Sim.Fiber]), and each simulation runs entirely on one domain, so a
+   shared table would both race and leak entries across parallel runs. *)
+let table_key : (int, t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let table () = Domain.DLS.get table_key
 
 let self_opt () =
   match Sim.Fiber.self_opt () with
   | None -> None
-  | Some f -> Hashtbl.find_opt table (Sim.Fiber.id f)
+  | Some f -> Hashtbl.find_opt (table ()) (Sim.Fiber.id f)
 
 let self () =
   match self_opt () with
@@ -44,6 +50,7 @@ let spawn mach ?(prio = Normal) tname body =
     Sim.Fiber.spawn (Mach.engine mach) ~name:(Mach.name mach ^ "/" ^ tname) (fun () -> body ())
   in
   t.fib <- Some fib;
+  let table = table () in
   Hashtbl.replace table (Sim.Fiber.id fib) t;
   Sim.Fiber.on_exit fib (fun () -> Hashtbl.remove table (Sim.Fiber.id fib));
   t

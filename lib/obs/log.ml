@@ -1,7 +1,12 @@
-let enabled = ref false
+(* A write-once startup flag read from every domain: an atomic, not a
+   plain ref, so parallel experiment runners read it race-free. *)
+let flag = Atomic.make false
+
+let enabled () = Atomic.get flag
+let set_enabled v = Atomic.set flag v
 
 let log engine who fmt =
-  if !enabled then
+  if enabled () then
     Format.eprintf
       ("[%a] %s: " ^^ fmt ^^ "@.")
       Sim.Time.pp (Sim.Engine.now engine) who

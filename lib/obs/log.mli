@@ -1,9 +1,12 @@
 (** Lightweight simulation logging on stderr (successor of [Sim.Trace]).
 
     Disabled by default; enable (e.g. via [--obs-log]) for debugging a run.
-    Every line is prefixed with the simulated timestamp. *)
+    Every line is prefixed with the simulated timestamp.  The flag is an
+    atomic shared by all domains: set it before spawning parallel jobs
+    (their output interleaves arbitrarily on stderr). *)
 
-val enabled : bool ref
+val enabled : unit -> bool
+val set_enabled : bool -> unit
 
 val log :
   Sim.Engine.t -> string -> ('a, Format.formatter, unit, unit) format4 -> 'a

@@ -1,5 +1,5 @@
-(* The recorder is a global, optional sink for probes compiled into the
-   simulator.  When [current] is [None] every probe is a no-op, so an
+(* The recorder is a domain-local, optional sink for probes compiled into
+   the simulator.  When none is installed every probe is a no-op, so an
    uninstrumented run is bit-identical to the pre-obs simulator: probes never
    charge simulated time, they only observe it. *)
 
@@ -33,17 +33,22 @@ let create () =
     last_time = 0;
   }
 
-let current : t option ref = ref None
-let install t = current := Some t
-let uninstall () = current := None
-let active () = !current
+(* The installed recorder is domain-local: parallel experiment jobs each
+   install their own recorder on their own domain without interference, and
+   the probes' fast path stays a single DLS load + match. *)
+let current_key : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let active () = !(Domain.DLS.get current_key)
+let install t = Domain.DLS.get current_key := Some t
+let uninstall () = Domain.DLS.get current_key := None
 
 (* ---------- probes ---------- *)
 
 let touch t now = if now > t.last_time then t.last_time <- now
 
 let charge ~layer ~cause ns =
-  match !current with
+  match active () with
   | None -> ()
   | Some t ->
     if ns > 0 then begin
@@ -53,12 +58,12 @@ let charge ~layer ~cause ns =
     end
 
 let count name n =
-  match !current with
+  match active () with
   | None -> ()
   | Some t -> Sim.Stats.add t.stats name n
 
 let observe name v =
-  match !current with
+  match active () with
   | None -> ()
   | Some t -> Sim.Stats.record t.stats name v
 
@@ -69,7 +74,7 @@ let register_track t track =
   end
 
 let span_begin ~track ~layer ~name ~now =
-  match !current with
+  match active () with
   | None -> ()
   | Some t ->
     touch t now;
@@ -90,7 +95,7 @@ let span_begin ~track ~layer ~name ~now =
     t.n_spans <- t.n_spans + 1
 
 let span_end ~track ~now =
-  match !current with
+  match active () with
   | None -> ()
   | Some t -> (
     touch t now;
@@ -111,18 +116,18 @@ let fiber_track () =
   | None -> "events"
 
 let enter eng layer name =
-  match !current with
+  match active () with
   | None -> ()
   | Some _ ->
     span_begin ~track:(fiber_track ()) ~layer ~name ~now:(Sim.Engine.now eng)
 
 let leave eng =
-  match !current with
+  match active () with
   | None -> ()
   | Some _ -> span_end ~track:(fiber_track ()) ~now:(Sim.Engine.now eng)
 
 let with_span eng layer name f =
-  match !current with
+  match active () with
   | None -> f ()
   | Some _ ->
     let track = fiber_track () in

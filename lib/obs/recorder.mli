@@ -19,7 +19,9 @@ type t
 val create : unit -> t
 
 val install : t -> unit
-(** Make [t] the sink for all probes until {!uninstall}. *)
+(** Make [t] the sink for all probes on the calling domain until
+    {!uninstall}.  The installation is domain-local, so concurrent
+    experiment jobs record independently. *)
 
 val uninstall : unit -> unit
 val active : unit -> t option

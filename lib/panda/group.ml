@@ -154,8 +154,8 @@ let maybe_status t s =
 let max_catch_up_rounds = 32
 
 let rec arm_idle_check t s =
-  (match s.idle_timer with Some h -> Sim.Engine.cancel h | None -> ());
   let eng = Machine.Mach.engine (System_layer.machine s.sq_sys) in
+  (match s.idle_timer with Some h -> Sim.Engine.cancel eng h | None -> ());
   s.idle_timer <-
     Some
       (Sim.Engine.after eng (2 * t.cfg.retrans_timeout) (fun () ->
@@ -329,7 +329,7 @@ let deliver m e =
     | Some sw ->
       Hashtbl.remove m.sends e.e_local;
       sw.sw_done <- true;
-      (match sw.sw_timer with Some h -> Sim.Engine.cancel h | None -> ());
+      (match sw.sw_timer with Some h -> Sim.Engine.cancel (m_eng m) h | None -> ());
       (match sw.sw_resume with
        | Some resume ->
          sw.sw_resume <- None;
@@ -489,12 +489,13 @@ let send_nonblocking m ~size payload = send_impl ~blocking:false m ~size payload
 let create_static ?(config = default_config) ~name ~sequencer sys_layers =
   let n = Array.length sys_layers in
   assert (n > 0);
+  let eng = Machine.Mach.engine (System_layer.machine sys_layers.(0)) in
   let t =
     {
       cfg = config;
       gname = name;
-      gaddr = Flip.Address.fresh_group ();
-      saddr = Flip.Address.fresh_point ();
+      gaddr = Flip.Address.fresh_group eng;
+      saddr = Flip.Address.fresh_point eng;
       n_members = n;
       member_sys_addrs = [||];
       seqst = None;

@@ -111,7 +111,7 @@ let take_acks t dst =
     s.due <- [];
     (match s.ack_timer with
      | Some h ->
-       Sim.Engine.cancel h;
+       Sim.Engine.cancel (eng t) h;
        s.ack_timer <- None
      | None -> ());
     due
@@ -189,7 +189,7 @@ let trans t ~dst ~size payload =
   arm_retrans t p;
   if p.p_reply = None then Thread.suspend (fun _ resume -> p.p_resume <- Some resume);
   Hashtbl.remove t.pending p.p_id;
-  (match p.p_timer with Some h -> Sim.Engine.cancel h | None -> ());
+  (match p.p_timer with Some h -> Sim.Engine.cancel (eng t) h | None -> ());
   match p.p_reply with
   | Some (rsize, ruser) ->
     (* The reply must be acknowledged: piggybacked on the next request to
@@ -242,7 +242,7 @@ let on_message t ~src ~size:_ payload =
     Thread.compute ~layer:Obs.Layer.Panda_rpc t.cfg.proc_cost;
     (match Hashtbl.find_opt t.pending trans_id with
      | Some p when p.p_reply = None ->
-       (match p.p_timer with Some h -> Sim.Engine.cancel h | None -> ());
+       (match p.p_timer with Some h -> Sim.Engine.cancel (eng t) h | None -> ());
        p.p_reply <- Some (size, user);
        (match p.p_resume with
         | Some resume ->

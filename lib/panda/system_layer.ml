@@ -206,7 +206,7 @@ let create ?(config = default_config) ~name flip =
       sname = name;
       flip;
       cfg = config;
-      addr = Flip.Address.fresh_point ();
+      addr = Flip.Address.fresh_point (Machine.Mach.engine mach);
       rx_q = Queue.create ();
       rx_waiter = None;
       qmutex = Sync.Mutex.create mach;

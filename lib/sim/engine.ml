@@ -3,6 +3,8 @@ type t = {
   mutable clock : Time.t;
   mutable stopped : bool;
   mutable executed : int;
+  mutable flushed : int;  (* events already added to [total_executed] *)
+  mutable next_id : int;
 }
 
 exception Stopped
@@ -10,9 +12,28 @@ exception Fiber_failure of string * exn
 
 type handle = Heap.handle
 
-let create () = { heap = Heap.create (); clock = Time.zero; stopped = false; executed = 0 }
+(* Process-wide tally of executed events across all engines and domains,
+   flushed in batches at the end of [run] so the hot path never touches
+   shared state.  Powers the events/sec figures in the benchmark JSON. *)
+let total_executed = Atomic.make 0
+
+let events_total () = Atomic.get total_executed
+
+let create () =
+  {
+    heap = Heap.create ~dummy:ignore ();
+    clock = Time.zero;
+    stopped = false;
+    executed = 0;
+    flushed = 0;
+    next_id = 0;
+  }
 
 let now t = t.clock
+
+let fresh_id t =
+  t.next_id <- t.next_id + 1;
+  t.next_id
 
 let at t time f =
   assert (time >= t.clock);
@@ -20,34 +41,44 @@ let at t time f =
 
 let after t d f = at t (t.clock + d) f
 let schedule_now t f = at t t.clock f
-let cancel = Heap.cancel
+let cancel t h = Heap.cancel t.heap h
 
 let step t =
-  match Heap.pop t.heap with
-  | None -> false
-  | Some (time, f) ->
+  if Heap.is_empty t.heap then false
+  else begin
+    let time = Heap.min_time_exn t.heap in
+    let f = Heap.pop_min_exn t.heap in
     t.clock <- time;
     t.executed <- t.executed + 1;
     f ();
     true
+  end
+
+let flush_executed t =
+  let d = t.executed - t.flushed in
+  if d > 0 then begin
+    ignore (Atomic.fetch_and_add total_executed d);
+    t.flushed <- t.executed
+  end
 
 let run ?until t =
   t.stopped <- false;
   let continue () =
-    if t.stopped then false
+    if t.stopped || Heap.is_empty t.heap then false
     else
-      match until, Heap.peek_time t.heap with
-      | Some limit, Some next -> next <= limit
-      | _, None -> false
-      | None, Some _ -> true
+      match until with
+      | Some limit -> Heap.min_time_exn t.heap <= limit
+      | None -> true
   in
   while continue () do
     ignore (step t)
   done;
   (match until with
-   | Some limit when not t.stopped && t.clock < limit && Heap.peek_time t.heap <> None ->
+   | Some limit
+     when (not t.stopped) && t.clock < limit && not (Heap.is_empty t.heap) ->
      t.clock <- limit
-   | _ -> ())
+   | _ -> ());
+  flush_executed t
 
 let stop t = t.stopped <- true
 let pending t = Heap.live_size t.heap

@@ -3,7 +3,12 @@
     A single priority queue of timestamped callbacks.  [run] repeatedly pops
     the earliest event, advances the clock to its timestamp and executes its
     callback; callbacks schedule further events.  Equal-time events run in
-    scheduling order, so the simulation is fully deterministic. *)
+    scheduling order, so the simulation is fully deterministic.
+
+    An engine is single-domain mutable state: one engine must only ever be
+    driven from one domain at a time.  Distinct engines are fully
+    independent, so independent simulations may run concurrently on
+    OCaml 5 domains (see [Exec.Pool]). *)
 
 type t
 
@@ -18,6 +23,12 @@ val create : unit -> t
 val now : t -> Time.t
 (** Current simulated time. *)
 
+val fresh_id : t -> int
+(** A small unique id scoped to this engine (1, 2, 3, ...).  Layers that
+    need simulation-unique identifiers (e.g. FLIP addresses) draw from
+    here, so every simulation sees the same id sequence regardless of what
+    ran before it or concurrently with it. *)
+
 type handle = Heap.handle
 
 val at : t -> Time.t -> (unit -> unit) -> handle
@@ -31,7 +42,9 @@ val schedule_now : t -> (unit -> unit) -> handle
 (** [schedule_now t f] runs [f] at the current instant, after all callbacks
     already scheduled for this instant. *)
 
-val cancel : handle -> unit
+val cancel : t -> handle -> unit
+(** [cancel t hd] descheduled the event.  Idempotent; harmless after the
+    event fired. *)
 
 val run : ?until:Time.t -> t -> unit
 (** [run t] executes events until none remain, [stop] is called, or the
@@ -45,7 +58,11 @@ val stop : t -> unit
 (** Makes the active [run] return after the current callback. *)
 
 val pending : t -> int
-(** Number of live events still queued. *)
+(** Number of live events still queued.  O(1). *)
 
 val events_executed : t -> int
 (** Total callbacks executed so far; a cheap progress / complexity probe. *)
+
+val events_total : unit -> int
+(** Process-wide count of events executed by all engines on all domains
+    (updated when each [run] returns). *)

@@ -17,22 +17,27 @@ exception Killed
 
 type _ Effect.t += Suspend : (t -> (unit -> unit) -> unit) -> unit Effect.t
 
-let next_id = ref 0
-let current : t option ref = ref None
+(* Both the fiber-id counter and the currently-running fiber are
+   domain-local: each Exec.Pool worker domain drives its own engines, and
+   sharing either across domains would race.  Ids stay unique within a
+   domain, which is all [Thread]'s fiber-keyed table needs. *)
+let next_id = Domain.DLS.new_key (fun () -> ref 0)
+let current = Domain.DLS.new_key (fun () : t option ref -> ref None)
 
 let with_current fiber f =
+  let current = Domain.DLS.get current in
   let saved = !current in
   current := Some fiber;
   Fun.protect ~finally:(fun () -> current := saved) f
 
-let self_opt () = !current
+let self_opt () = !(Domain.DLS.get current)
 
 let self () =
-  match !current with
+  match self_opt () with
   | Some f -> f
   | None -> invalid_arg "Fiber.self: not inside a fiber"
 
-let in_fiber () = !current <> None
+let in_fiber () = self_opt () <> None
 let name t = t.fname
 let id t = t.fid
 let alive t = t.state <> Dead
@@ -91,6 +96,7 @@ let handler fiber =
   }
 
 let spawn eng ?(name = "fiber") f =
+  let next_id = Domain.DLS.get next_id in
   incr next_id;
   let fiber =
     {
@@ -123,7 +129,7 @@ let set_wake_cleanup fiber f = fiber.wake_cleanup <- Some f
 let sleep d =
   suspend (fun fiber resume ->
       let h = Engine.after fiber.eng d resume in
-      set_wake_cleanup fiber (fun () -> Engine.cancel h))
+      set_wake_cleanup fiber (fun () -> Engine.cancel fiber.eng h))
 
 let yield () = sleep 0
 

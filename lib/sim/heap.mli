@@ -1,15 +1,27 @@
-(** Binary min-heap of timestamped events.
+(** Binary min-heap of timestamped events, unboxed.
 
-    Events with equal timestamps pop in insertion order (FIFO), which keeps
-    the simulation deterministic.  Cancellation is lazy: a cancelled event
-    stays in the heap until it reaches the top and is then discarded. *)
+    Events live in parallel int/value arrays ("slots"); the heap orders slot
+    indices by (time, push sequence), so events with equal timestamps pop in
+    insertion order (FIFO), which keeps the simulation deterministic.
+
+    The hot path allocates nothing: [push] returns an immediate-int handle
+    and [pop_min_exn]/[min_time_exn] return unboxed values.  Cancellation is
+    lazy — a cancelled event is skipped when it reaches the top — but the
+    heap compacts itself in place whenever cancelled entries outnumber live
+    ones, so a timer-heavy workload cannot grow the heap unboundedly. *)
 
 type 'a t
 
-type handle
-(** Identifies a scheduled event so it can be cancelled. *)
+type handle = private int
+(** Identifies a scheduled event so it can be cancelled.  An immediate int
+    (no allocation); generation-tagged, so using a handle after its event
+    fired or was collected is harmless. *)
 
-val create : unit -> 'a t
+exception Empty
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] is an empty heap.  [dummy] fills vacated value cells
+    (it is never returned); pass any value of the element type. *)
 
 val push : 'a t -> time:Time.t -> 'a -> handle
 (** [push h ~time v] schedules [v] at [time] and returns its handle. *)
@@ -18,16 +30,30 @@ val pop : 'a t -> (Time.t * 'a) option
 (** [pop h] removes and returns the earliest live event, skipping cancelled
     ones, or [None] if the heap holds no live event. *)
 
+val is_empty : 'a t -> bool
+(** No live event remains (discards cancelled entries at the top). *)
+
+val min_time_exn : 'a t -> Time.t
+(** Timestamp of the earliest live event.  @raise Empty if none. *)
+
+val pop_min_exn : 'a t -> 'a
+(** Removes and returns the earliest live event without allocating.
+    @raise Empty if none. *)
+
 val peek_time : 'a t -> Time.t option
 (** [peek_time h] is the timestamp of the earliest live event. *)
 
-val cancel : handle -> unit
-(** [cancel hd] marks the event as dead.  Idempotent. *)
+val cancel : 'a t -> handle -> unit
+(** [cancel h hd] marks the event as dead.  Idempotent; a no-op if the
+    event already fired or was already collected. *)
 
-val cancelled : handle -> bool
+val cancelled : 'a t -> handle -> bool
+(** True while the heap still holds [hd]'s entry in cancelled state (after
+    the entry is collected — or if it fired normally — this is [false]). *)
 
 val size : 'a t -> int
 (** Number of entries still stored, including cancelled ones. *)
 
 val live_size : 'a t -> int
-(** Number of entries not yet cancelled. *)
+(** Number of entries not yet cancelled.  O(1): the counter is maintained
+    eagerly on push, pop and cancel. *)

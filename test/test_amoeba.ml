@@ -198,7 +198,7 @@ let test_rpc_failure_when_no_server () =
   let failed = ref false in
   ignore
     (Thread.spawn fx.machines.(0) "client" (fun () ->
-         match Rpc.trans crpc ~dst:(Address.fresh_point ()) ~size:4 (Num 1) with
+         match Rpc.trans crpc ~dst:(Address.fresh_point fx.eng) ~size:4 (Num 1) with
          | _ -> ()
          | exception Rpc.Rpc_failure _ -> failed := true));
   Engine.run fx.eng;

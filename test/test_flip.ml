@@ -135,10 +135,10 @@ let prop_reassembly_identity =
 
 let test_unicast_with_locate () =
   let e, _machines, _topo, flips = pool 2 in
-  let addr = Address.fresh_point () in
+  let addr = Address.fresh_point e in
   let got = ref [] in
   Flip_iface.register flips.(1) addr (fun frag -> got := frag :: !got);
-  Flip_iface.unicast flips.(0) ~src:(Address.fresh_point ()) ~dst:addr ~size:4096
+  Flip_iface.unicast flips.(0) ~src:(Address.fresh_point e) ~dst:addr ~size:4096
     (Probe 42);
   Engine.run e;
   check_int "three fragments arrive" 3 (List.length !got);
@@ -147,7 +147,7 @@ let test_unicast_with_locate () =
     (List.for_all (fun f -> f.Fragment.payload = Probe 42) !got);
   (* Second message reuses the cached route: no further locates. *)
   got := [];
-  Flip_iface.unicast flips.(0) ~src:(Address.fresh_point ()) ~dst:addr ~size:100
+  Flip_iface.unicast flips.(0) ~src:(Address.fresh_point e) ~dst:addr ~size:100
     (Probe 43);
   Engine.run e;
   check_int "cached route" 1 (Flip_iface.locates_sent flips.(0));
@@ -155,10 +155,10 @@ let test_unicast_with_locate () =
 
 let test_unicast_loopback () =
   let e, _machines, topo, flips = pool 2 in
-  let addr = Address.fresh_point () in
+  let addr = Address.fresh_point e in
   let got = ref 0 in
   Flip_iface.register flips.(0) addr (fun _ -> incr got);
-  Flip_iface.unicast flips.(0) ~src:(Address.fresh_point ()) ~dst:addr ~size:3000
+  Flip_iface.unicast flips.(0) ~src:(Address.fresh_point e) ~dst:addr ~size:3000
     Payload.Empty;
   Engine.run e;
   check_int "fragments looped back" 3 !got;
@@ -166,11 +166,11 @@ let test_unicast_loopback () =
 
 let test_multicast_group_membership () =
   let e, _machines, _topo, flips = pool 3 in
-  let grp = Address.fresh_group () in
+  let grp = Address.fresh_group e in
   let got = Array.make 3 0 in
   Flip_iface.register flips.(0) grp (fun _ -> got.(0) <- got.(0) + 1);
   Flip_iface.register flips.(2) grp (fun _ -> got.(2) <- got.(2) + 1);
-  Flip_iface.multicast flips.(0) ~src:(Address.fresh_point ()) ~group:grp ~size:2000
+  Flip_iface.multicast flips.(0) ~src:(Address.fresh_point e) ~group:grp ~size:2000
     Payload.Empty;
   Engine.run e;
   check_int "sender loopback" 2 got.(0);
@@ -179,7 +179,7 @@ let test_multicast_group_membership () =
 
 let test_locate_retries_after_loss () =
   let e, _machines, topo, flips = pool 2 in
-  let addr = Address.fresh_point () in
+  let addr = Address.fresh_point e in
   let got = ref 0 in
   Flip_iface.register flips.(1) addr (fun _ -> incr got);
   (* Drop the first broadcast (the locate request). *)
@@ -192,7 +192,7 @@ let test_locate_retries_after_loss () =
            true
          end
          else false));
-  Flip_iface.unicast flips.(0) ~src:(Address.fresh_point ()) ~dst:addr ~size:10
+  Flip_iface.unicast flips.(0) ~src:(Address.fresh_point e) ~dst:addr ~size:10
     Payload.Empty;
   Engine.run e;
   check_int "one drop" 1 !dropped;
@@ -202,18 +202,18 @@ let test_locate_retries_after_loss () =
 let test_locate_gives_up () =
   let e, _machines, _topo, flips = pool 2 in
   (* Address registered nowhere: locate retries then drops the message. *)
-  Flip_iface.unicast flips.(0) ~src:(Address.fresh_point ())
-    ~dst:(Address.fresh_point ()) ~size:10 Payload.Empty;
+  Flip_iface.unicast flips.(0) ~src:(Address.fresh_point e)
+    ~dst:(Address.fresh_point e) ~size:10 Payload.Empty;
   Engine.run e;
   check_int "bounded retries" (Flip_iface.default_config.Flip_iface.locate_retries)
     (Flip_iface.locates_sent flips.(0))
 
 let test_cross_segment_unicast () =
   let e, _machines, _topo, flips = pool 16 in
-  let addr = Address.fresh_point () in
+  let addr = Address.fresh_point e in
   let got = ref 0 in
   Flip_iface.register flips.(12) addr (fun _ -> incr got);
-  Flip_iface.unicast flips.(0) ~src:(Address.fresh_point ()) ~dst:addr ~size:100
+  Flip_iface.unicast flips.(0) ~src:(Address.fresh_point e) ~dst:addr ~size:100
     Payload.Empty;
   Engine.run e;
   check_int "delivered across switch" 1 !got

@@ -9,7 +9,7 @@ let check_bool = Alcotest.(check bool)
 (* Heap *)
 
 let test_heap_ordering () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:"" () in
   ignore (Heap.push h ~time:30 "c");
   ignore (Heap.push h ~time:10 "a");
   ignore (Heap.push h ~time:20 "b");
@@ -21,7 +21,7 @@ let test_heap_ordering () =
   Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c"; "END" ] [ p1; p2; p3; p4 ]
 
 let test_heap_fifo_ties () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:0 () in
   for i = 0 to 9 do
     ignore (Heap.push h ~time:5 i)
   done;
@@ -29,11 +29,11 @@ let test_heap_fifo_ties () =
   Alcotest.(check (list int)) "fifo" (List.init 10 Fun.id) order
 
 let test_heap_cancel () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:"" () in
   let a = Heap.push h ~time:1 "a" in
   ignore (Heap.push h ~time:2 "b");
-  Heap.cancel a;
-  check_bool "cancelled" true (Heap.cancelled a);
+  Heap.cancel h a;
+  check_bool "cancelled" true (Heap.cancelled h a);
   check_int "live" 1 (Heap.live_size h);
   (match Heap.pop h with
    | Some (t, v) ->
@@ -43,17 +43,17 @@ let test_heap_cancel () =
   check_bool "empty" true (Heap.pop h = None)
 
 let test_heap_peek_skips_cancelled () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:"" () in
   let a = Heap.push h ~time:1 "a" in
   ignore (Heap.push h ~time:7 "b");
-  Heap.cancel a;
+  Heap.cancel h a;
   Alcotest.(check (option int)) "peek" (Some 7) (Heap.peek_time h)
 
 let prop_heap_sorted =
   QCheck.Test.make ~name:"heap pops sorted" ~count:200
     QCheck.(list (int_bound 10_000))
     (fun times ->
-      let h = Heap.create () in
+      let h = Heap.create ~dummy:0 () in
       List.iter (fun t -> ignore (Heap.push h ~time:t t)) times;
       let rec drain acc =
         match Heap.pop h with Some (t, _) -> drain (t :: acc) | None -> List.rev acc
@@ -65,13 +65,13 @@ let prop_heap_cancel_subset =
   QCheck.Test.make ~name:"cancelled events never pop" ~count:200
     QCheck.(list (pair (int_bound 1_000) bool))
     (fun entries ->
-      let h = Heap.create () in
+      let h = Heap.create ~dummy:0 () in
       let keep =
         List.filter_map
           (fun (t, cancel_it) ->
             let hd = Heap.push h ~time:t t in
             if cancel_it then begin
-              Heap.cancel hd;
+              Heap.cancel h hd;
               None
             end
             else Some t)
@@ -81,6 +81,109 @@ let prop_heap_cancel_subset =
         match Heap.pop h with Some (t, _) -> drain (t :: acc) | None -> List.rev acc
       in
       drain [] = List.sort compare keep)
+
+(* Model-based test: drive the slot heap with a random interleaving of
+   push / pop / cancel and compare every observation against a naive
+   reference model (an association list ordered by (time, seq)).  Also
+   checks the compaction invariant after each step: dead entries never
+   outnumber live ones once the heap is past its initial capacity. *)
+let prop_heap_model =
+  QCheck.Test.make ~name:"heap matches reference model" ~count:150
+    QCheck.(list (pair (int_bound 2) (int_bound 500)))
+    (fun ops ->
+      let h = Heap.create ~dummy:(-1) () in
+      (* model entries: (time, seq, handle), live only *)
+      let model = ref [] in
+      let next_seq = ref 0 in
+      let model_min () =
+        List.fold_left
+          (fun acc ((t, s, _) as e) ->
+            match acc with
+            | None -> Some e
+            | Some (t', s', _) ->
+              if t < t' || (t = t' && s < s') then Some e else acc)
+          None !model
+      in
+      let ok = ref true in
+      let check b = if not b then ok := false in
+      let invariants () =
+        check (Heap.live_size h = List.length !model);
+        (* compaction keeps dead <= live beyond the small-heap floor *)
+        check
+          (Heap.size h - Heap.live_size h <= Heap.live_size h
+           || Heap.size h <= 64)
+      in
+      let pop_and_check () =
+        match (Heap.pop h, model_min ()) with
+        | None, None -> ()
+        | Some (t, v), Some (mt, ms, mh) ->
+          check (t = mt && v = ms);
+          check (not (Heap.cancelled h mh));
+          model := List.filter (fun (_, s, _) -> s <> ms) !model
+        | Some _, None | None, Some _ -> check false
+      in
+      List.iter
+        (fun (op, x) ->
+          (match op with
+           | 0 ->
+             let seq = !next_seq in
+             incr next_seq;
+             let hd = Heap.push h ~time:x seq in
+             model := (x, seq, hd) :: !model
+           | 1 -> pop_and_check ()
+           | _ -> (
+               match !model with
+               | [] -> ()
+               | l ->
+                 let _, s, hd = List.nth l (x mod List.length l) in
+                 Heap.cancel h hd;
+                 (* double-cancel is a no-op (the first may have already
+                    compacted the entry away) *)
+                 Heap.cancel h hd;
+                 model := List.filter (fun (_, s', _) -> s' <> s) !model));
+          invariants ())
+        ops;
+      (* drain: remaining pops must replay the model in (time, seq) order *)
+      while !model <> [] do
+        pop_and_check ()
+      done;
+      check (Heap.pop h = None);
+      check (Heap.live_size h = 0);
+      !ok)
+
+(* Cancelling almost everything must shrink [size] via compaction rather
+   than leaving the heap full of dead entries. *)
+let test_heap_compaction_bounds () =
+  let h = Heap.create ~dummy:0 () in
+  let n = 10_000 in
+  let handles = Array.init n (fun i -> Heap.push h ~time:i i) in
+  for i = 0 to n - 2 do
+    Heap.cancel h handles.(i)
+  done;
+  check_int "live" 1 (Heap.live_size h);
+  check_bool "compacted" true (Heap.size h <= 64);
+  (match Heap.pop h with
+   | Some (t, v) ->
+     check_int "survivor time" (n - 1) t;
+     check_int "survivor value" (n - 1) v
+   | None -> Alcotest.fail "survivor lost");
+  check_bool "drained" true (Heap.pop h = None)
+
+(* Handles are generation-tagged: a handle kept across its slot's reuse
+   must not cancel the new occupant. *)
+let test_heap_stale_handle () =
+  let h = Heap.create ~dummy:"" () in
+  let a = Heap.push h ~time:1 "a" in
+  ignore (Heap.pop h);
+  (* slot freed: "a" fired *)
+  let b = Heap.push h ~time:2 "b" in
+  Heap.cancel h a;
+  (* stale: must not kill "b" *)
+  check_bool "b alive" true (not (Heap.cancelled h b));
+  check_int "live" 1 (Heap.live_size h);
+  (match Heap.pop h with
+   | Some (_, v) -> Alcotest.(check string) "b pops" "b" v
+   | None -> Alcotest.fail "b lost")
 
 (* ------------------------------------------------------------------ *)
 (* Engine *)
@@ -120,7 +223,7 @@ let test_engine_cancel () =
   let e = Engine.create () in
   let fired = ref false in
   let h = Engine.at e 10 (fun () -> fired := true) in
-  Engine.cancel h;
+  Engine.cancel e h;
   Engine.run e;
   check_bool "not fired" false !fired
 
@@ -367,8 +470,10 @@ let () =
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "cancel" `Quick test_heap_cancel;
           Alcotest.test_case "peek skips cancelled" `Quick test_heap_peek_skips_cancelled;
+          Alcotest.test_case "compaction bounds" `Quick test_heap_compaction_bounds;
+          Alcotest.test_case "stale handle" `Quick test_heap_stale_handle;
         ]
-        @ qsuite [ prop_heap_sorted; prop_heap_cancel_subset ] );
+        @ qsuite [ prop_heap_sorted; prop_heap_cancel_subset; prop_heap_model ] );
       ( "engine",
         [
           Alcotest.test_case "order" `Quick test_engine_order;
