@@ -46,12 +46,12 @@ let paper_table3 =
       ] );
   ]
 
-let print_table1 ?pool () =
+let print_table1 ?pool ?faults () =
   hr "Table 1: communication latencies [ms] (paper values in parentheses)";
   Printf.printf
     "%6s  %-14s %-14s %-14s %-14s %-14s %-14s\n"
     "size" "unicast/user" "mcast/user" "RPC/user" "RPC/kernel" "group/user" "group/kernel";
-  let rows = Core.Experiments.table1 ?pool () in
+  let rows = Core.Experiments.table1 ?pool ?faults () in
   List.iter2
     (fun r (_, (pu, pm, pru, prk, pgu, pgk)) ->
       Printf.printf
@@ -62,7 +62,7 @@ let print_table1 ?pool () =
         r.Core.Experiments.lr_grp_kernel pgk)
     rows paper_table1
 
-let print_table2 ?pool () =
+let print_table2 ?pool ?faults () =
   hr "Table 2: communication throughputs [KB/s] (paper values in parentheses)";
   let paper = [ ("RPC", (825., 897.)); ("group", (941., 941.)) ] in
   List.iter2
@@ -70,7 +70,7 @@ let print_table2 ?pool () =
       Printf.printf "%-6s  user %5.0f (%4.0f)   kernel %5.0f (%4.0f)\n"
         r.Core.Experiments.tr_proto r.Core.Experiments.tr_user pu
         r.Core.Experiments.tr_kernel pk)
-    (Core.Experiments.table2 ?pool ())
+    (Core.Experiments.table2 ?pool ?faults ())
     paper
 
 let paper_time app impl procs =
@@ -84,12 +84,12 @@ let paper_time app impl procs =
           | Some idx -> List.nth_opt times idx
           | None -> None))
 
-let print_table3 ?pool ?(procs = [ 1; 8; 16; 32 ]) () =
+let print_table3 ?pool ?faults ?checked ?(procs = [ 1; 8; 16; 32 ]) () =
   hr "Table 3: Orca application runtimes [s] (paper values in parentheses)";
   Printf.printf "%-4s %-15s" "app" "implementation";
   List.iter (fun p -> Printf.printf "  %12s" (Printf.sprintf "P=%d" p)) procs;
   Printf.printf "  %8s\n" "speedup";
-  let outcomes = Core.Experiments.table3 ?pool ~procs () in
+  let outcomes = Core.Experiments.table3 ?pool ?faults ?checked ~procs () in
   let by_key = Hashtbl.create 64 in
   List.iter
     (fun o ->
@@ -175,6 +175,18 @@ let print_breakdown ?pool () =
   print_side rpc_analytic rpc_measured;
   Printf.printf "group (user path; total and header rows are deltas):\n";
   print_side grp_analytic grp_measured
+
+let print_fault_sweep ?pool ?(quick = false) ?seed () =
+  hr "Fault sweep: degradation and conformance vs. frame-loss rate";
+  let rates = if quick then [ 0.; 0.01 ] else [ 0.; 0.001; 0.01; 0.05 ] in
+  let rows = Core.Experiments.fault_sweep ?pool ~rates ?seed () in
+  List.iter (fun r -> Format.printf "  %a@." Core.Experiments.pp_fault_row r) rows;
+  if
+    List.exists
+      (fun r -> r.Core.Experiments.fw_violations > 0 || not r.Core.Experiments.fw_valid)
+      rows
+  then Printf.printf "WARNING: invariant violations or invalid results under faults!\n"
+  else Printf.printf "(all rates: zero invariant violations, results match fault-free)\n"
 
 let print_ablations ?pool () =
   hr "Ablation: dedicated sequencer for LEQ [s]";
@@ -382,6 +394,24 @@ let rec strip_obs = function
     let obs, sel = strip_obs rest in
     (obs, a :: sel)
 
+(* `--faults SPEC` anywhere on the command line installs that fault
+   schedule on every table's cells (see Faults.Spec for the grammar). *)
+let rec strip_faults = function
+  | [] -> (None, [])
+  | [ "--faults" ] ->
+    prerr_endline "--faults needs a SPEC argument";
+    exit 2
+  | "--faults" :: spec :: rest -> (
+      let faults, sel = strip_faults rest in
+      match Faults.Spec.parse spec with
+      | Ok f -> ((match faults with Some _ -> faults | None -> Some f), sel)
+      | Error msg ->
+        Printf.eprintf "--faults: %s\n" msg;
+        exit 2)
+  | a :: rest ->
+    let faults, sel = strip_faults rest in
+    (faults, a :: sel)
+
 (* `-j N` anywhere on the command line sets the pool size. *)
 let rec strip_jobs = function
   | [] -> (None, [])
@@ -418,6 +448,7 @@ let run_obs = function
 let () =
   let obs_opts, args = strip_obs (List.tl (Array.to_list Sys.argv)) in
   let jobs_opt, args = strip_jobs args in
+  let faults, args = strip_faults args in
   if List.mem `Log obs_opts then Obs.Log.set_enabled true;
   let jobs = match jobs_opt with Some j -> j | None -> Exec.Pool.recommended () in
   let json = List.mem "json" args in
@@ -430,13 +461,26 @@ let () =
     if jobs <= 1 then f ?pool:None ()
     else Exec.Pool.with_pool ~jobs (fun p -> f ?pool:(Some p) ())
   in
-  if wants "table1" then timed "table1" (fun () -> with_pool print_table1);
-  if wants "table2" then timed "table2" (fun () -> with_pool print_table2);
+  if wants "table1" then
+    timed "table1" (fun () -> with_pool (fun ?pool () -> print_table1 ?pool ?faults ()));
+  if wants "table2" then
+    timed "table2" (fun () -> with_pool (fun ?pool () -> print_table2 ?pool ?faults ()));
   if wants "breakdown" then timed "breakdown" (fun () -> with_pool print_breakdown);
   if wants "table3" then
     timed
       (if quick then "table3-quick" else "table3")
-      (fun () -> with_pool (fun ?pool () -> print_table3 ?pool ~procs ()));
+      (fun () ->
+        with_pool (fun ?pool () ->
+            (* An explicit fault schedule also turns the checkers on. *)
+            print_table3 ?pool ?faults ?checked:(Option.map (fun _ -> true) faults)
+              ~procs ()));
+  if wants "faults" then
+    timed
+      (if quick then "faults-quick" else "faults")
+      (fun () ->
+        with_pool (fun ?pool () ->
+            print_fault_sweep ?pool ~quick
+              ?seed:(Option.map (fun f -> f.Faults.Spec.seed) faults) ()));
   if wants "ablation" then timed "ablation" (fun () -> with_pool print_ablations);
   if List.mem "bechamel" selected || everything then run_bechamel ();
   List.iter run_obs obs_opts;

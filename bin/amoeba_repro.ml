@@ -20,6 +20,21 @@ let procs_arg =
 
 let size_arg = Arg.(value & opt int 0 & info [ "size" ] ~doc:"Message payload bytes")
 
+let faults_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Faults.Spec.parse s) in
+  Arg.conv (parse, Faults.Spec.pp)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some faults_conv) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Inject deterministic network faults, e.g. \
+           $(b,seed=42,loss=0.01,dup=0.005,burst=0.001x8,part=0.5+0.2).  Keys: \
+           seed, loss, dup, corrupt, reorder, rdelay (us), burst=PxN, \
+           part=T+D (s), swpart=T+D (s).")
+
 let jobs_arg =
   Arg.(
     value
@@ -59,13 +74,13 @@ let obs_log_arg =
     & info [ "obs-log" ] ~doc:"Print the simulator's timestamped event log")
 
 let latency_cmd =
-  let run impl size trace obs obs_log =
+  let run impl size faults trace obs obs_log =
     if obs_log then Obs.Log.set_enabled true;
     let impl2 = match impl with Core.Cluster.Kernel -> `Kernel | _ -> `User in
     Printf.printf "RPC   %-6s %5d B: %.3f ms\n" (Core.Cluster.impl_label impl) size
-      (Core.Experiments.rpc_latency ~impl:impl2 ~size ());
+      (Core.Experiments.rpc_latency ?faults ~impl:impl2 ~size ());
     Printf.printf "group %-6s %5d B: %.3f ms\n" (Core.Cluster.impl_label impl) size
-      (Core.Experiments.group_latency ~impl:impl2 ~size ());
+      (Core.Experiments.group_latency ?faults ~impl:impl2 ~size ());
     if trace <> None || obs then begin
       let r, _busy = Core.Experiments.recorded_rpc ~impl:impl2 ~size () in
       (match trace with
@@ -81,7 +96,7 @@ let latency_cmd =
     end
   in
   Cmd.v (Cmd.info "latency" ~doc:"Measure RPC and group latency (Table 1 entries)")
-    Term.(const run $ impl_arg $ size_arg $ trace_arg $ obs_arg $ obs_log_arg)
+    Term.(const run $ impl_arg $ size_arg $ faults_arg $ trace_arg $ obs_arg $ obs_log_arg)
 
 (* --- throughput --- *)
 
@@ -109,14 +124,61 @@ let app_cmd =
   let stats_arg =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print protocol and utilization counters")
   in
-  let run app impl procs stats =
-    let o = Core.Runner.run ~impl ~procs app in
+  let checked_arg =
+    Arg.(
+      value & flag
+      & info [ "checked" ]
+          ~doc:
+            "Run with the protocol-conformance checkers interposed \
+             (at-most-once RPC, request/reply pairing, payload integrity, \
+             gap-free identical total order); violations are printed and \
+             make the run exit nonzero.")
+  in
+  let run app impl procs faults checked stats =
+    let o = Core.Runner.run ?faults ~checked ~impl ~procs app in
     Format.printf "%a@." Core.Runner.pp_outcome o;
-    if stats then Format.printf "  %a@." Core.Runner.pp_stats o.Core.Runner.o_stats
+    if stats then Format.printf "  %a@." Core.Runner.pp_stats o.Core.Runner.o_stats;
+    List.iter (fun v -> Printf.printf "  violation: %s\n" v) o.Core.Runner.o_violations;
+    if o.Core.Runner.o_violations <> [] || not o.Core.Runner.o_valid then exit 1
   in
   Cmd.v
     (Cmd.info "app" ~doc:"Run one Orca application (a Table 3 cell)")
-    Term.(const run $ app_arg $ impl_arg $ procs_arg $ stats_arg)
+    Term.(const run $ app_arg $ impl_arg $ procs_arg $ faults_arg $ checked_arg $ stats_arg)
+
+(* --- fault sweep --- *)
+
+let fault_sweep_cmd =
+  let rates_arg =
+    Arg.(
+      value
+      & opt (list float) [ 0.; 0.001; 0.01; 0.05 ]
+      & info [ "rates" ] ~docv:"P,..."
+          ~doc:"Frame-loss probabilities to sweep (comma-separated)")
+  in
+  let app_arg =
+    Arg.(value & opt string "tsp" & info [ "app" ] ~doc:"Application for the checked run")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Master seed of the fault schedules")
+  in
+  let run rates app procs seed jobs =
+    let rows =
+      with_pool jobs (fun ?pool () ->
+          Core.Experiments.fault_sweep ?pool ~rates ~app_name:app ~procs ~seed ())
+    in
+    List.iter (fun r -> Format.printf "%a@." Core.Experiments.pp_fault_row r) rows;
+    if
+      List.exists
+        (fun r -> r.Core.Experiments.fw_violations > 0 || not r.Core.Experiments.fw_valid)
+        rows
+    then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fault-sweep"
+       ~doc:
+         "Latency and correctness of both stacks vs. frame-loss rate \
+          (checked mode; nonzero exit on any invariant violation)")
+    Term.(const run $ rates_arg $ app_arg $ procs_arg $ seed_arg $ jobs_arg)
 
 (* --- tables --- *)
 
@@ -166,6 +228,7 @@ let () =
             latency_cmd;
             throughput_cmd;
             app_cmd;
+            fault_sweep_cmd;
             table_cmd "table1" "Regenerate Table 1 (latencies)" table1;
             table_cmd "breakdown" "Regenerate the Sec. 4 overhead breakdowns" breakdown;
           ]))

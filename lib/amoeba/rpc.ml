@@ -55,6 +55,11 @@ type t = {
 type req_state =
   | Processing
   | Replied of { rp_size : int; rp_user : Sim.Payload.t; rp_msg_id : int }
+  | Acked
+      (* Tombstone: the client acknowledged the reply.  The entry must
+         survive in the (bounded) cache — deleting it would let a
+         duplicate of the original request, still in flight, re-run the
+         handler and break at-most-once. *)
 
 type port = {
   rpc : t;
@@ -254,6 +259,7 @@ let server_input port frag =
       let key = (client, trans_id) in
       match Hashtbl.find_opt port.states key with
       | Some Processing -> () (* duplicate of a request being served *)
+      | Some Acked -> () (* stale duplicate of a completed transaction *)
       | Some (Replied { rp_size; rp_user; rp_msg_id }) ->
         (* The reply was lost: replay it under the same message id so
            surviving fragments of earlier copies still count. *)
@@ -267,7 +273,8 @@ let server_input port frag =
           { r_port = port; r_client = client; r_trans = trans_id; r_size = size;
             r_user = user; r_thread = None })
   | Some (_, _, Ack { client; trans_id }) ->
-    Hashtbl.remove port.states (client, trans_id)
+    let key = (client, trans_id) in
+    if Hashtbl.mem port.states key then Hashtbl.replace port.states key Acked
   | Some _ | None -> ()
 
 let export t ~name =

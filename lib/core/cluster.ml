@@ -39,7 +39,7 @@ let create ?(extra_machine = false) ~n () =
     extra = (if extra_machine then Some all_flips.(n) else None);
   }
 
-let domain t impl =
+let domain ?checker t impl =
   let backends =
     match impl with
     | Kernel ->
@@ -57,5 +57,10 @@ let domain t impl =
       Orca.Backend.user_stack ~sys_config:Params.panda_system
         ~rpc_config:Params.panda_rpc ~group_config:Params.panda_group t.flips
         ~dedicated_sequencer:extra ()
+  in
+  let backends =
+    match checker with
+    | Some c -> Faults.Invariants.wrap_backends c backends
+    | None -> backends
   in
   Orca.Rts.create_domain ~rts_overhead:Params.rts_overhead backends

@@ -18,7 +18,9 @@ type impl = Kernel | User | User_dedicated
 val impl_label : impl -> string
 val all_impls : impl list
 
-val domain : t -> impl -> Orca.Rts.domain
+val domain : ?checker:Faults.Invariants.t -> t -> impl -> Orca.Rts.domain
 (** Builds the Orca domain over the cluster with the given protocol
     implementation.  [User_dedicated] requires the cluster to have been
-    created with [extra_machine:true]. *)
+    created with [extra_machine:true].  With [checker] the backends are
+    wrapped in the protocol-conformance checkers (checked mode); call
+    [Faults.Invariants.finalize] after the run drains. *)

@@ -45,7 +45,13 @@ let micro_pool profile n =
         Flip.Flip_iface.create mach ~config:profile.p_flip (Net.Topology.nic topo i))
       machines
   in
-  (eng, machines, flips)
+  (eng, machines, flips, topo)
+
+(* Install a fault schedule (when given) on a micro pool's network. *)
+let install_faults ?faults eng topo =
+  match faults with
+  | Some spec -> ignore (Faults.Inject.install eng topo spec)
+  | None -> ()
 
 type Sim.Payload.t += Ping
 
@@ -68,8 +74,9 @@ let run_cells ?pool thunks =
 (* Ping-pong between the two system-layer daemons: replies are sent from
    within the upcall, so no context switch is in the measured path beyond
    the daemon dispatch itself (paper §4.1). *)
-let raw_pingpong ~mcast profile ~size () =
-  let eng, machines, flips = micro_pool profile 2 in
+let raw_pingpong ?faults ~mcast profile ~size () =
+  let eng, machines, flips, topo = micro_pool profile 2 in
+  install_faults ?faults eng topo;
   let sys =
     Array.mapi
       (fun i flip ->
@@ -126,11 +133,11 @@ let raw_pingpong ~mcast profile ~size () =
   (* Each round is two one-way messages. *)
   Sim.Time.to_ms (!t_end - !t_start) /. float_of_int (2 * measure_rounds)
 
-let unicast_latency ?(profile = default_profile) ~size () =
-  raw_pingpong ~mcast:false profile ~size ()
+let unicast_latency ?faults ?(profile = default_profile) ~size () =
+  raw_pingpong ?faults ~mcast:false profile ~size ()
 
-let multicast_latency ?(profile = default_profile) ~size () =
-  raw_pingpong ~mcast:true profile ~size ()
+let multicast_latency ?faults ?(profile = default_profile) ~size () =
+  raw_pingpong ?faults ~mcast:true profile ~size ()
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: RPC latency *)
@@ -150,8 +157,9 @@ let record_done recorder window =
   | Some _, `Measured -> Obs.Recorder.uninstall ()
   | _ -> ()
 
-let rpc_run ?recorder ?(window = `Measured) profile ~impl ~size ~rounds =
-  let eng, machines, flips = micro_pool profile 2 in
+let rpc_run ?recorder ?(window = `Measured) ?faults profile ~impl ~size ~rounds =
+  let eng, machines, flips, topo = micro_pool profile 2 in
+  install_faults ?faults eng topo;
   (match (recorder, window) with
    | Some r, `Whole -> Obs.Recorder.install r
    | _ -> ());
@@ -201,9 +209,9 @@ let rpc_run ?recorder ?(window = `Measured) profile ~impl ~size ~rounds =
    | _ -> ());
   (List.rev !marks, machines)
 
-let rpc_latency ?(profile = default_profile) ~impl ~size () =
+let rpc_latency ?faults ?(profile = default_profile) ~impl ~size () =
   let rounds = warmup_rounds + measure_rounds in
-  let marks, _ = rpc_run profile ~impl ~size ~rounds in
+  let marks, _ = rpc_run ?faults profile ~impl ~size ~rounds in
   let t0 = List.nth marks (warmup_rounds - 1) in
   let t1 = List.nth marks (rounds - 1) in
   Sim.Time.to_ms (t1 - t0) /. float_of_int measure_rounds
@@ -213,8 +221,9 @@ let rpc_latency ?(profile = default_profile) ~impl ~size () =
 
 (* One sending member; the sequencer is on the other machine, as in the
    paper's measurement. *)
-let group_run ?recorder ?(window = `Measured) profile ~impl ~size ~rounds =
-  let eng, machines, flips = micro_pool profile 2 in
+let group_run ?recorder ?(window = `Measured) ?faults profile ~impl ~size ~rounds =
+  let eng, machines, flips, topo = micro_pool profile 2 in
+  install_faults ?faults eng topo;
   (match (recorder, window) with
    | Some r, `Whole -> Obs.Recorder.install r
    | _ -> ());
@@ -269,9 +278,9 @@ let group_run ?recorder ?(window = `Measured) profile ~impl ~size ~rounds =
    | _ -> ());
   (List.rev !marks, machines)
 
-let group_latency ?(profile = default_profile) ~impl ~size () =
+let group_latency ?faults ?(profile = default_profile) ~impl ~size () =
   let rounds = warmup_rounds + measure_rounds in
-  let marks, _ = group_run profile ~impl ~size ~rounds in
+  let marks, _ = group_run ?faults profile ~impl ~size ~rounds in
   let t0 = List.nth marks (warmup_rounds - 1) in
   let t1 = List.nth marks (rounds - 1) in
   Sim.Time.to_ms (t1 - t0) /. float_of_int measure_rounds
@@ -288,18 +297,18 @@ type lat_row = {
 
 let table1_sizes = [ 0; 1024; 2048; 3072; 4096 ]
 
-let table1 ?pool ?(profile = default_profile) ?(sizes = table1_sizes) () =
+let table1 ?pool ?faults ?(profile = default_profile) ?(sizes = table1_sizes) () =
   (* One cell per (size, column): 6 independent simulations per row. *)
   let cells =
     List.concat_map
       (fun size ->
         [
-          (fun () -> unicast_latency ~profile ~size ());
-          (fun () -> multicast_latency ~profile ~size ());
-          (fun () -> rpc_latency ~profile ~impl:`User ~size ());
-          (fun () -> rpc_latency ~profile ~impl:`Kernel ~size ());
-          (fun () -> group_latency ~profile ~impl:`User ~size ());
-          (fun () -> group_latency ~profile ~impl:`Kernel ~size ());
+          (fun () -> unicast_latency ?faults ~profile ~size ());
+          (fun () -> multicast_latency ?faults ~profile ~size ());
+          (fun () -> rpc_latency ?faults ~profile ~impl:`User ~size ());
+          (fun () -> rpc_latency ?faults ~profile ~impl:`Kernel ~size ());
+          (fun () -> group_latency ?faults ~profile ~impl:`User ~size ());
+          (fun () -> group_latency ?faults ~profile ~impl:`Kernel ~size ());
         ])
       sizes
   in
@@ -324,10 +333,10 @@ let table1 ?pool ?(profile = default_profile) ?(sizes = table1_sizes) () =
 (* ------------------------------------------------------------------ *)
 (* Table 2: throughput *)
 
-let rpc_throughput profile ~impl =
+let rpc_throughput ?faults profile ~impl =
   let rounds = 40 in
   let size = 8000 in
-  let marks, _ = rpc_run profile ~impl ~size ~rounds in
+  let marks, _ = rpc_run ?faults profile ~impl ~size ~rounds in
   let t0 = List.nth marks (warmup_rounds - 1) in
   let t1 = List.nth marks (rounds - 1) in
   let secs = Sim.Time.to_sec (t1 - t0) in
@@ -335,11 +344,12 @@ let rpc_throughput profile ~impl =
 
 (* Several members stream large messages concurrently, saturating the
    Ethernet; throughput is the ordered goodput. *)
-let group_throughput profile ~impl =
+let group_throughput ?faults profile ~impl =
   let n = 4 in
   let per_member = 12 in
   let size = 8000 in
-  let eng, machines, flips = micro_pool profile n in
+  let eng, machines, flips, topo = micro_pool profile n in
+  install_faults ?faults eng topo;
   let total = n * per_member in
   let done_at = ref Sim.Time.zero in
   let delivered = ref 0 in
@@ -403,14 +413,14 @@ type tput_row = {
   tr_kernel : float;
 }
 
-let table2 ?pool ?(profile = default_profile) () =
+let table2 ?pool ?faults ?(profile = default_profile) () =
   match
     run_cells ?pool
       [
-        (fun () -> rpc_throughput profile ~impl:`User);
-        (fun () -> rpc_throughput profile ~impl:`Kernel);
-        (fun () -> group_throughput profile ~impl:`User);
-        (fun () -> group_throughput profile ~impl:`Kernel);
+        (fun () -> rpc_throughput ?faults profile ~impl:`User);
+        (fun () -> rpc_throughput ?faults profile ~impl:`Kernel);
+        (fun () -> group_throughput ?faults profile ~impl:`User);
+        (fun () -> group_throughput ?faults profile ~impl:`Kernel);
       ]
   with
   | [ ru; rk; gu; gk ] ->
@@ -423,7 +433,7 @@ let table2 ?pool ?(profile = default_profile) () =
 (* ------------------------------------------------------------------ *)
 (* Table 3 *)
 
-let table3 ?pool ?(procs = [ 1; 8; 16; 32 ]) ?app_names () =
+let table3 ?pool ?faults ?checked ?(procs = [ 1; 8; 16; 32 ]) ?app_names () =
   let apps =
     match app_names with
     | None -> Runner.apps
@@ -443,7 +453,7 @@ let table3 ?pool ?(procs = [ 1; 8; 16; 32 ]) ?app_names () =
           procs)
       apps
   in
-  Runner.run_many ?pool cells
+  Runner.run_many ?pool ?faults ?checked cells
 
 (* ------------------------------------------------------------------ *)
 (* Breakdowns: re-measure the user/kernel gap with one mechanism at a
@@ -556,8 +566,8 @@ let recorded_null run impl =
   let rounds = warmup_rounds + measure_rounds in
   let r = Obs.Recorder.create () in
   let marks, _ =
-    run ?recorder:(Some r) ?window:(Some `Measured) default_profile ~impl ~size:0
-      ~rounds
+    run ?recorder:(Some r) ?window:(Some `Measured) ?faults:None default_profile
+      ~impl ~size:0 ~rounds
   in
   let t0 = List.nth marks (warmup_rounds - 1) in
   let t1 = List.nth marks (rounds - 1) in
@@ -640,7 +650,7 @@ let ablation_dedicated_sequencer ?pool ?(procs = [ 8; 16; 32 ]) () =
 let ablation_nonblocking ?pool () =
   (* Time the sender perceives per broadcast, blocking vs nonblocking. *)
   let measure ~nonblocking =
-    let eng, machines, flips = micro_pool default_profile 2 in
+    let eng, machines, flips, _topo = micro_pool default_profile 2 in
     let sys =
       Array.mapi
         (fun i flip ->
@@ -684,7 +694,7 @@ let ablation_migration ?pool () =
      static placement every access is an RPC; the adaptive heuristic
      migrates the object to the accessor. *)
   let run placement =
-    let eng, _machines, flips = micro_pool default_profile 2 in
+    let eng, _machines, flips, _topo = micro_pool default_profile 2 in
     let backends = Orca.Backend.user_stack ~sys_config:default_profile.p_psys
         ~rpc_config:default_profile.p_prpc ~group_config:default_profile.p_pgrp flips () in
     let dom = Orca.Rts.create_domain backends in
@@ -767,6 +777,65 @@ let ablation_user_level_network ?pool () =
     ("group user with user-level network, ms", grp_mapped_user);
     ("group kernel (reference), ms", grp_base_kernel);
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Fault sweep: how gracefully each stack degrades as the network gets
+   worse.  Per (implementation, loss rate): the Table 1 null latencies
+   under that loss, plus one full application run in checked mode — so the
+   row also certifies that the invariants hold and the answer is still
+   right at that rate. *)
+
+type fault_row = {
+  fw_impl : Cluster.impl;
+  fw_rate : float;  (** i.i.d. frame-loss probability *)
+  fw_rpc_ms : float;  (** null RPC latency under that loss *)
+  fw_grp_ms : float;  (** null group latency under that loss *)
+  fw_app : string;
+  fw_app_s : float;  (** application runtime under that loss, checked mode *)
+  fw_valid : bool;
+  fw_retrans : int;
+  fw_kills : int;  (** frames the schedule killed during the app run *)
+  fw_violations : int;
+}
+
+let fault_sweep ?pool ?(rates = [ 0.; 0.001; 0.01; 0.05 ]) ?(app_name = "tsp")
+    ?(procs = 8) ?(seed = 1) () =
+  let app = Runner.app_named app_name in
+  Runner.prepare app;
+  let cell impl rate () =
+    let faults = if rate > 0. then Some (Faults.Spec.loss ~seed rate) else None in
+    let micro = match impl with Cluster.Kernel -> `Kernel | _ -> `User in
+    let rpc = rpc_latency ?faults ~impl:micro ~size:0 () in
+    let grp = group_latency ?faults ~impl:micro ~size:0 () in
+    let o = Runner.run ?faults ~checked:true ~impl ~procs app in
+    {
+      fw_impl = impl;
+      fw_rate = rate;
+      fw_rpc_ms = rpc;
+      fw_grp_ms = grp;
+      fw_app = app_name;
+      fw_app_s = o.Runner.o_seconds;
+      fw_valid = o.Runner.o_valid;
+      fw_retrans = o.Runner.o_retrans;
+      fw_kills = o.Runner.o_fault_kills;
+      fw_violations = List.length o.Runner.o_violations;
+    }
+  in
+  let cells =
+    List.concat_map
+      (fun impl -> List.map (fun rate -> cell impl rate) rates)
+      [ Cluster.Kernel; Cluster.User ]
+  in
+  run_cells ?pool cells
+
+let pp_fault_row fmt r =
+  Format.fprintf fmt
+    "%-6s loss=%5.2f%%  rpc %6.2f ms  grp %6.2f ms  %s %7.1f s%s  retrans=%-5d killed=%-5d%s"
+    (Cluster.impl_label r.fw_impl) (100. *. r.fw_rate) r.fw_rpc_ms r.fw_grp_ms
+    r.fw_app r.fw_app_s
+    (if r.fw_valid then "" else " INVALID")
+    r.fw_retrans r.fw_kills
+    (if r.fw_violations = 0 then "" else Printf.sprintf "  %d VIOLATIONS" r.fw_violations)
 
 let ablation_continuations ?pool ?(procs = 16) () =
   let app = Runner.app_named "rl" in

@@ -37,13 +37,37 @@ type lat_row = {
 }
 
 val table1 :
-  ?pool:Exec.Pool.t -> ?profile:profile -> ?sizes:int list -> unit -> lat_row list
-(** Sizes 0..4 KB (override with [?sizes]), as the paper's Table 1. *)
+  ?pool:Exec.Pool.t ->
+  ?faults:Faults.Spec.t ->
+  ?profile:profile ->
+  ?sizes:int list ->
+  unit ->
+  lat_row list
+(** Sizes 0..4 KB (override with [?sizes]), as the paper's Table 1.
+    Every driver taking [?faults] installs that schedule on each cell's
+    freshly built network (per-cell injector streams, so [?pool] fan-out
+    stays deterministic). *)
 
-val unicast_latency : ?profile:profile -> size:int -> unit -> float
-val multicast_latency : ?profile:profile -> size:int -> unit -> float
-val rpc_latency : ?profile:profile -> impl:[ `User | `Kernel ] -> size:int -> unit -> float
-val group_latency : ?profile:profile -> impl:[ `User | `Kernel ] -> size:int -> unit -> float
+val unicast_latency : ?faults:Faults.Spec.t -> ?profile:profile -> size:int -> unit -> float
+
+val multicast_latency :
+  ?faults:Faults.Spec.t -> ?profile:profile -> size:int -> unit -> float
+
+val rpc_latency :
+  ?faults:Faults.Spec.t ->
+  ?profile:profile ->
+  impl:[ `User | `Kernel ] ->
+  size:int ->
+  unit ->
+  float
+
+val group_latency :
+  ?faults:Faults.Spec.t ->
+  ?profile:profile ->
+  impl:[ `User | `Kernel ] ->
+  size:int ->
+  unit ->
+  float
 
 (** {1 Table 2: throughputs} *)
 
@@ -53,19 +77,53 @@ type tput_row = {
   tr_kernel : float;  (** KB/s *)
 }
 
-val table2 : ?pool:Exec.Pool.t -> ?profile:profile -> unit -> tput_row list
+val table2 :
+  ?pool:Exec.Pool.t -> ?faults:Faults.Spec.t -> ?profile:profile -> unit -> tput_row list
 
 (** {1 Table 3: the six applications} *)
 
 val table3 :
   ?pool:Exec.Pool.t ->
+  ?faults:Faults.Spec.t ->
+  ?checked:bool ->
   ?procs:int list ->
   ?app_names:string list ->
   unit ->
   Runner.outcome list
 (** Runs every application at each processor count under kernel-space and
     user-space protocols, plus the dedicated-sequencer variant for LEQ
-    (the paper's extra row). *)
+    (the paper's extra row).  [?faults]/[?checked] run every cell under
+    that fault schedule and/or with the conformance checkers on. *)
+
+(** {1 Fault sweep: degradation vs. loss rate} *)
+
+type fault_row = {
+  fw_impl : Cluster.impl;
+  fw_rate : float;  (** i.i.d. frame-loss probability *)
+  fw_rpc_ms : float;  (** null RPC latency under that loss *)
+  fw_grp_ms : float;  (** null group latency under that loss *)
+  fw_app : string;
+  fw_app_s : float;  (** application runtime under that loss, checked mode *)
+  fw_valid : bool;  (** checksum still matches the sequential reference *)
+  fw_retrans : int;  (** protocol retransmissions during the app run *)
+  fw_kills : int;  (** frames the fault schedule killed during the app run *)
+  fw_violations : int;  (** invariant violations (must be 0) *)
+}
+
+val fault_sweep :
+  ?pool:Exec.Pool.t ->
+  ?rates:float list ->
+  ?app_name:string ->
+  ?procs:int ->
+  ?seed:int ->
+  unit ->
+  fault_row list
+(** Latency/correctness degradation of both stacks as frame loss rises
+    (default rates 0, 0.1%, 1%, 5%; default app [tsp] at 8 processors).
+    The application cell runs in checked mode, so each row doubles as a
+    conformance certificate at that loss rate. *)
+
+val pp_fault_row : Format.formatter -> fault_row -> unit
 
 (** {1 In-text breakdowns (§4.2, §4.3)} *)
 

@@ -63,9 +63,12 @@ type outcome = {
   o_valid : bool;
   o_events : int;
   o_stats : stats;
+  o_retrans : int;
+  o_fault_kills : int;
+  o_violations : string list;
 }
 
-let run ~impl ~procs app =
+let run ?faults ?(checked = false) ~impl ~procs app =
   (* The dedicated-sequencer variant sacrifices one of the P processors to
      the sequencer: P-1 Orca workers (the paper's 15 workers at P=16). *)
   let workers =
@@ -74,7 +77,13 @@ let run ~impl ~procs app =
   let cluster =
     Cluster.create ~extra_machine:(impl = Cluster.User_dedicated) ~n:workers ()
   in
-  let dom = Cluster.domain cluster impl in
+  let fstats =
+    match faults with
+    | Some spec -> Some (Faults.Inject.install cluster.Cluster.eng cluster.Cluster.topo spec)
+    | None -> None
+  in
+  let checker = if checked then Some (Faults.Invariants.create ()) else None in
+  let dom = Cluster.domain ?checker cluster impl in
   let body, result = app.app_make dom in
   let finish = ref Sim.Time.zero in
   for rank = 0 to workers - 1 do
@@ -87,6 +96,7 @@ let run ~impl ~procs app =
            if now > !finish then finish := now))
   done;
   Sim.Engine.run cluster.Cluster.eng;
+  (match checker with Some c -> Faults.Invariants.finalize c | None -> ());
   let checksum = result () in
   let until = max 1 !finish in
   let stats =
@@ -116,20 +126,25 @@ let run ~impl ~procs app =
     o_valid = checksum = Lazy.force app.app_reference;
     o_events = Sim.Engine.events_executed cluster.Cluster.eng;
     o_stats = stats;
+    o_retrans = Orca.Rts.retransmissions dom;
+    o_fault_kills =
+      (match fstats with Some s -> Faults.Inject.killed s | None -> 0);
+    o_violations =
+      (match checker with Some c -> Faults.Invariants.violations c | None -> []);
   }
 
 let prepare app = ignore (Lazy.force app.app_reference)
 
-let run_cell (impl, procs, app) = run ~impl ~procs app
+let run_cell ?faults ?checked (impl, procs, app) = run ?faults ?checked ~impl ~procs app
 
-let run_many ?pool cells =
+let run_many ?pool ?faults ?checked cells =
   match pool with
-  | None -> List.map run_cell cells
+  | None -> List.map (run_cell ?faults ?checked) cells
   | Some p ->
     (* Force every sequential reference before fanning out: [Lazy.force]
        from two domains at once is a race. *)
     List.iter (fun (_, _, app) -> prepare app) cells;
-    Exec.Pool.map_list p run_cell cells
+    Exec.Pool.map_list p (run_cell ?faults ?checked) cells
 
 let pp_stats fmt s =
   Format.fprintf fmt
@@ -138,7 +153,13 @@ let pp_stats fmt s =
     (100. *. s.s_net_util) (100. *. s.s_cpu_util_max) s.s_ctx_switches
 
 let pp_outcome fmt o =
-  Format.fprintf fmt "%-4s %-14s P=%-2d  %8.1f s  checksum=%d%s  (%d events)" o.o_app
+  Format.fprintf fmt "%-4s %-14s P=%-2d  %8.1f s  checksum=%d%s  (%d events)%s%s" o.o_app
     (Cluster.impl_label o.o_impl) o.o_procs o.o_seconds o.o_checksum
     (if o.o_valid then "" else " INVALID")
     o.o_events
+    (if o.o_fault_kills > 0 || o.o_retrans > 0 then
+       Printf.sprintf "  faults: %d killed, %d retrans" o.o_fault_kills o.o_retrans
+     else "")
+    (match o.o_violations with
+     | [] -> ""
+     | v -> Printf.sprintf "  %d INVARIANT VIOLATIONS" (List.length v))

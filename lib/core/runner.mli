@@ -33,9 +33,19 @@ type outcome = {
   o_valid : bool;  (** checksum matched the sequential reference *)
   o_events : int;  (** engine events executed (simulation effort) *)
   o_stats : stats;
+  o_retrans : int;  (** protocol retransmissions over the whole run *)
+  o_fault_kills : int;  (** frames killed by the injected fault schedule *)
+  o_violations : string list;
+      (** invariant violations (empty outside checked mode — and, for a
+          correct protocol stack, inside it) *)
 }
 
-val run : impl:Cluster.impl -> procs:int -> app -> outcome
+val run :
+  ?faults:Faults.Spec.t -> ?checked:bool -> impl:Cluster.impl -> procs:int -> app -> outcome
+(** [?faults] installs the fault schedule on the cluster's network before
+    the run; [?checked] (default false) wraps the backends in the
+    {!Faults.Invariants} conformance checkers and reports violations in
+    [o_violations]. *)
 
 val prepare : app -> unit
 (** Forces the app's sequential reference result.  Must be called (in one
@@ -44,8 +54,14 @@ val prepare : app -> unit
     itself. *)
 
 val run_many :
-  ?pool:Exec.Pool.t -> (Cluster.impl * int * app) list -> outcome list
-(** Runs each (impl, procs, app) cell as an independent simulation and
+  ?pool:Exec.Pool.t ->
+  ?faults:Faults.Spec.t ->
+  ?checked:bool ->
+  (Cluster.impl * int * app) list ->
+  outcome list
+(** Runs each (impl, procs, app) cell as an independent simulation ([?faults]
+    and [?checked] apply to every cell; each cell derives its own injector
+    streams, so fan-out stays deterministic) and
     returns outcomes in input order.  Without [?pool] the cells run
     sequentially in order — exactly [List.map] over {!run}.  With a pool
     the cells run concurrently on its domains; since every simulation is

@@ -1,0 +1,58 @@
+(** Compiles a {!Spec.t} into deterministic fault injectors on a topology.
+
+    Each (segment, fault class) pair gets its own SplitMix64 stream
+    derived from the spec's seed, so the injected schedule is a pure
+    function of (spec, traffic) — identical across runs and across [-j N]
+    domain fan-out, where every cell owns its engine and topology.  Every
+    enabled class draws once per frame from its own stream before the
+    verdict is picked (priority: partition, burst, loss, corrupt, dup,
+    reorder), so a class's schedule is a pure function of the frame
+    sequence and enabling or disabling one class never perturbs
+    another's draws. *)
+
+type stats
+
+val install : ?log:bool -> Sim.Engine.t -> Net.Topology.t -> Spec.t -> stats
+(** Installs injectors on every segment (loss, duplication, corruption,
+    reordering, bursts, [part] windows) and on the switch ([swpart]
+    windows, when a switch exists).  A null spec installs nothing.  With
+    [log], every injected fault is appended to a textual schedule for
+    byte-identical determinism comparisons.
+
+    Fault events are also counted on the installed {!Obs.Recorder} (keys
+    [faults.drops], [faults.bursts], [faults.corrupts], [faults.dups],
+    [faults.reorders], [faults.part_drops], [faults.switch_drops]), and
+    killed frames charge their wire time to [Obs.Cause.Fault_wire] (see
+    {!Net.Segment.set_fault}). *)
+
+val install_segment :
+  ?log:bool -> ?stats:stats -> Sim.Engine.t -> index:int -> Net.Segment.t -> Spec.t -> stats
+(** Installs on a single segment (for micro-topologies and tests);
+    [index] selects the per-segment stream.  Pass [stats] to accumulate
+    several segments into one handle. *)
+
+(** {1 Reading results} *)
+
+val drops : stats -> int  (** i.i.d. losses *)
+
+val burst_drops : stats -> int
+val bursts : stats -> int  (** burst episodes entered *)
+
+val corrupts : stats -> int
+val dups : stats -> int
+val reorders : stats -> int
+val part_drops : stats -> int
+val switch_drops : stats -> int
+
+val killed : stats -> int
+(** Every frame the faults prevented from arriving: losses, burst drops,
+    corruptions, partition and switch drops. *)
+
+val injected : stats -> int
+(** All fault events, including duplications and reorderings. *)
+
+val schedule : stats -> string list
+(** The chronological fault schedule (empty unless installed with
+    [~log:true]): one line per injected fault. *)
+
+val pp : Format.formatter -> stats -> unit

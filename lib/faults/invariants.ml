@@ -1,0 +1,197 @@
+(* Tagged envelopes threaded through the backends.  The [size] the caller
+   declared rides inside the tag, so any disagreement between what was
+   sent and what the stack delivered — a spliced reassembly, a wrong-size
+   reply — is caught at the far end. *)
+type Sim.Payload.t +=
+  | Req of { id : int; size : int; inner : Sim.Payload.t }
+  | Rep of { id : int; size : int; inner : Sim.Payload.t }
+  | Bcast of { origin : int; seq : int; size : int; inner : Sim.Payload.t }
+
+let max_kept = 64
+
+type t = {
+  mutable viol_rev : string list;
+  mutable n_viol : int;
+  mutable next_req : int;
+  outstanding : (int, unit) Hashtbl.t;  (* issued, reply not yet returned *)
+  served : (int, unit) Hashtbl.t;  (* request ids a handler has run for *)
+  mutable handled : int;
+  (* Group delivery: the common reference sequence, fixed by whichever
+     member delivers position k first. *)
+  log : (int, int * int) Hashtbl.t;  (* position -> (origin, seq) *)
+  mutable log_len : int;
+  pos : (int, int ref) Hashtbl.t;  (* member rank -> next position *)
+  sent : (int, int ref) Hashtbl.t;  (* origin rank -> broadcasts sent *)
+}
+
+let create () =
+  {
+    viol_rev = [];
+    n_viol = 0;
+    next_req = 0;
+    outstanding = Hashtbl.create 64;
+    served = Hashtbl.create 1024;
+    handled = 0;
+    log = Hashtbl.create 1024;
+    log_len = 0;
+    pos = Hashtbl.create 16;
+    sent = Hashtbl.create 16;
+  }
+
+let violate c fmt =
+  Printf.ksprintf
+    (fun msg ->
+      c.n_viol <- c.n_viol + 1;
+      if c.n_viol <= max_kept then c.viol_rev <- msg :: c.viol_rev)
+    fmt
+
+let counter tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.replace tbl key r;
+    r
+
+let check_order c ~member ~origin ~seq =
+  let k = counter c.pos member in
+  (if !k < c.log_len then begin
+     let o, s = Hashtbl.find c.log !k in
+     if o <> origin || s <> seq then
+       violate c
+         "group: member %d delivery #%d is (origin %d, seq %d) but member \
+          order fixed (origin %d, seq %d)"
+         member !k origin seq o s
+   end
+   else begin
+     Hashtbl.replace c.log c.log_len (origin, seq);
+     c.log_len <- c.log_len + 1
+   end);
+  incr k
+
+let wrap_backend c (b : Orca.Backend.t) =
+  let rank = b.Orca.Backend.rank in
+  {
+    b with
+    Orca.Backend.broadcast =
+      (fun ~nonblocking ~size payload ->
+        let seq = counter c.sent rank in
+        let tagged = Bcast { origin = rank; seq = !seq; size; inner = payload } in
+        incr seq;
+        b.Orca.Backend.broadcast ~nonblocking ~size tagged);
+    set_deliver =
+      (fun f ->
+        b.Orca.Backend.set_deliver (fun ~sender ~size payload ->
+            match payload with
+            | Bcast { origin; seq; size = sz; inner } ->
+              if sender <> origin then
+                violate c "group: member %d got (origin %d, seq %d) attributed to sender %d"
+                  rank origin seq sender;
+              if sz <> size then
+                violate c
+                  "group: member %d got (origin %d, seq %d) with size %d, sent as %d"
+                  rank origin seq size sz;
+              check_order c ~member:rank ~origin ~seq;
+              f ~sender ~size inner
+            | other ->
+              violate c "group: member %d delivered an untagged payload" rank;
+              f ~sender ~size other));
+    rpc =
+      (fun ~dst ~size payload ->
+        let id = c.next_req in
+        c.next_req <- c.next_req + 1;
+        Hashtbl.replace c.outstanding id ();
+        let rsize, rpayload =
+          b.Orca.Backend.rpc ~dst ~size (Req { id; size; inner = payload })
+        in
+        match rpayload with
+        | Rep { id = id'; size = sz; inner } ->
+          if id' <> id then
+            violate c "rpc: client %d issued request %d but got the reply to %d"
+              rank id id';
+          if sz <> rsize then
+            violate c "rpc: reply to request %d delivered with size %d, sent as %d"
+              id rsize sz;
+          Hashtbl.remove c.outstanding id;
+          (rsize, inner)
+        | other ->
+          violate c "rpc: client %d got an untagged reply to request %d" rank id;
+          Hashtbl.remove c.outstanding id;
+          (rsize, other));
+    set_rpc_handler =
+      (fun h ->
+        b.Orca.Backend.set_rpc_handler (fun ~client ~size payload ~reply ->
+            match payload with
+            | Req { id; size = sz; inner } ->
+              if sz <> size then
+                violate c "rpc: request %d delivered with size %d, sent as %d"
+                  id size sz;
+              if Hashtbl.mem c.served id then
+                violate c "rpc: at-most-once broken — handler ran twice for request %d"
+                  id
+              else Hashtbl.replace c.served id ();
+              c.handled <- c.handled + 1;
+              let replied = ref false in
+              let checked_reply ~size p =
+                if !replied then
+                  violate c "rpc: reply called twice for request %d" id;
+                replied := true;
+                reply ~size (Rep { id; size; inner = p })
+              in
+              h ~client ~size inner ~reply:checked_reply
+            | other ->
+              violate c "rpc: server %d got an untagged request" rank;
+              h ~client ~size other ~reply));
+  }
+
+let wrap_backends c backends =
+  Array.iter
+    (fun b -> ignore (counter c.pos b.Orca.Backend.rank))
+    backends;
+  Array.map (wrap_backend c) backends
+
+let finalize c =
+  Hashtbl.iter
+    (fun id () -> violate c "rpc: request %d issued but never completed" id)
+    c.outstanding;
+  Hashtbl.iter
+    (fun member k ->
+      if !k <> c.log_len then
+        violate c "group: member %d delivered %d of the %d ordered broadcasts"
+          member !k c.log_len)
+    c.pos;
+  (* Every sent broadcast must appear in the common sequence, each origin's
+     seqs contiguous from 0 — a message ordered twice or never delivered
+     anywhere both surface here. *)
+  let seen = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _pos (origin, seq) ->
+      let spot = (origin, seq) in
+      if Hashtbl.mem seen spot then
+        violate c "group: (origin %d, seq %d) appears twice in the sequence"
+          origin seq
+      else Hashtbl.replace seen spot ())
+    c.log;
+  Hashtbl.iter
+    (fun origin n ->
+      for seq = 0 to !n - 1 do
+        if not (Hashtbl.mem seen (origin, seq)) then
+          violate c "group: broadcast (origin %d, seq %d) was sent but never delivered"
+            origin seq
+      done)
+    c.sent
+
+let violations c = List.rev c.viol_rev
+let n_violations c = c.n_viol
+let ok c = c.n_viol = 0
+let rpcs_checked c = c.handled
+let broadcasts_checked c = c.log_len
+
+let pp fmt c =
+  if ok c then
+    Format.fprintf fmt "ok (%d rpcs, %d broadcasts checked)" c.handled c.log_len
+  else begin
+    Format.fprintf fmt "%d violations (%d rpcs, %d broadcasts checked)" c.n_viol
+      c.handled c.log_len;
+    List.iter (fun v -> Format.fprintf fmt "@,  %s" v) (violations c)
+  end

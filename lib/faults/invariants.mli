@@ -1,0 +1,60 @@
+(** Online protocol-conformance checkers.
+
+    A checker interposes on the {!Orca.Backend.t} record — the one
+    interface both the Amoeba kernel-space and the Panda user-space stacks
+    implement — so any existing experiment runs in "checked" mode without
+    the protocols knowing.  Every RPC request, reply and ordered broadcast
+    is wrapped in a tagged payload on the way down and verified and
+    unwrapped on the way up, asserting, online:
+
+    - {b at-most-once RPC delivery}: the server-side handler runs at most
+      once per issued request, no matter how many retransmitted copies the
+      network delivers;
+    - {b request/reply pairing}: the reply returned to a client carries
+      the tag of exactly the request it issued, with the sizes the server
+      stated, and each request is replied to exactly once;
+    - {b payload/reassembly integrity}: a delivered payload is physically
+      the value that was sent with the advertised size — a spliced or
+      truncated reassembly surfaces as an untagged or mismatched payload;
+    - {b gap-free totally-ordered group delivery}: all members observe the
+      same delivery sequence (the first member to deliver its k-th message
+      fixes the reference; every other member's k-th delivery must match),
+      senders are attributed correctly, and per-origin sequence numbers
+      never skip.
+
+    {!finalize} (after the simulation drains) adds the completeness half:
+    every issued RPC completed, every broadcast was delivered, and every
+    member consumed the entire common sequence.
+
+    Violations are collected, not raised, so a broken run still terminates
+    and reports everything it tripped. *)
+
+type t
+
+val create : unit -> t
+
+val wrap_backends : t -> Orca.Backend.t array -> Orca.Backend.t array
+(** Interposes the checkers on every backend.  The wrapped array is a
+    drop-in replacement for [Orca.Rts.create_domain].  A checker must not
+    be shared between concurrently running simulations (one engine, one
+    checker). *)
+
+val finalize : t -> unit
+(** Runs the end-of-run completeness checks.  Call once, after
+    [Sim.Engine.run] has drained. *)
+
+val violations : t -> string list
+(** First violations recorded (bounded), oldest first. *)
+
+val n_violations : t -> int
+(** Total violations, including any beyond the retention bound. *)
+
+val ok : t -> bool
+
+val rpcs_checked : t -> int
+(** Requests that reached a server-side handler under the checker. *)
+
+val broadcasts_checked : t -> int
+(** Distinct ordered broadcasts delivered under the checker. *)
+
+val pp : Format.formatter -> t -> unit

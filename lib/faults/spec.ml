@@ -1,0 +1,138 @@
+type window = { w_start : Sim.Time.t; w_len : Sim.Time.span }
+
+type t = {
+  seed : int;
+  loss : float;
+  dup : float;
+  corrupt : float;
+  reorder : float;
+  reorder_delay : Sim.Time.span;
+  burst_p : float;
+  burst_len : int;
+  parts : window list;
+  sw_parts : window list;
+}
+
+let none =
+  {
+    seed = 1;
+    loss = 0.;
+    dup = 0.;
+    corrupt = 0.;
+    reorder = 0.;
+    reorder_delay = Sim.Time.us 1000;
+    burst_p = 0.;
+    burst_len = 0;
+    parts = [];
+    sw_parts = [];
+  }
+
+let loss ?(seed = 1) p = { none with seed; loss = p }
+
+let is_null t =
+  t.loss = 0. && t.dup = 0. && t.corrupt = 0. && t.reorder = 0.
+  && (t.burst_p = 0. || t.burst_len = 0)
+  && t.parts = [] && t.sw_parts = []
+
+(* --- parsing --- *)
+
+let ( let* ) = Result.bind
+
+let prob key s =
+  match float_of_string_opt s with
+  | Some p when p >= 0. && p <= 1. -> Ok p
+  | Some _ -> Error (Printf.sprintf "%s: probability %s out of [0,1]" key s)
+  | None -> Error (Printf.sprintf "%s: not a number: %S" key s)
+
+let sec_span key s =
+  match float_of_string_opt s with
+  | Some x when x >= 0. -> Ok (Sim.Time.us_f (x *. 1e6))
+  | Some _ -> Error (Printf.sprintf "%s: negative time %s" key s)
+  | None -> Error (Printf.sprintf "%s: not a number: %S" key s)
+
+let window key s =
+  match String.split_on_char '+' s with
+  | [ start; len ] ->
+    let* w_start = sec_span key start in
+    let* w_len = sec_span key len in
+    Ok { w_start; w_len }
+  | _ -> Error (Printf.sprintf "%s: expected START+DURATION seconds, got %S" key s)
+
+let item t s =
+  match String.index_opt s '=' with
+  | None -> Error (Printf.sprintf "expected key=value, got %S" s)
+  | Some i -> (
+    let key = String.sub s 0 i in
+    let v = String.sub s (i + 1) (String.length s - i - 1) in
+    match key with
+    | "seed" -> (
+      match int_of_string_opt v with
+      | Some seed -> Ok { t with seed }
+      | None -> Error (Printf.sprintf "seed: not an integer: %S" v))
+    | "loss" ->
+      let* loss = prob key v in
+      Ok { t with loss }
+    | "dup" ->
+      let* dup = prob key v in
+      Ok { t with dup }
+    | "corrupt" ->
+      let* corrupt = prob key v in
+      Ok { t with corrupt }
+    | "reorder" ->
+      let* reorder = prob key v in
+      Ok { t with reorder }
+    | "rdelay" -> (
+      match int_of_string_opt v with
+      | Some us when us >= 0 -> Ok { t with reorder_delay = Sim.Time.us us }
+      | _ -> Error (Printf.sprintf "rdelay: not a microsecond count: %S" v))
+    | "burst" -> (
+      match String.index_opt v 'x' with
+      | None -> Error (Printf.sprintf "burst: expected PxN, got %S" v)
+      | Some j -> (
+        let* burst_p = prob key (String.sub v 0 j) in
+        match int_of_string_opt (String.sub v (j + 1) (String.length v - j - 1)) with
+        | Some burst_len when burst_len > 0 -> Ok { t with burst_p; burst_len }
+        | _ -> Error (Printf.sprintf "burst: bad length in %S" v)))
+    | "part" ->
+      let* w = window key v in
+      Ok { t with parts = t.parts @ [ w ] }
+    | "swpart" ->
+      let* w = window key v in
+      Ok { t with sw_parts = t.sw_parts @ [ w ] }
+    | _ -> Error (Printf.sprintf "unknown fault key %S" key))
+
+let parse s =
+  let items = String.split_on_char ',' (String.trim s) in
+  List.fold_left
+    (fun acc it ->
+      let* t = acc in
+      let it = String.trim it in
+      if it = "" then Ok t else item t it)
+    (Ok none) items
+
+let to_string t =
+  let b = Buffer.create 64 in
+  let add fmt = Printf.ksprintf (fun s ->
+      if Buffer.length b > 0 then Buffer.add_char b ',';
+      Buffer.add_string b s) fmt in
+  add "seed=%d" t.seed;
+  let fl x = Printf.sprintf "%.12g" x in
+  if t.loss > 0. then add "loss=%s" (fl t.loss);
+  if t.dup > 0. then add "dup=%s" (fl t.dup);
+  if t.corrupt > 0. then add "corrupt=%s" (fl t.corrupt);
+  if t.reorder > 0. then begin
+    add "reorder=%s" (fl t.reorder);
+    add "rdelay=%d" (t.reorder_delay / Sim.Time.us 1)
+  end;
+  if t.burst_p > 0. && t.burst_len > 0 then
+    add "burst=%sx%d" (fl t.burst_p) t.burst_len;
+  let win key w =
+    add "%s=%s+%s" key
+      (fl (Sim.Time.to_sec w.w_start))
+      (fl (Sim.Time.to_sec w.w_len))
+  in
+  List.iter (win "part") t.parts;
+  List.iter (win "swpart") t.sw_parts;
+  Buffer.contents b
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,55 @@
+(** Declarative, seed-driven fault schedules.
+
+    A spec is a pure value describing which faults to inject and with what
+    intensity; {!Inject.install} compiles it into deterministic per-segment
+    injectors.  The textual grammar (the [--faults] CLI argument) is a
+    comma-separated list of [key=value] items:
+
+    {v
+    seed=N            master RNG seed (default 1)
+    loss=P            i.i.d. frame loss probability, 0 <= P <= 1
+    dup=P             frame duplication probability
+    corrupt=P         payload corruption probability (FCS drop at receivers)
+    reorder=P         probability a frame is delayed so later frames overtake
+    rdelay=US         reorder delay in microseconds (default 1000)
+    burst=PxN         with probability P, enter a burst killing the next N frames
+    part=T+D          segment blackout: from T seconds for D seconds
+                      (repeatable; every segment drops all frames in the window)
+    swpart=T+D        switch partition window: the switch forwards nothing,
+                      segments stay internally connected (repeatable)
+    v}
+
+    Example: [seed=42,loss=0.01,dup=0.005,burst=0.001x8,part=0.5+0.2]. *)
+
+type window = { w_start : Sim.Time.t; w_len : Sim.Time.span }
+
+type t = {
+  seed : int;
+  loss : float;
+  dup : float;
+  corrupt : float;
+  reorder : float;
+  reorder_delay : Sim.Time.span;
+  burst_p : float;  (** probability of entering a burst on any frame *)
+  burst_len : int;  (** frames killed once a burst starts *)
+  parts : window list;  (** segment blackout windows *)
+  sw_parts : window list;  (** switch partition windows *)
+}
+
+val none : t
+(** No faults, seed 1. *)
+
+val loss : ?seed:int -> float -> t
+(** [loss ~seed p] is i.i.d. frame loss only — the common case. *)
+
+val is_null : t -> bool
+(** True when the spec can never inject anything. *)
+
+val parse : string -> (t, string) result
+(** Parses the grammar above; unknown keys and out-of-range values are
+    errors. *)
+
+val to_string : t -> string
+(** Canonical textual form; [parse (to_string t)] round-trips. *)
+
+val pp : Format.formatter -> t -> unit

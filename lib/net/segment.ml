@@ -6,6 +6,13 @@ type config = {
 
 let default_config = { byte_time = Sim.Time.ns 800; framing_bytes = 38; min_payload = 46 }
 
+type verdict =
+  | Pass
+  | Drop
+  | Corrupt
+  | Duplicate
+  | Delay of Sim.Time.span
+
 type attachment = {
   aid : int;
   aname : string;
@@ -24,8 +31,11 @@ type t = {
   mutable bytes : int;
   mutable frames : int;
   mutable busy_ns : Sim.Time.span;
-  mutable fault : (Frame.t -> bool) option;
+  mutable fault : (Frame.t -> verdict) option;
   mutable dropped : int;
+  mutable corrupted : int;
+  mutable duplicated : int;
+  mutable delayed : int;
 }
 
 let create eng ?(config = default_config) sname =
@@ -42,6 +52,9 @@ let create eng ?(config = default_config) sname =
     busy_ns = 0;
     fault = None;
     dropped = 0;
+    corrupted = 0;
+    duplicated = 0;
+    delayed = 0;
   }
 
 let attach t ~name ~accepts deliver =
@@ -54,37 +67,74 @@ let wire_time t (frame : Frame.t) =
   let payload = max frame.Frame.bytes t.config.min_payload in
   (payload + t.config.framing_bytes) * t.config.byte_time
 
+(* A frame killed on the wire is charged in full to Fault_wire under the
+   layer of its topmost protocol header, so injected loss stays visible in
+   the layer × cause accounting (instead of the silent vanish the header
+   charges alone would leave). *)
+let top_layer (frame : Frame.t) =
+  match List.rev frame.Frame.hdr with (ly, _) :: _ -> ly | [] -> Obs.Layer.Nic
+
 let rec start_next t =
   match Queue.take_opt t.queue with
   | None -> t.transmitting <- false
   | Some (from, frame) ->
     t.transmitting <- true;
     let wt = wire_time t frame in
-    (* Wire occupancy attributable to protocol headers (not CPU time). *)
-    List.iter
-      (fun (ly, b) ->
-        Obs.Recorder.charge ~layer:ly ~cause:Obs.Cause.Header_wire
-          (b * t.config.byte_time))
-      frame.Frame.hdr;
     t.bytes <- t.bytes + frame.Frame.bytes;
     t.frames <- t.frames + 1;
     t.busy_ns <- t.busy_ns + wt;
-    let lost = match t.fault with Some f -> f frame | None -> false in
-    if lost then t.dropped <- t.dropped + 1;
+    let verdict = match t.fault with Some f -> f frame | None -> Pass in
+    let killed = match verdict with Drop | Corrupt -> true | _ -> false in
+    (match verdict with
+     | Drop -> t.dropped <- t.dropped + 1
+     | Corrupt -> t.corrupted <- t.corrupted + 1
+     | Duplicate ->
+       t.duplicated <- t.duplicated + 1;
+       Queue.push (from, frame) t.queue
+     | Delay _ -> t.delayed <- t.delayed + 1
+     | Pass -> ());
+    if killed then
+      Obs.Recorder.charge ~layer:(top_layer frame) ~cause:Obs.Cause.Fault_wire wt
+    else
+      (* Wire occupancy attributable to protocol headers (not CPU time). *)
+      List.iter
+        (fun (ly, b) ->
+          Obs.Recorder.charge ~layer:ly ~cause:Obs.Cause.Header_wire
+            (b * t.config.byte_time))
+        frame.Frame.hdr;
+    let deliver () =
+      List.iter
+        (fun a -> if a.aid <> from.aid && a.accepts frame then a.deliver frame)
+        t.attachments
+    in
+    (* Delayed frames free the medium at the normal time but reach the
+       receivers late, so frames queued behind them overtake: reordering. *)
+    (match verdict with
+     | Delay extra -> ignore (Sim.Engine.after t.eng (wt + extra) deliver)
+     | _ -> ());
     ignore
       (Sim.Engine.after t.eng wt (fun () ->
-           if not lost then
-             List.iter
-               (fun a -> if a.aid <> from.aid && a.accepts frame then a.deliver frame)
-               t.attachments;
+           (match verdict with
+            | Pass | Duplicate -> deliver ()
+            | Drop | Corrupt | Delay _ -> ());
            start_next t))
 
 let transmit t ~from frame =
   Queue.push (from, frame) t.queue;
   if not t.transmitting then start_next t
 
-let set_fault_injector t f = t.fault <- f
+let set_fault t f = t.fault <- f
+
+let set_fault_injector t f =
+  t.fault <-
+    (match f with
+     | None -> None
+     | Some f -> Some (fun frame -> if f frame then Drop else Pass))
+
 let frames_dropped t = t.dropped
+let frames_corrupted t = t.corrupted
+let frames_duplicated t = t.duplicated
+let frames_delayed t = t.delayed
 let busy t = t.transmitting
 let queue_length t = Queue.length t.queue
 let bytes_carried t = t.bytes

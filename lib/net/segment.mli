@@ -38,12 +38,44 @@ val transmit : t -> from:attachment -> Frame.t -> unit
 val wire_time : t -> Frame.t -> Sim.Time.span
 (** Time the frame occupies the medium. *)
 
+(** Per-frame decision of a fault injector, evaluated when the frame wins
+    the medium.  In every case the frame occupies the wire for its normal
+    transmission time first (the medium does not know about the fault):
+
+    - [Drop]: delivered to nobody — a collided/lost frame.
+    - [Corrupt]: payload damaged in flight; receivers detect the bad FCS
+      and discard it, so observably it is a drop, but it is counted
+      separately.  (No corrupted bytes are ever surfaced upward — exactly
+      the guarantee real Ethernet FCS checking gives the protocols.)
+    - [Duplicate]: delivered normally, and queued once more at the tail,
+      so the copy occupies the wire again and is delivered a second time
+      (the copy is itself subject to the injector).
+    - [Delay d]: the medium is released at the normal time but delivery
+      is postponed by [d], so frames queued behind it overtake —
+      reordering.
+    - [Pass]: normal delivery. *)
+type verdict =
+  | Pass
+  | Drop
+  | Corrupt
+  | Duplicate
+  | Delay of Sim.Time.span
+
+val set_fault : t -> (Frame.t -> verdict) option -> unit
+(** Installs (or clears) the fault injector.  Frames killed by [Drop] or
+    [Corrupt] charge their full wire time to
+    [Obs.Cause.Fault_wire] under the layer of their topmost protocol
+    header, so injected loss is visible in the cost ledger. *)
+
 val set_fault_injector : t -> (Frame.t -> bool) option -> unit
-(** When the injector returns [true] for a frame, the frame occupies the
-    wire but is delivered to nobody — a corrupted/collided frame.  Used by
-    tests and failure-injection benches to exercise retransmission. *)
+(** Compatibility wrapper over {!set_fault}: [true] means [Drop]. *)
 
 val frames_dropped : t -> int
+(** Frames killed by [Drop] verdicts. *)
+
+val frames_corrupted : t -> int
+val frames_duplicated : t -> int
+val frames_delayed : t -> int
 
 val busy : t -> bool
 val queue_length : t -> int

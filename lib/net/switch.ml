@@ -11,13 +11,31 @@ type t = {
   mutable port_list : port list; (* reverse order of addition *)
   table : (int, int) Hashtbl.t; (* station -> port index *)
   mutable forwarded : int;
+  mutable fault : (Frame.t -> bool) option;
+  mutable dropped : int;
 }
 
 let create eng ?(latency = Sim.Time.us 50) name =
-  { eng; name; latency; port_list = []; table = Hashtbl.create 64; forwarded = 0 }
+  {
+    eng;
+    name;
+    latency;
+    port_list = [];
+    table = Hashtbl.create 64;
+    forwarded = 0;
+    fault = None;
+    dropped = 0;
+  }
 
 let forward t ~ingress frame =
   Hashtbl.replace t.table frame.Frame.src ingress;
+  let blocked = match t.fault with Some f -> f frame | None -> false in
+  if blocked then begin
+    (* A partitioned/faulty switch eats the frame after full reception. *)
+    t.dropped <- t.dropped + 1;
+    Obs.Recorder.count "faults.switch_drops" 1
+  end
+  else
   let out_ports =
     match frame.Frame.dest with
     | Frame.Unicast dst -> (
@@ -49,3 +67,5 @@ let add_port t seg =
 
 let ports t = List.length t.port_list
 let frames_forwarded t = t.forwarded
+let set_fault t f = t.fault <- f
+let frames_dropped t = t.dropped

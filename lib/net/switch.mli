@@ -15,3 +15,11 @@ val add_port : t -> Segment.t -> unit
 
 val ports : t -> int
 val frames_forwarded : t -> int
+
+val set_fault : t -> (Frame.t -> bool) option -> unit
+(** When the hook returns [true] the switch silently discards the frame
+    after full reception instead of forwarding it — the building block for
+    timed switch partitions (frames stay local to their segment). *)
+
+val frames_dropped : t -> int
+(** Frames discarded by the fault hook. *)

@@ -6,11 +6,12 @@ type t =
   | Header_wire
   | Proto_proc
   | Copy
+  | Fault_wire
   | Idle
 
 let all =
   [ Ctx_switch; Regwin_trap; Uk_crossing; Fragmentation; Header_wire; Proto_proc;
-    Copy; Idle ]
+    Copy; Fault_wire; Idle ]
 
 let count = List.length all
 
@@ -22,7 +23,8 @@ let index = function
   | Header_wire -> 4
   | Proto_proc -> 5
   | Copy -> 6
-  | Idle -> 7
+  | Fault_wire -> 7
+  | Idle -> 8
 
 let to_string = function
   | Ctx_switch -> "ctx_switch"
@@ -32,14 +34,16 @@ let to_string = function
   | Header_wire -> "header_wire"
   | Proto_proc -> "proto_proc"
   | Copy -> "copy"
+  | Fault_wire -> "fault_wire"
   | Idle -> "idle"
 
 (* Causes that consume simulated CPU time.  Header_wire is wire/NIC time
-   attributable to protocol header bytes and Idle is derived, so neither
-   counts towards CPU occupancy. *)
+   attributable to protocol header bytes, Fault_wire is wire occupancy
+   wasted on frames killed by injected faults, and Idle is derived, so
+   none of the three counts towards CPU occupancy. *)
 let is_cpu = function
   | Ctx_switch | Regwin_trap | Uk_crossing | Fragmentation | Proto_proc | Copy ->
     true
-  | Header_wire | Idle -> false
+  | Header_wire | Fault_wire | Idle -> false
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -11,6 +11,12 @@ type t =
                      bytes (not CPU time) *)
   | Proto_proc  (** protocol processing proper *)
   | Copy  (** per-byte data copying *)
+  | Fault_wire
+      (** wire occupancy wasted on frames killed by injected faults
+          (drops, corruptions, partitions) — not CPU time.  The charge is
+          attributed to the layer of the frame's topmost protocol header,
+          so injected loss shows up in the layer × cause accounting
+          instead of silently vanishing. *)
   | Idle  (** derived: CPU time charged to nothing *)
 
 val all : t list

@@ -17,6 +17,7 @@ type t = {
     unit;
   supports_async_reply : bool;
   supports_nonblocking_broadcast : bool;
+  retransmissions : unit -> int;
   label : string;
 }
 
@@ -33,7 +34,7 @@ let kernel_stack ?(rpc_config = Amoeba.Rpc.default_config)
   let port_addrs = Array.map Amoeba.Rpc.address ports in
   let rank_of_client = Hashtbl.create n in
   Array.iteri (fun i rpc -> Hashtbl.replace rank_of_client (Amoeba.Rpc.client_address rpc) i) rpcs;
-  let _grp, members = Amoeba.Group.create_static ~config:group_config ~name:"orca" ~sequencer flips in
+  let grp, members = Amoeba.Group.create_static ~config:group_config ~name:"orca" ~sequencer flips in
   Array.init n (fun i ->
       let mach = Flip.Flip_iface.machine flips.(i) in
       let deliver = ref (fun ~sender:_ ~size:_ _ -> ()) in
@@ -96,6 +97,10 @@ let kernel_stack ?(rpc_config = Amoeba.Rpc.default_config)
         set_rpc_handler = (fun h -> handler := h);
         supports_async_reply = false;
         supports_nonblocking_broadcast = false;
+        retransmissions =
+          (fun () ->
+            Amoeba.Rpc.retransmissions rpcs.(i)
+            + if i = 0 then Amoeba.Group.retransmissions grp else 0);
         label = "kernel";
       })
 
@@ -120,7 +125,7 @@ let user_stack ?(sys_config = Panda.System_layer.default_config)
         "user-dedicated" )
     | None -> (Panda.Group.On_member sequencer, "user")
   in
-  let _grp, members = Panda.Group.create_static ~config:group_config ~name:"orca" ~sequencer:placement sys in
+  let grp, members = Panda.Group.create_static ~config:group_config ~name:"orca" ~sequencer:placement sys in
   Array.init n (fun i ->
       let mach = Panda.System_layer.machine sys.(i) in
       {
@@ -146,5 +151,9 @@ let user_stack ?(sys_config = Panda.System_layer.default_config)
                 h ~client ~size payload ~reply));
         supports_async_reply = true;
         supports_nonblocking_broadcast = true;
+        retransmissions =
+          (fun () ->
+            Panda.Rpc.retransmissions rpcs.(i)
+            + if i = 0 then Panda.Group.retransmissions grp else 0);
         label;
       })

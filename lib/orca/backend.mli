@@ -37,6 +37,11 @@ type t = {
           different thread *)
   supports_async_reply : bool;
   supports_nonblocking_broadcast : bool;
+  retransmissions : unit -> int;
+      (** protocol retransmissions attributable to this backend so far;
+          summing over all ranks gives the stack total (the group
+          protocol's counter is carried by rank 0 alone, since the
+          sequencer's retransmissions belong to no one rank) *)
   label : string;
 }
 

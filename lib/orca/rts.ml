@@ -98,6 +98,9 @@ let parked_peak dom = dom.parked_peak
 let parked_total dom = dom.parked_count
 let migrations dom = dom.n_migrations
 
+let retransmissions dom =
+  Array.fold_left (fun acc b -> acc + b.Backend.retransmissions ()) 0 dom.backends
+
 let owner_of od = if od.od_owner >= 0 then Some od.od_owner else None
 let placement od = od.od_placement
 

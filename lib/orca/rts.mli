@@ -103,3 +103,8 @@ val parked_peak : domain -> int
 
 val parked_total : domain -> int
 (** Guarded operations that blocked at least once. *)
+
+val retransmissions : domain -> int
+(** Protocol retransmissions summed over the domain's backends — the
+    recovery work the stack performed (nonzero only under injected
+    faults or genuine congestion loss). *)

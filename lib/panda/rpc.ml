@@ -52,6 +52,11 @@ type ack_slot = {
 type req_state =
   | Processing
   | Replied of { rp_size : int; rp_user : Sim.Payload.t; rp_tag : int }
+  | Acked
+      (* Tombstone: the client acknowledged the reply.  Kept in the
+         (bounded) cache rather than removed, so a duplicate of the
+         original request still in flight is dropped instead of
+         re-running the handler. *)
 
 type handler_fn =
   client:Flip.Address.t ->
@@ -91,6 +96,10 @@ let bound_states t =
   while Queue.length t.state_order > max_state_cache do
     Hashtbl.remove t.states (Queue.pop t.state_order)
   done
+
+let note_acked t client trans_id =
+  let key = (client, trans_id) in
+  if Hashtbl.mem t.states key then Hashtbl.replace t.states key Acked
 
 (* --- reply acknowledgement bookkeeping (client side) --- *)
 
@@ -216,9 +225,10 @@ let on_message t ~src ~size:_ payload =
   match payload with
   | Preq { client; trans_id; acks; size; user } ->
     Thread.compute ~layer:Obs.Layer.Panda_rpc t.cfg.proc_cost;
-    List.iter (fun id -> Hashtbl.remove t.states (client, id)) acks;
+    List.iter (fun id -> note_acked t client id) acks;
     (match Hashtbl.find_opt t.states (client, trans_id) with
      | Some Processing -> () (* duplicate while the handler runs *)
+     | Some Acked -> () (* stale duplicate of a completed transaction *)
      | Some (Replied { rp_size; rp_user; rp_tag }) ->
        (* Reply was lost: replay it under the same tag (charged to the
           daemon). *)
@@ -258,7 +268,7 @@ let on_message t ~src ~size:_ payload =
        note_ack_due t src trans_id);
     true
   | Pack { client; trans_ids } ->
-    List.iter (fun id -> Hashtbl.remove t.states (client, id)) trans_ids;
+    List.iter (fun id -> note_acked t client id) trans_ids;
     true
   | _ -> false
 
