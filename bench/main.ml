@@ -47,29 +47,36 @@ let paper_table3 =
   ]
 
 let print_table1 ?pool ?faults () =
-  hr "Table 1: communication latencies [ms] (paper values in parentheses)";
+  hr
+    "Table 1: communication latencies [ms] (paper values in parentheses; \
+     optimized columns are this reproduction's own)";
   Printf.printf
-    "%6s  %-14s %-14s %-14s %-14s %-14s %-14s\n"
-    "size" "unicast/user" "mcast/user" "RPC/user" "RPC/kernel" "group/user" "group/kernel";
+    "%6s  %-14s %-14s %-14s %-14s %-14s %-14s %-9s %-9s\n"
+    "size" "unicast/user" "mcast/user" "RPC/user" "RPC/kernel" "group/user"
+    "group/kernel" "RPC/opt" "group/opt";
   let rows = Core.Experiments.table1 ?pool ?faults () in
   List.iter2
     (fun r (_, (pu, pm, pru, prk, pgu, pgk)) ->
       Printf.printf
-        "%6d  %5.2f (%4.2f)   %5.2f (%4.2f)   %5.2f (%4.2f)   %5.2f (%4.2f)   %5.2f (%4.2f)   %5.2f (%4.2f)\n"
+        "%6d  %5.2f (%4.2f)   %5.2f (%4.2f)   %5.2f (%4.2f)   %5.2f (%4.2f)   %5.2f (%4.2f)   %5.2f (%4.2f)   %5.2f     %5.2f\n"
         r.Core.Experiments.lr_size r.Core.Experiments.lr_unicast pu
         r.Core.Experiments.lr_multicast pm r.Core.Experiments.lr_rpc_user pru
         r.Core.Experiments.lr_rpc_kernel prk r.Core.Experiments.lr_grp_user pgu
-        r.Core.Experiments.lr_grp_kernel pgk)
+        r.Core.Experiments.lr_grp_kernel pgk r.Core.Experiments.lr_rpc_opt
+        r.Core.Experiments.lr_grp_opt)
     rows paper_table1
 
 let print_table2 ?pool ?faults () =
-  hr "Table 2: communication throughputs [KB/s] (paper values in parentheses)";
+  hr
+    "Table 2: communication throughputs [KB/s] (paper values in parentheses; \
+     optimized column is this reproduction's own)";
   let paper = [ ("RPC", (825., 897.)); ("group", (941., 941.)) ] in
   List.iter2
     (fun r (_, (pu, pk)) ->
-      Printf.printf "%-6s  user %5.0f (%4.0f)   kernel %5.0f (%4.0f)\n"
+      Printf.printf
+        "%-6s  user %5.0f (%4.0f)   kernel %5.0f (%4.0f)   optimized %5.0f\n"
         r.Core.Experiments.tr_proto r.Core.Experiments.tr_user pu
-        r.Core.Experiments.tr_kernel pk)
+        r.Core.Experiments.tr_kernel pk r.Core.Experiments.tr_opt)
     (Core.Experiments.table2 ?pool ?faults ())
     paper
 
@@ -100,6 +107,9 @@ let print_table3 ?pool ?faults ?checked ?(procs = [ 1; 8; 16; 32 ]) () =
   let any_invalid = ref false in
   List.iter
     (fun (app, impls) ->
+      (* The optimized user-space stack has no paper column — it is this
+         reproduction's own extension — but its rows print alongside. *)
+      let impls = impls @ [ ("optimized", []) ] in
       List.iter
         (fun (impl, _) ->
           let times =
@@ -175,6 +185,17 @@ let print_breakdown ?pool () =
   print_side rpc_analytic rpc_measured;
   Printf.printf "group (user path; total and header rows are deltas):\n";
   print_side grp_analytic grp_measured
+
+(* The optimized user-space stack's differential: which (layer, cause)
+   ledger cells each of the four optimizations removed, with the residual
+   (savings owned by no mechanism) required to be zero. *)
+let print_optimized ?pool () =
+  hr "Optimized user-space stack: null-latency differential vs. baseline";
+  let rpc_o, grp_o = Core.Experiments.optimized_breakdown ?pool () in
+  Format.printf "@[<v>optimized rpc:@,%a@]@." Core.Experiments.pp_opt_breakdown
+    rpc_o;
+  Format.printf "@[<v>optimized group:@,%a@]@."
+    Core.Experiments.pp_opt_breakdown grp_o
 
 let print_fault_sweep ?pool ?(quick = false) ?seed () =
   hr "Fault sweep: degradation and conformance vs. frame-loss rate";
@@ -466,6 +487,7 @@ let () =
   if wants "table2" then
     timed "table2" (fun () -> with_pool (fun ?pool () -> print_table2 ?pool ?faults ()));
   if wants "breakdown" then timed "breakdown" (fun () -> with_pool print_breakdown);
+  if wants "optimized" then timed "optimized" (fun () -> with_pool print_optimized);
   if wants "table3" then
     timed
       (if quick then "table3-quick" else "table3")

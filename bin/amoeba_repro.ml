@@ -8,12 +8,16 @@ let impl_conv =
     | "kernel" -> Ok Core.Cluster.Kernel
     | "user" -> Ok Core.Cluster.User
     | "user-dedicated" -> Ok Core.Cluster.User_dedicated
+    | "optimized" -> Ok Core.Cluster.User_optimized
     | s -> Error (`Msg (Printf.sprintf "unknown implementation %S" s))
   in
   Arg.conv (parse, fun fmt i -> Format.pp_print_string fmt (Core.Cluster.impl_label i))
 
 let impl_arg =
-  Arg.(value & opt impl_conv Core.Cluster.User & info [ "impl" ] ~doc:"kernel | user | user-dedicated")
+  Arg.(
+    value
+    & opt impl_conv Core.Cluster.User
+    & info [ "impl" ] ~doc:"kernel | user | user-dedicated | optimized")
 
 let procs_arg =
   Arg.(value & opt int 8 & info [ "procs"; "p" ] ~doc:"Number of processors")
@@ -76,7 +80,12 @@ let obs_log_arg =
 let latency_cmd =
   let run impl size faults trace obs obs_log =
     if obs_log then Obs.Log.set_enabled true;
-    let impl2 = match impl with Core.Cluster.Kernel -> `Kernel | _ -> `User in
+    let impl2 =
+      match impl with
+      | Core.Cluster.Kernel -> `Kernel
+      | Core.Cluster.User_optimized -> `Opt
+      | _ -> `User
+    in
     Printf.printf "RPC   %-6s %5d B: %.3f ms\n" (Core.Cluster.impl_label impl) size
       (Core.Experiments.rpc_latency ?faults ~impl:impl2 ~size ());
     Printf.printf "group %-6s %5d B: %.3f ms\n" (Core.Cluster.impl_label impl) size
@@ -104,9 +113,9 @@ let throughput_cmd =
   let run jobs =
     List.iter
       (fun r ->
-        Printf.printf "%-6s user %6.0f KB/s   kernel %6.0f KB/s\n"
+        Printf.printf "%-6s user %6.0f KB/s   kernel %6.0f KB/s   optimized %6.0f KB/s\n"
           r.Core.Experiments.tr_proto r.Core.Experiments.tr_user
-          r.Core.Experiments.tr_kernel)
+          r.Core.Experiments.tr_kernel r.Core.Experiments.tr_opt)
       (with_pool jobs (fun ?pool () -> Core.Experiments.table2 ?pool ()))
   in
   Cmd.v (Cmd.info "throughput" ~doc:"Measure RPC and group throughput (Table 2)")
@@ -188,11 +197,14 @@ let table_cmd name doc f =
 let table1 jobs =
   List.iter
     (fun r ->
-      Printf.printf "%5d  uni %.2f  mcast %.2f  rpcU %.2f  rpcK %.2f  grpU %.2f  grpK %.2f\n"
+      Printf.printf
+        "%5d  uni %.2f  mcast %.2f  rpcU %.2f  rpcK %.2f  grpU %.2f  grpK %.2f  \
+         rpcO %.2f  grpO %.2f\n"
         r.Core.Experiments.lr_size r.Core.Experiments.lr_unicast
         r.Core.Experiments.lr_multicast r.Core.Experiments.lr_rpc_user
         r.Core.Experiments.lr_rpc_kernel r.Core.Experiments.lr_grp_user
-        r.Core.Experiments.lr_grp_kernel)
+        r.Core.Experiments.lr_grp_kernel r.Core.Experiments.lr_rpc_opt
+        r.Core.Experiments.lr_grp_opt)
     (with_pool jobs (fun ?pool () -> Core.Experiments.table1 ?pool ()))
 
 let breakdown jobs =
@@ -209,7 +221,10 @@ let breakdown jobs =
         rpc_m;
       List.iter
         (fun (l, v) -> Printf.printf "grp measured: %-40s %7.1f us\n" l v)
-        grp_m)
+        grp_m;
+      let rpc_o, grp_o = Core.Experiments.optimized_breakdown ?pool () in
+      Format.printf "@[<v>optimized rpc:@,%a@]@." Core.Experiments.pp_opt_breakdown rpc_o;
+      Format.printf "@[<v>optimized grp:@,%a@]@." Core.Experiments.pp_opt_breakdown grp_o)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))

@@ -6,14 +6,15 @@ type t = {
   extra : Flip.Flip_iface.t option;
 }
 
-type impl = Kernel | User | User_dedicated
+type impl = Kernel | User | User_dedicated | User_optimized
 
 let impl_label = function
   | Kernel -> "kernel"
   | User -> "user"
   | User_dedicated -> "user-dedicated"
+  | User_optimized -> "optimized"
 
-let all_impls = [ Kernel; User; User_dedicated ]
+let all_impls = [ Kernel; User; User_dedicated; User_optimized ]
 
 let create ?(extra_machine = false) ~n () =
   let eng = Sim.Engine.create () in
@@ -57,6 +58,9 @@ let domain ?checker t impl =
       Orca.Backend.user_stack ~sys_config:Params.panda_system
         ~rpc_config:Params.panda_rpc ~group_config:Params.panda_group t.flips
         ~dedicated_sequencer:extra ()
+    | User_optimized ->
+      Orca.Backend.user_stack ~label:"optimized" ~sys_config:Params.panda_system_opt
+        ~rpc_config:Params.panda_rpc_opt ~group_config:Params.panda_group_opt t.flips ()
   in
   let backends =
     match checker with

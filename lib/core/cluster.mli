@@ -13,7 +13,7 @@ type t = {
 
 val create : ?extra_machine:bool -> n:int -> unit -> t
 
-type impl = Kernel | User | User_dedicated
+type impl = Kernel | User | User_dedicated | User_optimized
 
 val impl_label : impl -> string
 val all_impls : impl list

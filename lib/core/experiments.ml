@@ -27,6 +27,33 @@ let default_profile =
     p_pgrp = Params.panda_group;
   }
 
+(* The optimized user-space stack (impl [`Opt] below): the same profile
+   with the three System_layer mechanisms switched on and the compact
+   merged headers — exactly the configs Cluster.User_optimized uses, so
+   the microbenchmarks and Table 3 measure the same stack.  Written as a
+   transform so it composes with other profile edits (faults, ablations). *)
+let optimize_profile p =
+  {
+    p with
+    p_psys =
+      { p.p_psys with Panda.System_layer.single_frag = true; sg_copy = true; rx_fastpath = true };
+    p_prpc =
+      { p.p_prpc with Panda.Rpc.header_bytes = Params.panda_rpc_opt.Panda.Rpc.header_bytes };
+    p_pgrp =
+      {
+        p.p_pgrp with
+        Panda.Group.header_bytes = Params.panda_group_opt.Panda.Group.header_bytes;
+        accept_bytes = Params.panda_group_opt.Panda.Group.accept_bytes;
+      };
+  }
+
+(* [`Opt] is the user code path under the optimized profile: same protocol
+   modules, different mechanism flags. *)
+let split_impl profile = function
+  | `Opt -> (optimize_profile profile, `User)
+  | `User -> (profile, `User)
+  | `Kernel -> (profile, `Kernel)
+
 (* A small pool built from a profile (for the microbenchmarks; Table 3
    uses Cluster, which reads Params directly). *)
 let micro_pool profile n =
@@ -158,6 +185,7 @@ let record_done recorder window =
   | _ -> ()
 
 let rpc_run ?recorder ?(window = `Measured) ?faults profile ~impl ~size ~rounds =
+  let profile, impl = split_impl profile impl in
   let eng, machines, flips, topo = micro_pool profile 2 in
   install_faults ?faults eng topo;
   (match (recorder, window) with
@@ -222,6 +250,7 @@ let rpc_latency ?faults ?(profile = default_profile) ~impl ~size () =
 (* One sending member; the sequencer is on the other machine, as in the
    paper's measurement. *)
 let group_run ?recorder ?(window = `Measured) ?faults profile ~impl ~size ~rounds =
+  let profile, impl = split_impl profile impl in
   let eng, machines, flips, topo = micro_pool profile 2 in
   install_faults ?faults eng topo;
   (match (recorder, window) with
@@ -293,12 +322,14 @@ type lat_row = {
   lr_rpc_kernel : float;
   lr_grp_user : float;
   lr_grp_kernel : float;
+  lr_rpc_opt : float;
+  lr_grp_opt : float;
 }
 
 let table1_sizes = [ 0; 1024; 2048; 3072; 4096 ]
 
 let table1 ?pool ?faults ?(profile = default_profile) ?(sizes = table1_sizes) () =
-  (* One cell per (size, column): 6 independent simulations per row. *)
+  (* One cell per (size, column): 8 independent simulations per row. *)
   let cells =
     List.concat_map
       (fun size ->
@@ -309,13 +340,15 @@ let table1 ?pool ?faults ?(profile = default_profile) ?(sizes = table1_sizes) ()
           (fun () -> rpc_latency ?faults ~profile ~impl:`Kernel ~size ());
           (fun () -> group_latency ?faults ~profile ~impl:`User ~size ());
           (fun () -> group_latency ?faults ~profile ~impl:`Kernel ~size ());
+          (fun () -> rpc_latency ?faults ~profile ~impl:`Opt ~size ());
+          (fun () -> group_latency ?faults ~profile ~impl:`Opt ~size ());
         ])
       sizes
   in
   let rec rows sizes vals =
     match (sizes, vals) with
     | [], [] -> []
-    | size :: sizes, u :: m :: ru :: rk :: gu :: gk :: vals ->
+    | size :: sizes, u :: m :: ru :: rk :: gu :: gk :: ro :: go :: vals ->
       {
         lr_size = size;
         lr_unicast = u;
@@ -324,6 +357,8 @@ let table1 ?pool ?faults ?(profile = default_profile) ?(sizes = table1_sizes) ()
         lr_rpc_kernel = rk;
         lr_grp_user = gu;
         lr_grp_kernel = gk;
+        lr_rpc_opt = ro;
+        lr_grp_opt = go;
       }
       :: rows sizes vals
     | _ -> assert false
@@ -345,6 +380,7 @@ let rpc_throughput ?faults profile ~impl =
 (* Several members stream large messages concurrently, saturating the
    Ethernet; throughput is the ordered goodput. *)
 let group_throughput ?faults profile ~impl =
+  let profile, impl = split_impl profile impl in
   let n = 4 in
   let per_member = 12 in
   let size = 8000 in
@@ -411,6 +447,7 @@ type tput_row = {
   tr_proto : string;
   tr_user : float;
   tr_kernel : float;
+  tr_opt : float;
 }
 
 let table2 ?pool ?faults ?(profile = default_profile) () =
@@ -421,12 +458,14 @@ let table2 ?pool ?faults ?(profile = default_profile) () =
         (fun () -> rpc_throughput ?faults profile ~impl:`Kernel);
         (fun () -> group_throughput ?faults profile ~impl:`User);
         (fun () -> group_throughput ?faults profile ~impl:`Kernel);
+        (fun () -> rpc_throughput ?faults profile ~impl:`Opt);
+        (fun () -> group_throughput ?faults profile ~impl:`Opt);
       ]
   with
-  | [ ru; rk; gu; gk ] ->
+  | [ ru; rk; gu; gk; ro; go ] ->
     [
-      { tr_proto = "RPC"; tr_user = ru; tr_kernel = rk };
-      { tr_proto = "group"; tr_user = gu; tr_kernel = gk };
+      { tr_proto = "RPC"; tr_user = ru; tr_kernel = rk; tr_opt = ro };
+      { tr_proto = "group"; tr_user = gu; tr_kernel = gk; tr_opt = go };
     ]
   | _ -> assert false
 
@@ -446,8 +485,8 @@ let table3 ?pool ?faults ?checked ?(procs = [ 1; 8; 16; 32 ]) ?app_names () =
           (fun p ->
             let impls =
               if app.Runner.app_name = "leq" then
-                [ Cluster.Kernel; Cluster.User; Cluster.User_dedicated ]
-              else [ Cluster.Kernel; Cluster.User ]
+                [ Cluster.Kernel; Cluster.User; Cluster.User_dedicated; Cluster.User_optimized ]
+              else [ Cluster.Kernel; Cluster.User; Cluster.User_optimized ]
             in
             List.map (fun impl -> (impl, p, app)) impls)
           procs)
@@ -638,6 +677,111 @@ let recorded_rpc ?(impl = `User) ?(size = 0) () =
   (r, busy)
 
 (* ------------------------------------------------------------------ *)
+(* Optimized-stack differential: record baseline-user and optimized null
+   runs and diff the cost ledgers cell by cell.  On a single-fragment null
+   operation the four optimizations are disjoint in the cause dimension —
+   single fragmentation is the only mechanism touching [Fragmentation]
+   charges, scatter-gather the only one touching [Copy], compact headers
+   the only one touching [Header_wire], and the receive fast path the only
+   one changing scheduling and kernel-crossing work — so every saved
+   microsecond lands in exactly one named bucket and the residual (causes
+   owned by no mechanism) must be zero. *)
+
+type opt_cell = {
+  oc_layer : Obs.Layer.t;
+  oc_cause : Obs.Cause.t;
+  oc_us : float;  (** µs/round this ledger cell shrank (negative = grew) *)
+}
+
+type opt_breakdown = {
+  ob_base_us : float;  (** baseline user-space null latency, µs/round *)
+  ob_opt_us : float;  (** optimized user-space null latency, µs/round *)
+  ob_kernel_us : float;  (** kernel-space reference, µs/round *)
+  ob_cells : opt_cell list;  (** every nonzero (layer, cause) ledger delta *)
+  ob_mechanisms : (string * float) list;  (** µs/round recovered per optimization *)
+  ob_residual_us : float;  (** deltas owned by no mechanism — 0 by construction *)
+}
+
+let mechanism_of_cause = function
+  | Obs.Cause.Fragmentation -> Some "single fragmentation"
+  | Obs.Cause.Copy -> Some "scatter-gather zero-copy"
+  | Obs.Cause.Header_wire -> Some "compact headers"
+  | Obs.Cause.Ctx_switch | Obs.Cause.Uk_crossing | Obs.Cause.Regwin_trap
+  | Obs.Cause.Proto_proc -> Some "single-switch receive fast path"
+  | Obs.Cause.Fault_wire | Obs.Cause.Idle -> None
+
+let mechanism_names =
+  [
+    "single fragmentation";
+    "scatter-gather zero-copy";
+    "compact headers";
+    "single-switch receive fast path";
+  ]
+
+let diff_breakdown (ru, lat_u) (ro, lat_o) kernel_us =
+  let cells =
+    List.concat_map
+      (fun ly ->
+        List.filter_map
+          (fun c ->
+            let d =
+              Obs.Recorder.ledger_ns ru ~layer:ly ~cause:c
+              - Obs.Recorder.ledger_ns ro ~layer:ly ~cause:c
+            in
+            if d = 0 then None
+            else Some { oc_layer = ly; oc_cause = c; oc_us = us_per_round d })
+          Obs.Cause.all)
+      Obs.Layer.all
+  in
+  let sum pred =
+    List.fold_left (fun acc cl -> if pred cl then acc +. cl.oc_us else acc) 0. cells
+  in
+  {
+    ob_base_us = lat_u;
+    ob_opt_us = lat_o;
+    ob_kernel_us = kernel_us;
+    ob_cells = cells;
+    ob_mechanisms =
+      List.map
+        (fun n -> (n, sum (fun cl -> mechanism_of_cause cl.oc_cause = Some n)))
+        mechanism_names;
+    ob_residual_us = sum (fun cl -> mechanism_of_cause cl.oc_cause = None);
+  }
+
+let optimized_breakdown ?pool () =
+  match
+    run_cells ?pool
+      [
+        (fun () -> `Rec (recorded_null rpc_run `User));
+        (fun () -> `Rec (recorded_null rpc_run `Opt));
+        (fun () -> `Lat (rpc_latency ~impl:`Kernel ~size:0 () *. 1000.));
+        (fun () -> `Rec (recorded_null group_run `User));
+        (fun () -> `Rec (recorded_null group_run `Opt));
+        (fun () -> `Lat (group_latency ~impl:`Kernel ~size:0 () *. 1000.));
+      ]
+  with
+  | [ `Rec ru; `Rec ro; `Lat rk; `Rec gu; `Rec go; `Lat gk ] ->
+    (diff_breakdown ru ro rk, diff_breakdown gu go gk)
+  | _ -> assert false
+
+let pp_opt_breakdown fmt ob =
+  Format.fprintf fmt "  baseline user %8.1f us   optimized %8.1f us   kernel %8.1f us@,"
+    ob.ob_base_us ob.ob_opt_us ob.ob_kernel_us;
+  Format.fprintf fmt "  recovered %.1f us:@," (ob.ob_base_us -. ob.ob_opt_us);
+  List.iter
+    (fun (name, us) -> Format.fprintf fmt "    %-34s %8.1f us@," name us)
+    ob.ob_mechanisms;
+  Format.fprintf fmt "    %-34s %8.1f us@," "residual (unattributed)" ob.ob_residual_us;
+  Format.fprintf fmt "  ledger cells removed:@,";
+  List.iter
+    (fun cl ->
+      Format.fprintf fmt "    %-10s %-14s %8.1f us@,"
+        (Obs.Layer.to_string cl.oc_layer)
+        (Obs.Cause.to_string cl.oc_cause)
+        cl.oc_us)
+    (List.sort (fun a b -> compare b.oc_us a.oc_us) ob.ob_cells)
+
+(* ------------------------------------------------------------------ *)
 (* Ablations *)
 
 let ablation_dedicated_sequencer ?pool ?(procs = [ 8; 16; 32 ]) () =
@@ -804,7 +948,12 @@ let fault_sweep ?pool ?(rates = [ 0.; 0.001; 0.01; 0.05 ]) ?(app_name = "tsp")
   Runner.prepare app;
   let cell impl rate () =
     let faults = if rate > 0. then Some (Faults.Spec.loss ~seed rate) else None in
-    let micro = match impl with Cluster.Kernel -> `Kernel | _ -> `User in
+    let micro =
+      match impl with
+      | Cluster.Kernel -> `Kernel
+      | Cluster.User_optimized -> `Opt
+      | _ -> `User
+    in
     let rpc = rpc_latency ?faults ~impl:micro ~size:0 () in
     let grp = group_latency ?faults ~impl:micro ~size:0 () in
     let o = Runner.run ?faults ~checked:true ~impl ~procs app in
@@ -824,7 +973,7 @@ let fault_sweep ?pool ?(rates = [ 0.; 0.001; 0.01; 0.05 ]) ?(app_name = "tsp")
   let cells =
     List.concat_map
       (fun impl -> List.map (fun rate -> cell impl rate) rates)
-      [ Cluster.Kernel; Cluster.User ]
+      [ Cluster.Kernel; Cluster.User; Cluster.User_optimized ]
   in
   run_cells ?pool cells
 

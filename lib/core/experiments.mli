@@ -17,6 +17,13 @@ type profile = {
 
 val default_profile : profile
 
+val optimize_profile : profile -> profile
+(** Switches the profile's Panda configs to the optimized user-space stack
+    (single fragmentation, scatter-gather zero-copy, compact merged
+    headers, receive fast path) — the same configs
+    {!Cluster.User_optimized} uses.  The [`Opt] impl below is shorthand
+    for the user code path under this transform. *)
+
 (** Every driver below optionally takes [?pool].  Each table cell,
     latency point, breakdown arm and ablation arm is an independent
     simulation; with a pool they run concurrently on its domains and are
@@ -34,6 +41,8 @@ type lat_row = {
   lr_rpc_kernel : float;
   lr_grp_user : float;
   lr_grp_kernel : float;
+  lr_rpc_opt : float;  (** optimized user-space stack *)
+  lr_grp_opt : float;  (** optimized user-space stack *)
 }
 
 val table1 :
@@ -56,7 +65,7 @@ val multicast_latency :
 val rpc_latency :
   ?faults:Faults.Spec.t ->
   ?profile:profile ->
-  impl:[ `User | `Kernel ] ->
+  impl:[ `User | `Kernel | `Opt ] ->
   size:int ->
   unit ->
   float
@@ -64,7 +73,7 @@ val rpc_latency :
 val group_latency :
   ?faults:Faults.Spec.t ->
   ?profile:profile ->
-  impl:[ `User | `Kernel ] ->
+  impl:[ `User | `Kernel | `Opt ] ->
   size:int ->
   unit ->
   float
@@ -75,6 +84,7 @@ type tput_row = {
   tr_proto : string;
   tr_user : float;  (** KB/s *)
   tr_kernel : float;  (** KB/s *)
+  tr_opt : float;  (** KB/s, optimized user-space stack *)
 }
 
 val table2 :
@@ -90,10 +100,11 @@ val table3 :
   ?app_names:string list ->
   unit ->
   Runner.outcome list
-(** Runs every application at each processor count under kernel-space and
-    user-space protocols, plus the dedicated-sequencer variant for LEQ
-    (the paper's extra row).  [?faults]/[?checked] run every cell under
-    that fault schedule and/or with the conformance checkers on. *)
+(** Runs every application at each processor count under kernel-space,
+    user-space and optimized user-space protocols, plus the
+    dedicated-sequencer variant for LEQ (the paper's extra row).
+    [?faults]/[?checked] run every cell under that fault schedule and/or
+    with the conformance checkers on. *)
 
 (** {1 Fault sweep: degradation vs. loss rate} *)
 
@@ -118,10 +129,10 @@ val fault_sweep :
   ?seed:int ->
   unit ->
   fault_row list
-(** Latency/correctness degradation of both stacks as frame loss rises
-    (default rates 0, 0.1%, 1%, 5%; default app [tsp] at 8 processors).
-    The application cell runs in checked mode, so each row doubles as a
-    conformance certificate at that loss rate. *)
+(** Latency/correctness degradation of all three stacks as frame loss
+    rises (default rates 0, 0.1%, 1%, 5%; default app [tsp] at 8
+    processors).  The application cell runs in checked mode, so each row
+    doubles as a conformance certificate at that loss rate. *)
 
 val pp_fault_row : Format.formatter -> fault_row -> unit
 
@@ -146,12 +157,42 @@ val measured_breakdown :
     extra RPC rows beyond {!rpc_breakdown} itemise the rest of the gap. *)
 
 val recorded_rpc :
-  ?impl:[ `User | `Kernel ] -> ?size:int -> unit -> Obs.Recorder.t * Sim.Time.span
+  ?impl:[ `User | `Kernel | `Opt ] -> ?size:int -> unit -> Obs.Recorder.t * Sim.Time.span
 (** Runs one Table 1 RPC benchmark (default: user-space, null) with a
     recorder installed for the whole run; returns the recorder and the
     summed CPU busy time of both machines.  With the NIC header-reception
     correction counter, the ledger's CPU total equals the busy time
     exactly.  Intended for trace export and the obs test suite. *)
+
+(** {1 Optimized-stack differential (the tentpole experiment)} *)
+
+type opt_cell = {
+  oc_layer : Obs.Layer.t;
+  oc_cause : Obs.Cause.t;
+  oc_us : float;  (** µs/round this ledger cell shrank (negative = grew) *)
+}
+
+type opt_breakdown = {
+  ob_base_us : float;  (** baseline user-space null latency, µs/round *)
+  ob_opt_us : float;  (** optimized user-space null latency, µs/round *)
+  ob_kernel_us : float;  (** kernel-space reference, µs/round *)
+  ob_cells : opt_cell list;  (** every nonzero (layer, cause) ledger delta *)
+  ob_mechanisms : (string * float) list;  (** µs/round recovered per optimization *)
+  ob_residual_us : float;  (** deltas owned by no mechanism — 0 by construction *)
+}
+
+val mechanism_of_cause : Obs.Cause.t -> string option
+(** Which of the four optimizations owns savings under this cause; [None]
+    for causes no mechanism may touch ([Fault_wire], [Idle]). *)
+
+val optimized_breakdown : ?pool:Exec.Pool.t -> unit -> opt_breakdown * opt_breakdown
+(** [(rpc, group)]: ledger-cell-exact accounting of where the optimized
+    stack's savings come from, from recorded baseline-user and
+    optimized-user null runs.  Because the four mechanisms are disjoint in
+    the cause dimension on single-fragment null operations, the bucket sums
+    add up to the whole ledger delta and [ob_residual_us] is zero. *)
+
+val pp_opt_breakdown : Format.formatter -> opt_breakdown -> unit
 
 (** {1 Ablations} *)
 

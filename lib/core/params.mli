@@ -18,6 +18,17 @@ val amoeba_group : Amoeba.Group.config
 val panda_system : Panda.System_layer.config
 val panda_rpc : Panda.Rpc.config
 val panda_group : Panda.Group.config
+
+val panda_system_opt : Panda.System_layer.config
+(** {!panda_system} with the three optimization mechanisms enabled:
+    single fragmentation, scatter-gather zero-copy, receive fast path. *)
+
+val panda_rpc_opt : Panda.Rpc.config
+(** {!panda_rpc} with the merged compact Panda+RPC header. *)
+
+val panda_group_opt : Panda.Group.config
+(** {!panda_group} with the merged compact Panda+group header. *)
+
 val rts_overhead : Sim.Time.span
 
 val pool_size_max : int

@@ -110,6 +110,13 @@ let preempt t running =
    | None -> assert false);
   t.busy_ns <- t.busy_ns + (now - running.started);
   Obs.Recorder.span_end ~track:t.track ~now;
+  (* The switch cost was charged in full at switch-in, but a preemption
+     arriving mid-switch abandons the un-elapsed tail: that time never
+     runs (the restart pays its own switch, if any), so refund it to keep
+     the ledger equal to busy time. *)
+  let unrun_switch = max 0 (running.switch - (now - running.started)) in
+  Obs.Recorder.charge ~layer:running.job.layer ~cause:Obs.Cause.Ctx_switch
+    (-unrun_switch);
   (* Time spent switching in does not count as job progress. *)
   let elapsed_work = max 0 (now - running.started - running.switch) in
   running.job.remaining <- max 0 (running.job.remaining - elapsed_work);

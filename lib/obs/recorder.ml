@@ -51,7 +51,9 @@ let charge ~layer ~cause ns =
   match active () with
   | None -> ()
   | Some t ->
-    if ns > 0 then begin
+    (* Negative amounts are refunds (e.g. a context switch abandoned by a
+       preemption): they keep the ledger equal to CPU busy time. *)
+    if ns <> 0 then begin
       let row = t.ledger.(Layer.index layer) in
       let j = Cause.index cause in
       row.(j) <- row.(j) + ns

@@ -104,7 +104,7 @@ let kernel_stack ?(rpc_config = Amoeba.Rpc.default_config)
         label = "kernel";
       })
 
-let user_stack ?(sys_config = Panda.System_layer.default_config)
+let user_stack ?label:label_override ?(sys_config = Panda.System_layer.default_config)
     ?(rpc_config = Panda.Rpc.default_config)
     ?(group_config = Panda.Group.default_config) flips ?(sequencer = 0)
     ?dedicated_sequencer () =
@@ -125,6 +125,7 @@ let user_stack ?(sys_config = Panda.System_layer.default_config)
         "user-dedicated" )
     | None -> (Panda.Group.On_member sequencer, "user")
   in
+  let label = Option.value label_override ~default:label in
   let grp, members = Panda.Group.create_static ~config:group_config ~name:"orca" ~sequencer:placement sys in
   Array.init n (fun i ->
       let mach = Panda.System_layer.machine sys.(i) in

@@ -56,6 +56,7 @@ val kernel_stack :
     whose kernel hosts the group sequencer. *)
 
 val user_stack :
+  ?label:string ->
   ?sys_config:Panda.System_layer.config ->
   ?rpc_config:Panda.Rpc.config ->
   ?group_config:Panda.Group.config ->
@@ -66,4 +67,5 @@ val user_stack :
   t array
 (** User-space Panda stack.  With [dedicated_sequencer], the sequencer
     thread runs alone on that extra machine instead of on rank
-    [sequencer]. *)
+    [sequencer].  [label] overrides the backend label (default "user" /
+    "user-dedicated"), e.g. "optimized" for the optimized-config stack. *)

@@ -77,6 +77,7 @@ type send_wait = {
   mutable sw_done : bool;
   mutable sw_failed : bool;
   mutable sw_resume : (unit -> unit) option;
+  mutable sw_thread : Machine.Thread.t option;
   mutable sw_timer : Sim.Engine.handle option;
   mutable sw_tries : int;
 }
@@ -333,7 +334,7 @@ let deliver m e =
       (match sw.sw_resume with
        | Some resume ->
          sw.sw_resume <- None;
-         System_layer.wake_blocked m.m_sys resume
+         System_layer.wake_blocked ?thread:sw.sw_thread m.m_sys resume
        | None -> ())
     | None -> ()
 
@@ -421,6 +422,7 @@ let send_impl ~blocking m ~size payload =
       sw_done = false;
       sw_failed = false;
       sw_resume = None;
+      sw_thread = None;
       sw_timer = None;
       sw_tries = 0;
     }
@@ -476,7 +478,10 @@ let send_impl ~blocking m ~size payload =
   arm ();
   first_transmit ();
   if blocking then begin
-    if not sw.sw_done then Thread.suspend (fun _ resume -> sw.sw_resume <- Some resume);
+    if not sw.sw_done then
+      Thread.suspend (fun th resume ->
+          sw.sw_thread <- Some th;
+          sw.sw_resume <- Some resume);
     if sw.sw_failed then raise (Group_failure "broadcast not ordered after retries")
   end
 
@@ -509,7 +514,7 @@ let create_static ?(config = default_config) ~name ~sequencer sys_layers =
         (* Gpb must fit one Panda fragment: the sequencer never
            reassembles. *)
         assert (config.bb_threshold + config.header_bytes
-                <= (System_layer.config sys).System_layer.frag_bytes);
+                <= System_layer.frag_payload sys);
         {
           grp = t;
           m_sys = sys;

@@ -40,6 +40,7 @@ type pending = {
   p_user : Sim.Payload.t;
   mutable p_reply : (int * Sim.Payload.t) option;
   mutable p_resume : (unit -> unit) option;
+  mutable p_thread : Machine.Thread.t option;
   mutable p_timer : Sim.Engine.handle option;
   mutable p_tries : int;
 }
@@ -188,6 +189,7 @@ let trans t ~dst ~size payload =
       p_user = payload;
       p_reply = None;
       p_resume = None;
+      p_thread = None;
       p_timer = None;
       p_tries = 0;
     }
@@ -196,7 +198,10 @@ let trans t ~dst ~size payload =
   let acks = take_acks t dst in
   send_request t p ~acks;
   arm_retrans t p;
-  if p.p_reply = None then Thread.suspend (fun _ resume -> p.p_resume <- Some resume);
+  if p.p_reply = None then
+    Thread.suspend (fun th resume ->
+        p.p_thread <- Some th;
+        p.p_resume <- Some resume);
   Hashtbl.remove t.pending p.p_id;
   (match p.p_timer with Some h -> Sim.Engine.cancel (eng t) h | None -> ());
   match p.p_reply with
@@ -260,7 +265,7 @@ let on_message t ~src ~size:_ payload =
           (* Signalling the blocked client costs the daemon a kernel
              crossing (kernel threads), then the client is scheduled: the
              user-space implementation's two extra context switches. *)
-          System_layer.wake_blocked t.sys resume
+          System_layer.wake_blocked ?thread:p.p_thread t.sys resume
         | None -> ())
      | Some _ | None ->
        (* Duplicate reply: the ack was lost; make sure another one goes

@@ -11,6 +11,9 @@ type config = {
   upcall_depth : int;
   send_depth : int;
   user_flip_extra : Sim.Time.span;
+  single_frag : bool;
+  sg_copy : bool;
+  rx_fastpath : bool;
 }
 
 let default_config =
@@ -23,25 +26,45 @@ let default_config =
     upcall_depth = 3;
     send_depth = 3;
     user_flip_extra = Sim.Time.us 15;
+    single_frag = false;
+    sg_copy = false;
+    rx_fastpath = false;
   }
 
 (* A Panda-level fragment travelling as one FLIP message. *)
 type Sim.Payload.t += Pan of Flip.Fragment.t
+
+(* Receive-queue entries.  [Raw] is the baseline path: the daemon fetches
+   the packet with a system call and reassembles under a lock.  [Fast] is
+   the optimized single-fragment fast path: the interrupt handler already
+   "reassembled" the (one-fragment) message, so the daemon only dispatches
+   the upcall. *)
+type rx_item =
+  | Raw of Flip.Fragment.t
+  | Fast of { f_src : Flip.Address.t; f_total : int; f_bytes : int; f_user : Sim.Payload.t }
 
 type t = {
   sname : string;
   flip : Flip.Flip_iface.t;
   cfg : config;
   addr : Flip.Address.t;
-  rx_q : Flip.Fragment.t Queue.t;
+  rx_q : rx_item Queue.t;
   mutable rx_waiter : (unit -> unit) option;
+  mutable daemon : Thread.t option;
   qmutex : Sync.Mutex.t;
   reasm : Flip.Reassembly.t;
+  (* FLIP-level reassembly: a Panda fragment travels as one FLIP message,
+     which FLIP may itself have fragmented (when fragment + Panda header
+     exceeds the FLIP MTU).  The network message must be reassembled
+     before its payload is interpreted as a Panda fragment — otherwise
+     every FLIP packet of one Panda fragment would inject a copy. *)
+  net_reasm : Flip.Reassembly.t;
   mutable handlers : (src:Flip.Address.t -> size:int -> Sim.Payload.t -> bool) list;
   mutable next_msg : int;
   mutable n_packets : int;
   mutable n_msgs_in : int;
   mutable n_msgs_out : int;
+  mutable n_fast : int;
 }
 
 let address t = t.addr
@@ -51,6 +74,17 @@ let config t = t.cfg
 let packets_received t = t.n_packets
 let messages_received t = t.n_msgs_in
 let messages_sent t = t.n_msgs_out
+let fastpath_deliveries t = t.n_fast
+
+(* With single fragmentation, Panda sizes its fragments so that fragment +
+   Panda header exactly fills one FLIP packet: FLIP never re-fragments. *)
+let frag_payload t =
+  if t.cfg.single_frag then (Flip.Flip_iface.config t.flip).Flip.Flip_iface.mtu - t.cfg.pan_header
+  else t.cfg.frag_bytes
+
+(* Bytes the CPU actually traverses per fragment: with scatter-gather I/O
+   only the (gathered) Panda header is built; the payload stays in place. *)
+let copied_bytes t frag_bytes = if t.cfg.sg_copy then t.cfg.pan_header else frag_bytes
 
 let add_handler t h = t.handlers <- t.handlers @ [ h ]
 
@@ -59,14 +93,39 @@ let unwrap (flip_frag : Flip.Fragment.t) =
   | Pan pan_frag -> Some pan_frag
   | _ -> None
 
-(* Interrupt context: queue the packet and wake the daemon. *)
-let inject t pan_frag =
-  Queue.push pan_frag t.rx_q;
+let wake_daemon ~direct t =
   match t.rx_waiter with
   | Some wake ->
     t.rx_waiter <- None;
+    (* On the fast path the FLIP receive code dispatches the daemon
+       upcall-style: the daemon continues out of the interrupt without a
+       scheduling handoff, so no context switch is charged. *)
+    if direct then Option.iter Thread.mark_direct_wake t.daemon;
     wake ()
   | None -> ()
+
+(* Interrupt context: queue the packet and wake the daemon. *)
+let inject t pan_frag =
+  if t.cfg.rx_fastpath && pan_frag.Flip.Fragment.count = 1 then begin
+    (* Single-fragment fast path: the message is complete on arrival, so
+       the interrupt handler hands it to the upcall dispatch directly
+       (free bookkeeping, exactly like the kernel stack's input routines);
+       the receive-daemon handoff and its locking are skipped.  Every
+       arriving copy is delivered, matching what [Flip.Reassembly.add]
+       does for completed single-fragment messages. *)
+    Queue.push
+      (Fast
+         { f_src = pan_frag.Flip.Fragment.src;
+           f_total = pan_frag.Flip.Fragment.total;
+           f_bytes = pan_frag.Flip.Fragment.bytes;
+           f_user = pan_frag.Flip.Fragment.payload })
+      t.rx_q;
+    wake_daemon ~direct:true t
+  end
+  else begin
+    Queue.push (Raw pan_frag) t.rx_q;
+    wake_daemon ~direct:false t
+  end
 
 let upcall t ~src ~size payload =
   Thread.call_frames ~layer:Obs.Layer.Panda_sys t.cfg.upcall_depth;
@@ -77,25 +136,29 @@ let upcall t ~src ~size payload =
   try_handlers t.handlers;
   Thread.ret_frames ~layer:Obs.Layer.Panda_sys t.cfg.upcall_depth
 
+(* One receive system call per packet, plus the untuned user-level FLIP
+   interface overhead.  The fast path pays this too: the upcall still
+   crosses the user/kernel boundary (this PR does not model user-level
+   network access; that stays a separate ablation). *)
+let recv_crossing t =
+  Thread.syscall ~layer:Obs.Layer.Panda_sys
+    ~kernel_work:t.cfg.user_flip_extra
+    ~charges:[ (Obs.Layer.Flip, Obs.Cause.Uk_crossing, t.cfg.user_flip_extra) ]
+    ()
+
 let rec daemon_loop t =
   (match Queue.take_opt t.rx_q with
    | None ->
      Thread.suspend (fun _ resume -> t.rx_waiter <- Some resume);
      ()
-   | Some frag ->
+   | Some (Raw frag) ->
      t.n_packets <- t.n_packets + 1;
      Obs.Recorder.with_span (Mach.engine (machine t)) Obs.Layer.Panda_sys "rx"
        (fun () ->
-         (* One receive system call per packet, plus the kernel-to-user copy
-            and the untuned user-level FLIP interface overhead. *)
-         Thread.syscall ~layer:Obs.Layer.Panda_sys
-           ~kernel_work:t.cfg.user_flip_extra
-           ~charges:
-             [ (Obs.Layer.Flip, Obs.Cause.Uk_crossing, t.cfg.user_flip_extra) ]
-           ();
+         recv_crossing t;
          Thread.compute_parts ~layer:Obs.Layer.Panda_sys
            [ (Obs.Cause.Proto_proc, t.cfg.recv_fixed);
-             (Obs.Cause.Copy, frag.Flip.Fragment.bytes * t.cfg.copy_byte) ];
+             (Obs.Cause.Copy, copied_bytes t frag.Flip.Fragment.bytes * t.cfg.copy_byte) ];
          (* Shared protocol state is guarded by user-space locks; this is
             where the paper's 7x lock traffic comes from. *)
          Sync.Mutex.lock t.qmutex;
@@ -105,7 +168,20 @@ let rec daemon_loop t =
          | Some (src, total, payload) ->
            t.n_msgs_in <- t.n_msgs_in + 1;
            upcall t ~src ~size:total payload
-         | None -> ()));
+         | None -> ())
+   | Some (Fast { f_src; f_total; f_bytes; f_user }) ->
+     t.n_packets <- t.n_packets + 1;
+     t.n_fast <- t.n_fast + 1;
+     Obs.Recorder.with_span (Mach.engine (machine t)) Obs.Layer.Panda_sys "rx-fast"
+       (fun () ->
+         recv_crossing t;
+         Thread.compute_parts ~layer:Obs.Layer.Panda_sys
+           [ (Obs.Cause.Proto_proc, t.cfg.recv_fixed);
+             (Obs.Cause.Copy, copied_bytes t f_bytes * t.cfg.copy_byte) ];
+         (* No reassembly, no reassembly lock: the message completed in
+            the interrupt handler. *)
+         t.n_msgs_in <- t.n_msgs_in + 1;
+         upcall t ~src:f_src ~size:f_total f_user));
   daemon_loop t
 
 (* Sending: Panda fragments the message itself (the duplicated portable
@@ -116,7 +192,7 @@ let alloc_tag t =
 
 let fragments ?tag t ~dst ~size payload =
   let msg_id = match tag with Some id -> id | None -> alloc_tag t in
-  Flip.Fragment.split ~src:t.addr ~dst ~msg_id ~mtu:t.cfg.frag_bytes ~size payload
+  Flip.Fragment.split ~src:t.addr ~dst ~msg_id ~mtu:(frag_payload t) ~size payload
 
 let wire_bytes t frag = t.cfg.pan_header + frag.Flip.Fragment.bytes
 
@@ -147,11 +223,15 @@ let send_from_thread ?tag ?hdr t ~target ~size payload =
           ~size payload
       in
       Sync.Mutex.unlock t.qmutex;
-      Thread.compute ~layer:Obs.Layer.Panda_sys ~cause:Obs.Cause.Fragmentation
-        t.cfg.frag_cost;
+      (* With single fragmentation there is only one fragmentation layer
+         left doing real work (FLIP's, inside out_packet_cost): the
+         duplicated Panda pass is gone along with its per-message charge. *)
+      if not t.cfg.single_frag then
+        Thread.compute ~layer:Obs.Layer.Panda_sys ~cause:Obs.Cause.Fragmentation
+          t.cfg.frag_cost;
       List.iter
         (fun frag ->
-          let copy = frag.Flip.Fragment.bytes * t.cfg.copy_byte in
+          let copy = copied_bytes t frag.Flip.Fragment.bytes * t.cfg.copy_byte in
           let out = Flip.Flip_iface.send_cost t.flip ~size:(wire_bytes t frag) in
           Thread.syscall ~layer:Obs.Layer.Panda_sys
             ~kernel_work:(t.cfg.user_flip_extra + copy + out)
@@ -193,11 +273,19 @@ let send_from_interrupt ?tag ?hdr t ~dst ~size payload =
 let mcast_from_interrupt ?tag ?hdr t ~group ~size payload =
   transmit_from_interrupt ?tag ?hdr t ~target:(`Mcast group) ~size payload
 
-let wake_blocked t resume =
-  ignore t;
-  if Thread.self_opt () <> None then
-    Thread.syscall ~layer:Obs.Layer.Panda_sys ();
-  resume ()
+let wake_blocked ?thread t resume =
+  match thread with
+  | Some th when t.cfg.rx_fastpath ->
+    (* Upcall-style hand-off: the upcall resumes the blocked caller as a
+       user-level thread switch, so the daemon pays no kernel signalling
+       crossing.  The woken thread is still scheduled normally (it keeps
+       its one context switch — the single switch of the fast path). *)
+    ignore th;
+    resume ()
+  | _ ->
+    if Thread.self_opt () <> None then
+      Thread.syscall ~layer:Obs.Layer.Panda_sys ();
+    resume ()
 
 let create ?(config = default_config) ~name flip =
   let mach = Flip.Flip_iface.machine flip in
@@ -209,18 +297,25 @@ let create ?(config = default_config) ~name flip =
       addr = Flip.Address.fresh_point (Machine.Mach.engine mach);
       rx_q = Queue.create ();
       rx_waiter = None;
+      daemon = None;
       qmutex = Sync.Mutex.create mach;
       reasm = Flip.Reassembly.create ();
+      net_reasm = Flip.Reassembly.create ();
       handlers = [];
       next_msg = 0;
       n_packets = 0;
       n_msgs_in = 0;
       n_msgs_out = 0;
+      n_fast = 0;
     }
   in
   Flip.Flip_iface.register flip t.addr (fun flip_frag ->
-      match unwrap flip_frag with
-      | Some pan_frag -> inject t pan_frag
+      match Flip.Reassembly.add t.net_reasm flip_frag with
+      | Some (_, _, payload) -> (
+          match payload with
+          | Pan pan_frag -> inject t pan_frag
+          | _ -> ())
       | None -> ());
-  ignore (Thread.spawn mach ~prio:Thread.Daemon (name ^ ".daemon") (fun () -> daemon_loop t));
+  t.daemon <-
+    Some (Thread.spawn mach ~prio:Thread.Daemon (name ^ ".daemon") (fun () -> daemon_loop t));
   t

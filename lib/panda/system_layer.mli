@@ -26,9 +26,25 @@ type config = {
   user_flip_extra : Sim.Time.span;
       (** per-system-call penalty of the untuned user-level FLIP interface
           (address translation etc., the paper's unexplained ~54 µs gap) *)
+  single_frag : bool;
+      (** optimized stack: size Panda fragments to the FLIP MTU minus the
+          Panda header, so FLIP never re-fragments and the duplicated
+          fragmentation pass ([frag_cost]) disappears *)
+  sg_copy : bool;
+      (** optimized stack: scatter-gather zero-copy send and receive — only
+          the gathered Panda header is traversed per fragment; the payload
+          is never copied between user and kernel space *)
+  rx_fastpath : bool;
+      (** optimized stack: single-context-switch receive fast path —
+          single-fragment messages are completed in the interrupt handler
+          and dispatched upcall-style (no receive-daemon scheduling handoff,
+          no reassembly lock, no kernel signal to wake the blocked caller);
+          multi-fragment messages keep the daemon path *)
 }
 
 val default_config : config
+(** All three optimization flags are [false]: the baseline stack of the
+    paper, byte-identical to the pre-optimization code paths. *)
 
 type t
 
@@ -40,6 +56,14 @@ val address : t -> Flip.Address.t
 val machine : t -> Machine.Mach.t
 val flip : t -> Flip.Flip_iface.t
 val config : t -> config
+
+val frag_payload : t -> int
+(** Payload bytes carried per Panda fragment: [frag_bytes] on the baseline
+    stack, FLIP MTU minus [pan_header] when [single_frag] is set (so the
+    wire packet is exactly one FLIP fragment). *)
+
+val fastpath_deliveries : t -> int
+(** Messages completed by the receive fast path (0 unless [rx_fastpath]). *)
 
 val add_handler : t -> (src:Flip.Address.t -> size:int -> Sim.Payload.t -> bool) -> unit
 (** Adds an interface-layer upcall, called in the daemon thread for every
@@ -96,11 +120,14 @@ val unwrap : Flip.Fragment.t -> Flip.Fragment.t option
     [None] for foreign traffic.  For interrupt handlers that the group
     module registers itself. *)
 
-val wake_blocked : t -> (unit -> unit) -> unit
+val wake_blocked : ?thread:Machine.Thread.t -> t -> (unit -> unit) -> unit
 (** Wakes a user thread blocked on this Panda instance, from an upcall:
     charges the daemon the kernel crossing that signalling a kernel thread
     costs, then resumes the thread.  (Outside a thread context it resumes
-    directly — used by timers.) *)
+    directly — used by timers.)  When [rx_fastpath] is set and [thread]
+    names the blocked thread, the upcall hands off without the signalling
+    system call (the fast path already runs in kernel receive context);
+    the woken thread still pays its own context switch. *)
 
 val packets_received : t -> int
 val messages_received : t -> int

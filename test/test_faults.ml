@@ -370,7 +370,7 @@ let test_conformance_matrix () =
         (Core.Cluster.impl_label impl ^ ": at least one retransmission")
         true
         (Hashtbl.find retrans impl > 0))
-    [ Core.Cluster.Kernel; Core.Cluster.User ]
+    [ Core.Cluster.Kernel; Core.Cluster.User; Core.Cluster.User_optimized ]
 
 (* ------------------------------------------------------------------ *)
 (* Determinism across runs and across -j fan-out *)
@@ -414,7 +414,7 @@ let test_runner_jobs_deterministic () =
 
 let test_fault_sweep_smoke () =
   let rows = Core.Experiments.fault_sweep ~rates:[ 0.; 0.01 ] ~procs:4 () in
-  check_int "2 impls x 2 rates" 4 (List.length rows);
+  check_int "3 impls x 2 rates" 6 (List.length rows);
   List.iter
     (fun r ->
       check_bool "valid" true r.Core.Experiments.fw_valid;
@@ -425,6 +425,24 @@ let test_fault_sweep_smoke () =
   let lossy = List.filter (fun r -> r.Core.Experiments.fw_rate > 0.) rows in
   check_bool "lossy rows injected faults" true
     (List.for_all (fun r -> r.Core.Experiments.fw_kills > 0) lossy)
+
+(* Sweeps are reproducible-but-variable: the seed argument fully determines
+   the fault schedules, and different seeds give different schedules. *)
+let test_fault_sweep_seed () =
+  let sweep seed =
+    Core.Experiments.fault_sweep ~rates:[ 0.02 ] ~app_name:"tsp" ~procs:4 ~seed ()
+  in
+  let key r =
+    ( r.Core.Experiments.fw_rpc_ms,
+      r.Core.Experiments.fw_grp_ms,
+      r.Core.Experiments.fw_app_s,
+      r.Core.Experiments.fw_retrans,
+      r.Core.Experiments.fw_kills )
+  in
+  let a = sweep 3 and b = sweep 3 and c = sweep 4 in
+  check_bool "same seed: byte-identical rows" true (List.map key a = List.map key b);
+  check_bool "different seed: different schedules" true
+    (List.map key a <> List.map key c)
 
 (* ------------------------------------------------------------------ *)
 
@@ -459,5 +477,6 @@ let () =
           Alcotest.test_case "six apps x two stacks x three rates" `Slow
             test_conformance_matrix;
           Alcotest.test_case "fault sweep" `Slow test_fault_sweep_smoke;
+          Alcotest.test_case "fault sweep seed" `Slow test_fault_sweep_seed;
         ] );
     ]

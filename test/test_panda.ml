@@ -422,6 +422,95 @@ let test_pgroup_silent_tail_recovered () =
     logs;
   check_int "all ordered" n (Panda.Group.messages_ordered grp)
 
+(* ------------------------------------------------------------------ *)
+(* Optimized stack: differential properties against the baseline *)
+
+(* One sender, one receiver, a custom FLIP MTU and a custom system-layer
+   config; returns the delivered messages in order and the sender's FLIP
+   packet count. *)
+let run_delivery ~mtu ~sys_config ~sizes =
+  let eng = Engine.create () in
+  let machines =
+    Array.init 2 (fun i -> Mach.create eng ~id:i ~name:(Printf.sprintf "m%d" i) machine_config)
+  in
+  let topo = Topology.build eng ~machines () in
+  let flip_config = { Flip_iface.default_config with Flip_iface.mtu } in
+  let flips =
+    Array.mapi
+      (fun i _ -> Flip_iface.create machines.(i) ~config:flip_config topo.Topology.nics.(i))
+      machines
+  in
+  let sys =
+    Array.mapi
+      (fun i flip ->
+        Panda.System_layer.create ~config:sys_config ~name:(Printf.sprintf "pan%d" i) flip)
+      flips
+  in
+  let delivered = ref [] in
+  Panda.System_layer.add_handler sys.(1) (fun ~src:_ ~size payload ->
+      delivered := (size, payload) :: !delivered;
+      true);
+  ignore
+    (Thread.spawn machines.(0) "sender" (fun () ->
+         List.iteri
+           (fun i size ->
+             Panda.System_layer.send sys.(0)
+               ~dst:(Panda.System_layer.address sys.(1))
+               ~size (Num i))
+           sizes));
+  Engine.run eng;
+  ( List.rev !delivered,
+    Flip_iface.packets_out flips.(0),
+    Panda.System_layer.fastpath_deliveries sys.(1) )
+
+let optimized_config =
+  { Panda.System_layer.default_config with single_frag = true; sg_copy = true; rx_fastpath = true }
+
+(* The tentpole differential: for random sizes and MTUs the optimized path
+   delivers byte-identical payloads with identical message boundaries, and
+   its fragments are sized so FLIP never re-fragments — the sender's FLIP
+   packet count is exactly [ceil (size / panda_mtu)] per message. *)
+let prop_optimized_differential =
+  QCheck.Test.make ~count:60 ~name:"optimized = baseline deliveries, single fragmentation"
+    QCheck.(
+      pair
+        (int_range 100 4000) (* FLIP MTU *)
+        (list_of_size Gen.(1 -- 3) (int_range 0 20_000) (* message sizes *)))
+    (fun (mtu, sizes) ->
+      QCheck.assume (mtu > 16 + 1);
+      let base, _, base_fast = run_delivery ~mtu ~sys_config:Panda.System_layer.default_config ~sizes in
+      let opt, opt_packets, _ = run_delivery ~mtu ~sys_config:optimized_config ~sizes in
+      (* Byte-identical deliveries: same boundaries, sizes and payloads in
+         the same order. *)
+      if base <> opt then QCheck.Test.fail_report "optimized deliveries differ from baseline";
+      if base_fast <> 0 then QCheck.Test.fail_report "baseline used the fast path";
+      (* Never FLIP-level re-fragmentation: every Panda fragment is one
+         FLIP packet, so the sender's packet count is the sum of
+         ceil(size / panda_mtu) over the messages. *)
+      let panda_mtu = mtu - Panda.System_layer.default_config.Panda.System_layer.pan_header in
+      let expect =
+        List.fold_left
+          (fun acc size -> acc + max 1 ((size + panda_mtu - 1) / panda_mtu))
+          0 sizes
+      in
+      if opt_packets <> expect then
+        QCheck.Test.fail_reportf "FLIP packets %d, expected %d (mtu=%d sizes=%s)" opt_packets
+          expect mtu
+          (String.concat "," (List.map string_of_int sizes));
+      true)
+
+let test_optimized_fastpath_counter () =
+  (* Single-fragment messages take the receive fast path; multi-fragment
+     ones keep the daemon (the paper's protocol structure is preserved). *)
+  let single, _, fast1 =
+    run_delivery ~mtu:1460 ~sys_config:optimized_config ~sizes:[ 100; 200 ]
+  in
+  check_int "both delivered" 2 (List.length single);
+  check_int "both via fast path" 2 fast1;
+  let multi, _, fast2 = run_delivery ~mtu:1460 ~sys_config:optimized_config ~sizes:[ 8000 ] in
+  check_int "multi-fragment delivered" 1 (List.length multi);
+  check_int "multi-fragment kept the daemon path" 0 fast2
+
 let () =
   Alcotest.run "panda"
     [
@@ -444,5 +533,10 @@ let () =
           Alcotest.test_case "loss recovery" `Quick test_pgroup_loss_recovery;
           Alcotest.test_case "silent tail recovered" `Quick test_pgroup_silent_tail_recovered;
           Alcotest.test_case "user slower than kernel" `Quick test_pgroup_user_slower_than_kernel;
+        ] );
+      ( "optimized",
+        [
+          QCheck_alcotest.to_alcotest prop_optimized_differential;
+          Alcotest.test_case "fast-path counter" `Quick test_optimized_fastpath_counter;
         ] );
     ]
