@@ -209,6 +209,100 @@ let print_fault_sweep ?pool ?(quick = false) ?seed () =
   then Printf.printf "WARNING: invariant violations or invalid results under faults!\n"
   else Printf.printf "(all rates: zero invariant violations, results match fault-free)\n"
 
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Load sweeps: throughput-latency curves per stack plus the
+   sequencer-saturation scaling; the measured points also feed a "load"
+   section of the json report.  Quick mode is the CI smoke: one stack,
+   short ramp, no sequencer experiment. *)
+
+let load_json : string option ref = ref None
+
+let print_load ?pool ?faults ?(quick = false) () =
+  hr "Load: throughput-latency curves (null RPC, open loop)";
+  let impls =
+    if quick then [ Core.Cluster.User_optimized ] else Core.Experiments.load_impls
+  in
+  let window = Sim.Time.us_f (if quick then 0.3e6 else 1e6) in
+  let warmup = Sim.Time.ms (if quick then 100 else 250) in
+  let config = { Load.Clients.default with Load.Clients.window; warmup } in
+  let rates =
+    if quick then [ 400.; 1200.; 2000. ] else Core.Experiments.load_rates
+  in
+  let checked = faults <> None in
+  let curves =
+    Core.Experiments.load_sweep ?pool ?faults ~checked ~config ~rates ~impls ()
+  in
+  List.iter
+    (fun (_, curve) -> Format.printf "%a@.@." Load.Sweep.pp_curve curve)
+    curves;
+  let saturation =
+    if quick then []
+    else begin
+      hr "Load: sequencer saturation (closed-loop group senders, 8 nodes)";
+      let rows =
+        Core.Experiments.sequencer_saturation ?pool ?faults ~checked ~config ()
+      in
+      List.iter
+        (fun (_, points) ->
+          List.iter
+            (fun row -> Format.printf "  %a@." Core.Experiments.pp_saturation_row row)
+            points;
+          Format.printf "@.")
+        rows;
+      rows
+    end
+  in
+  let b = Buffer.create 1024 in
+  let point m =
+    Printf.sprintf
+      "{\"offered\": %.1f, \"achieved\": %.1f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, \"server_util\": %.4f, \"seq_util\": %.4f, \"violations\": %d}"
+      m.Load.Metrics.offered m.Load.Metrics.achieved m.Load.Metrics.p50_ms
+      m.Load.Metrics.p95_ms m.Load.Metrics.p99_ms m.Load.Metrics.server_util
+      m.Load.Metrics.seq_util m.Load.Metrics.violations
+  in
+  Buffer.add_string b "{\n    \"rpc_sweep\": [\n";
+  List.iteri
+    (fun i (_, curve) ->
+      Buffer.add_string b
+        (Printf.sprintf "      {\"stack\": \"%s\", \"knee\": %s, \"peak\": %.1f, \"points\": [%s]}%s\n"
+           (json_escape curve.Load.Sweep.c_label)
+           (match Load.Sweep.knee curve with
+            | Some k -> Printf.sprintf "%.1f" k
+            | None -> "null")
+           (Load.Sweep.peak curve)
+           (String.concat ", " (List.map point curve.Load.Sweep.c_points))
+           (if i = List.length curves - 1 then "" else ",")))
+    curves;
+  Buffer.add_string b "    ],\n    \"sequencer_saturation\": [\n";
+  List.iteri
+    (fun i (impl, points) ->
+      Buffer.add_string b
+        (Printf.sprintf "      {\"stack\": \"%s\", \"points\": [%s]}%s\n"
+           (json_escape (Core.Cluster.impl_label impl))
+           (String.concat ", "
+              (List.map
+                 (fun (s, m) ->
+                   Printf.sprintf
+                     "{\"senders\": %d, \"achieved\": %.1f, \"p50_ms\": %.3f, \"seq_util\": %.4f}"
+                     s m.Load.Metrics.achieved m.Load.Metrics.p50_ms
+                     m.Load.Metrics.seq_util)
+                 points))
+           (if i = List.length saturation - 1 then "" else ",")))
+    saturation;
+  Buffer.add_string b "    ]\n  }";
+  load_json := Some (Buffer.contents b)
+
 let print_ablations ?pool () =
   hr "Ablation: dedicated sequencer for LEQ [s]";
   List.iter
@@ -247,18 +341,6 @@ let timed name f =
   let events = Sim.Engine.events_total () - e0 in
   timings := { tm_name = name; tm_wall = wall; tm_events = events } :: !timings
 
-let json_escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
 let write_json ~jobs file =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
@@ -268,6 +350,9 @@ let write_json ~jobs file =
        (json_escape Sys.os_type) (json_escape Sys.ocaml_version) Sys.word_size
        (Exec.Pool.recommended ()));
   Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  (match !load_json with
+   | Some section -> Buffer.add_string b (Printf.sprintf "  \"load\": %s,\n" section)
+   | None -> ());
   Buffer.add_string b "  \"artifacts\": [\n";
   let rows = List.rev !timings in
   List.iteri
@@ -503,6 +588,10 @@ let () =
         with_pool (fun ?pool () ->
             print_fault_sweep ?pool ~quick
               ?seed:(Option.map (fun f -> f.Faults.Spec.seed) faults) ()));
+  if wants "load" then
+    timed
+      (if quick then "load-quick" else "load")
+      (fun () -> with_pool (fun ?pool () -> print_load ?pool ?faults ~quick ()));
   if wants "ablation" then timed "ablation" (fun () -> with_pool print_ablations);
   if List.mem "bechamel" selected || everything then run_bechamel ();
   List.iter run_obs obs_opts;

@@ -189,6 +189,141 @@ let fault_sweep_cmd =
           (checked mode; nonzero exit on any invariant violation)")
     Term.(const run $ rates_arg $ app_arg $ procs_arg $ seed_arg $ jobs_arg)
 
+(* --- load sweep --- *)
+
+let load_sweep_cmd =
+  let impls_arg =
+    Arg.(
+      value
+      & opt (some (list impl_conv)) None
+      & info [ "impls" ] ~docv:"IMPL,..."
+          ~doc:"Stacks to sweep (default kernel,user,optimized)")
+  in
+  let rates_arg =
+    Arg.(
+      value
+      & opt (some (list float)) None
+      & info [ "rates" ] ~docv:"R,..."
+          ~doc:"Offered-load ramp in aggregate ops/s (comma-separated)")
+  in
+  let nodes_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "nodes" ]
+          ~doc:"Cluster size in machines (default 4; 8 with $(b,--sequencer))")
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int Load.Clients.default.Load.Clients.clients_per_node
+      & info [ "clients" ] ~doc:"Client threads per client node")
+  in
+  let op_arg =
+    Arg.(
+      value
+      & opt (enum [ ("rpc", Load.Clients.Rpc); ("group", Load.Clients.Group) ]) Load.Clients.Rpc
+      & info [ "op" ] ~doc:"Operation under load: $(b,rpc) or $(b,group)")
+  in
+  let arrival_arg =
+    let arrival_conv =
+      let parse s = Result.map_error (fun m -> `Msg m) (Load.Arrival.parse s) in
+      Arg.conv (parse, fun fmt a -> Format.pp_print_string fmt (Load.Arrival.to_string a))
+    in
+    Arg.(
+      value & opt arrival_conv Load.Arrival.Uniform
+      & info [ "arrival" ] ~docv:"PROC"
+          ~doc:"Arrival process: $(b,uniform), $(b,poisson) or $(b,closed=US) (think time, us)")
+  in
+  let mix_arg =
+    let mix_conv =
+      let parse s = Result.map_error (fun m -> `Msg m) (Load.Mix.parse s) in
+      Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (Load.Mix.to_string m))
+    in
+    Arg.(
+      value & opt mix_conv (Load.Mix.single 0)
+      & info [ "mix" ] ~docv:"SIZExW,..."
+          ~doc:"Weighted request-size mix in bytes, e.g. $(b,64x9,8192x1)")
+  in
+  let window_arg =
+    Arg.(
+      value & opt float 1.
+      & info [ "window" ] ~doc:"Measurement window, simulated seconds")
+  in
+  let warmup_arg =
+    Arg.(
+      value & opt float 0.25 & info [ "warmup" ] ~doc:"Warmup before the window, seconds")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Master seed of the client RNG streams")
+  in
+  let seq_arg =
+    Arg.(
+      value & flag
+      & info [ "sequencer" ]
+          ~doc:
+            "Run the sequencer-saturation experiment instead of a rate ramp: \
+             closed-loop group senders scaled over ranks until each stack's \
+             sequencer is the bottleneck")
+  in
+  let checked_arg =
+    Arg.(
+      value & flag
+      & info [ "checked" ]
+          ~doc:
+            "Interpose the protocol-conformance checkers on every cell; \
+             violations are printed and make the run exit nonzero.")
+  in
+  let run impls rates nodes clients op arrival mix window warmup seed sequencer
+      faults checked jobs =
+    let config =
+      {
+        Load.Clients.default with
+        Load.Clients.op;
+        mix;
+        arrival;
+        clients_per_node = clients;
+        warmup = Sim.Time.us_f (warmup *. 1e6);
+        window = Sim.Time.us_f (window *. 1e6);
+        seed;
+      }
+    in
+    let nodes = match nodes with Some n -> n | None -> if sequencer then 8 else 4 in
+    let violations = ref 0 in
+    if sequencer then
+      List.iter
+        (fun (_, rows) ->
+          List.iter
+            (fun ((_, m) as row) ->
+              violations := !violations + m.Load.Metrics.violations;
+              Format.printf "%a@." Core.Experiments.pp_saturation_row row)
+            rows;
+          Format.printf "@.")
+        (with_pool jobs (fun ?pool () ->
+             Core.Experiments.sequencer_saturation ?pool ?faults ~checked ~nodes
+               ~clients_per_node:clients ~config ?impls ()))
+    else
+      List.iter
+        (fun (_, curve) ->
+          List.iter
+            (fun m -> violations := !violations + m.Load.Metrics.violations)
+            curve.Load.Sweep.c_points;
+          Format.printf "%a@.@." Load.Sweep.pp_curve curve)
+        (with_pool jobs (fun ?pool () ->
+             Core.Experiments.load_sweep ?pool ?faults ~checked ~nodes ~config
+               ?rates ?impls ()));
+    if !violations > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "load-sweep"
+       ~doc:
+         "Drive the stacks with sustained seeded traffic: throughput-latency \
+          curves with tail percentiles and knee detection, or (with \
+          $(b,--sequencer)) group-sender scaling until the sequencers saturate")
+    Term.(
+      const run $ impls_arg $ rates_arg $ nodes_arg $ clients_arg $ op_arg
+      $ arrival_arg $ mix_arg $ window_arg $ warmup_arg $ seed_arg $ seq_arg
+      $ faults_arg $ checked_arg $ jobs_arg)
+
 (* --- tables --- *)
 
 let table_cmd name doc f =
@@ -244,6 +379,7 @@ let () =
             throughput_cmd;
             app_cmd;
             fault_sweep_cmd;
+            load_sweep_cmd;
             table_cmd "table1" "Regenerate Table 1 (latencies)" table1;
             table_cmd "breakdown" "Regenerate the Sec. 4 overhead breakdowns" breakdown;
           ]))

@@ -40,7 +40,7 @@ let create ?(extra_machine = false) ~n () =
     extra = (if extra_machine then Some all_flips.(n) else None);
   }
 
-let domain ?checker t impl =
+let backends ?checker t impl =
   let backends =
     match impl with
     | Kernel ->
@@ -62,9 +62,17 @@ let domain ?checker t impl =
       Orca.Backend.user_stack ~label:"optimized" ~sys_config:Params.panda_system_opt
         ~rpc_config:Params.panda_rpc_opt ~group_config:Params.panda_group_opt t.flips ()
   in
-  let backends =
-    match checker with
-    | Some c -> Faults.Invariants.wrap_backends c backends
-    | None -> backends
-  in
-  Orca.Rts.create_domain ~rts_overhead:Params.rts_overhead backends
+  match checker with
+  | Some c -> Faults.Invariants.wrap_backends c backends
+  | None -> backends
+
+let domain ?checker t impl =
+  Orca.Rts.create_domain ~rts_overhead:Params.rts_overhead (backends ?checker t impl)
+
+let sequencer_machine t impl =
+  match impl with
+  | User_dedicated ->
+    (match t.extra with
+     | Some flip -> Flip.Flip_iface.machine flip
+     | None -> invalid_arg "Cluster.sequencer_machine: no extra machine")
+  | Kernel | User | User_optimized -> t.machines.(0)

@@ -18,9 +18,20 @@ type impl = Kernel | User | User_dedicated | User_optimized
 val impl_label : impl -> string
 val all_impls : impl list
 
+val backends : ?checker:Faults.Invariants.t -> t -> impl -> Orca.Backend.t array
+(** The raw communication backends (one per rank) for the given protocol
+    implementation — what {!domain} builds the Orca runtime on, exposed
+    so load generators can drive the stacks directly.  [User_dedicated]
+    requires the cluster to have been created with [extra_machine:true].
+    With [checker] the backends are wrapped in the protocol-conformance
+    checkers (checked mode); call [Faults.Invariants.finalize] after the
+    run drains. *)
+
 val domain : ?checker:Faults.Invariants.t -> t -> impl -> Orca.Rts.domain
-(** Builds the Orca domain over the cluster with the given protocol
-    implementation.  [User_dedicated] requires the cluster to have been
-    created with [extra_machine:true].  With [checker] the backends are
-    wrapped in the protocol-conformance checkers (checked mode); call
-    [Faults.Invariants.finalize] after the run drains. *)
+(** Builds the Orca domain over the cluster: [backends] plus the
+    runtime-system overhead. *)
+
+val sequencer_machine : t -> impl -> Machine.Mach.t
+(** The machine hosting the group sequencer: the dedicated extra machine
+    for [User_dedicated], rank 0's machine otherwise (both stacks default
+    the sequencer to rank 0). *)

@@ -986,6 +986,104 @@ let pp_fault_row fmt r =
     r.fw_retrans r.fw_kills
     (if r.fw_violations = 0 then "" else Printf.sprintf "  %d VIOLATIONS" r.fw_violations)
 
+(* ------------------------------------------------------------------ *)
+(* Load sweeps: throughput-latency curves and sequencer saturation.
+   Each (impl, operating point) is an independent cell — a fresh cluster,
+   fault injectors and checker — so the sweeps fan out over the pool with
+   the same canonical-order reassembly as every table above. *)
+
+let load_impls = [ Cluster.Kernel; Cluster.User; Cluster.User_optimized ]
+
+let load_cell ?faults ?(checked = false) ?client_ranks ~nodes ~impl cfg () =
+  let cluster =
+    Cluster.create ~extra_machine:(impl = Cluster.User_dedicated) ~n:nodes ()
+  in
+  (match faults with
+   | Some spec ->
+     ignore (Faults.Inject.install cluster.Cluster.eng cluster.Cluster.topo spec)
+   | None -> ());
+  let checker = if checked then Some (Faults.Invariants.create ()) else None in
+  let backends = Cluster.backends ?checker cluster impl in
+  let seq_machine = Cluster.sequencer_machine cluster impl in
+  let m =
+    Load.Clients.run cfg ~eng:cluster.Cluster.eng ~backends
+      ~machines:cluster.Cluster.machines ~seq_machine ?client_ranks ()
+  in
+  match checker with
+  | Some c ->
+    Faults.Invariants.finalize c;
+    { m with Load.Metrics.violations = Faults.Invariants.n_violations c }
+  | None -> m
+
+let load_rates = [ 200.; 400.; 800.; 1200.; 1600.; 2000. ]
+
+let load_sweep ?pool ?faults ?checked ?(nodes = 4)
+    ?(config = Load.Clients.default) ?(rates = load_rates) ?(impls = load_impls)
+    () =
+  let cells =
+    List.concat_map
+      (fun impl ->
+        List.map
+          (fun rate () ->
+            load_cell ?faults ?checked ~nodes ~impl
+              { config with Load.Clients.rate } ())
+          rates)
+      impls
+  in
+  let results = run_cells ?pool cells in
+  let nr = List.length rates in
+  List.mapi
+    (fun i impl ->
+      let points = List.filteri (fun j _ -> j / nr = i) results in
+      (impl, Load.Sweep.curve points))
+    impls
+
+(* The load-side complement of the paper's §4.3 sequencer accounting:
+   closed-loop group senders with zero think time, scaled until the
+   sequencer is the bottleneck.  Rank 0 hosts the sequencer and never
+   sends, so its utilization is pure sequencing. *)
+let sequencer_senders = [ 1; 2; 4; 7 ]
+
+let sequencer_saturation ?pool ?faults ?checked ?(nodes = 8)
+    ?(senders = sequencer_senders) ?(clients_per_node = 2)
+    ?(config = Load.Clients.default) ?(impls = load_impls) () =
+  let cfg =
+    {
+      config with
+      Load.Clients.op = Load.Clients.Group;
+      arrival = Load.Arrival.Closed 0;
+      clients_per_node;
+    }
+  in
+  let cells =
+    List.concat_map
+      (fun impl ->
+        List.map
+          (fun s () ->
+            if s >= nodes then
+              invalid_arg "Experiments.sequencer_saturation: senders >= nodes";
+            let client_ranks = List.init s (fun i -> i + 1) in
+            load_cell ?faults ?checked ~client_ranks ~nodes ~impl cfg ())
+          senders)
+      impls
+  in
+  let results = run_cells ?pool cells in
+  let ns = List.length senders in
+  List.mapi
+    (fun i impl ->
+      let points = List.filteri (fun j _ -> j / ns = i) results in
+      (impl, List.combine senders points))
+    impls
+
+let pp_saturation_row fmt (s, m) =
+  Format.fprintf fmt
+    "%-10s senders=%-2d  %8.1f msg/s  p50 %7.3f ms  p99 %7.3f ms  seq %5.1f%%%s"
+    m.Load.Metrics.label s m.Load.Metrics.achieved m.Load.Metrics.p50_ms
+    m.Load.Metrics.p99_ms
+    (100. *. m.Load.Metrics.seq_util)
+    (if m.Load.Metrics.violations = 0 then ""
+     else Printf.sprintf "  %d VIOLATIONS" m.Load.Metrics.violations)
+
 let ablation_continuations ?pool ?(procs = 16) () =
   let app = Runner.app_named "rl" in
   match

@@ -136,6 +136,54 @@ val fault_sweep :
 
 val pp_fault_row : Format.formatter -> fault_row -> unit
 
+(** {1 Load sweeps: capacity analysis under sustained traffic} *)
+
+val load_rates : float list
+(** Default offered-load ramp (ops/s aggregate), crossing every stack's
+    saturation knee. *)
+
+val load_impls : Cluster.impl list
+(** The three stacks compared throughout: kernel, user, optimized. *)
+
+val load_sweep :
+  ?pool:Exec.Pool.t ->
+  ?faults:Faults.Spec.t ->
+  ?checked:bool ->
+  ?nodes:int ->
+  ?config:Load.Clients.config ->
+  ?rates:float list ->
+  ?impls:Cluster.impl list ->
+  unit ->
+  (Cluster.impl * Load.Sweep.curve) list
+(** Throughput–latency curve per stack: for each offered rate, a fresh
+    [nodes]-machine cluster (default 4) where every non-server rank runs
+    [config]'s client population (default {!Load.Clients.default}: null
+    RPCs, uniform arrivals) against the rank-0 echo server.  [config]'s
+    [rate] is overridden by each ramp point.  With [?checked] each cell
+    runs under the conformance checkers and reports violations. *)
+
+val sequencer_senders : int list
+
+val sequencer_saturation :
+  ?pool:Exec.Pool.t ->
+  ?faults:Faults.Spec.t ->
+  ?checked:bool ->
+  ?nodes:int ->
+  ?senders:int list ->
+  ?clients_per_node:int ->
+  ?config:Load.Clients.config ->
+  ?impls:Cluster.impl list ->
+  unit ->
+  (Cluster.impl * (int * Load.Metrics.t) list) list
+(** Sequencer-bottleneck experiment: closed-loop zero-think group senders
+    on ranks [1..s] for each [s] in [senders] (default 1, 2, 4, 7 on an
+    8-node cluster, 2 clients each); rank 0 hosts the sequencer and never
+    sends.  Achieved ordered messages/s plateaus at the sequencer's
+    capacity — the user-space sequencer saturates first, the kernel's
+    last. *)
+
+val pp_saturation_row : Format.formatter -> int * Load.Metrics.t -> unit
+
 (** {1 In-text breakdowns (§4.2, §4.3)} *)
 
 val rpc_breakdown : ?pool:Exec.Pool.t -> unit -> (string * float) list

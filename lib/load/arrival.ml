@@ -1,0 +1,40 @@
+type t = Uniform | Poisson | Closed of Sim.Time.span
+
+let is_closed = function Closed _ -> true | _ -> false
+
+let gap t ~rate rng =
+  match t with
+  | Closed think -> think
+  | Uniform | Poisson ->
+    if not (Float.is_finite rate) || rate <= 0. then
+      invalid_arg (Printf.sprintf "Arrival.gap: rate = %g not positive" rate);
+    let mean_ns = 1e9 /. rate in
+    (match t with
+     | Uniform -> int_of_float mean_ns
+     | Poisson ->
+       (* Inverse-transform exponential draw; 1 - u is in (0, 1], so the
+          log is finite and the gap non-negative. *)
+       let u = Sim.Rng.float rng 1. in
+       int_of_float (-.mean_ns *. log (1. -. u))
+     | Closed _ -> assert false)
+
+let parse s =
+  match String.lowercase_ascii (String.trim s) with
+  | "uniform" -> Ok Uniform
+  | "poisson" -> Ok Poisson
+  | s ->
+    (match String.index_opt s '=' with
+     | Some i when String.sub s 0 i = "closed" ->
+       let v = String.sub s (i + 1) (String.length s - i - 1) in
+       (match float_of_string_opt v with
+        | Some us when Float.is_finite us && us >= 0. ->
+          Ok (Closed (Sim.Time.us_f us))
+        | _ -> Error (Printf.sprintf "invalid think time %S (microseconds)" v))
+     | _ ->
+       Error
+         (Printf.sprintf "unknown arrival process %S (uniform|poisson|closed=US)" s))
+
+let to_string = function
+  | Uniform -> "uniform"
+  | Poisson -> "poisson"
+  | Closed think -> Printf.sprintf "closed=%g" (Sim.Time.to_us think)

@@ -1,0 +1,32 @@
+(** Arrival processes for load generation.
+
+    Open-loop processes ([Uniform], [Poisson]) issue requests at a
+    configured offered rate regardless of how fast the system responds —
+    a client that finds itself behind schedule issues back-to-back until
+    it catches up, so latency measured from the {e scheduled} arrival
+    time includes the backlog (no coordinated omission).  [Closed] models
+    interactive clients: each waits for its previous request to complete,
+    thinks, then issues the next; offered load equals achieved load by
+    construction. *)
+
+type t =
+  | Uniform  (** deterministic, evenly spaced arrivals *)
+  | Poisson  (** exponential inter-arrival gaps via {!Sim.Rng} *)
+  | Closed of Sim.Time.span
+      (** closed loop: think time between completion and next request *)
+
+val is_closed : t -> bool
+
+val gap : t -> rate:float -> Sim.Rng.t -> Sim.Time.span
+(** [gap t ~rate rng] draws the next inter-arrival gap for one client
+    issuing [rate] requests per second ([Uniform] consumes no
+    randomness; [Closed] returns its think time).
+    @raise Invalid_argument on a non-positive [rate] for an open-loop
+    process. *)
+
+val parse : string -> (t, string) result
+(** ["uniform"], ["poisson"], or ["closed=US"] (think time in
+    microseconds, e.g. ["closed=500"]). *)
+
+val to_string : t -> string
+(** Canonical form; [parse (to_string t)] round-trips. *)

@@ -1,0 +1,169 @@
+type op = Rpc | Group
+
+type config = {
+  op : op;
+  mix : Mix.t;
+  reply_size : int;
+  arrival : Arrival.t;
+  rate : float;
+  clients_per_node : int;
+  warmup : Sim.Time.span;
+  window : Sim.Time.span;
+  seed : int;
+}
+
+let default =
+  {
+    op = Rpc;
+    mix = Mix.single 0;
+    reply_size = 0;
+    arrival = Arrival.Uniform;
+    rate = 200.;
+    clients_per_node = 4;
+    warmup = Sim.Time.ms 250;
+    window = Sim.Time.sec 1;
+    seed = 1;
+  }
+
+let op_label = function Rpc -> "rpc" | Group -> "group"
+
+let run cfg ~eng ~backends ~machines ?seq_machine ?(server = 0) ?client_ranks () =
+  let n = Array.length backends in
+  if n < 2 then invalid_arg "Clients.run: need at least two ranks";
+  let client_ranks =
+    match client_ranks with
+    | Some l -> l
+    | None -> List.filter (fun r -> r <> server) (List.init n Fun.id)
+  in
+  if client_ranks = [] then invalid_arg "Clients.run: no client ranks";
+  let n_clients = cfg.clients_per_node * List.length client_ranks in
+  let per_client_rate = cfg.rate /. float_of_int n_clients in
+  (* Echo server and group sink; installing on every rank is harmless and
+     keeps the group's total order observable everywhere. *)
+  Array.iter
+    (fun b ->
+      b.Orca.Backend.set_rpc_handler (fun ~client:_ ~size:_ _ ~reply ->
+          reply ~size:cfg.reply_size Sim.Payload.Empty);
+      b.Orca.Backend.set_deliver (fun ~sender:_ ~size:_ _ -> ()))
+    backends;
+  let t0 = Sim.Engine.now eng in
+  let w_start = t0 + cfg.warmup in
+  let w_end = w_start + cfg.window in
+  let stats = Sim.Stats.create () in
+  let issued = ref 0 and completed = ref 0 in
+  let note ~sched ~fin =
+    if sched >= w_start && sched < w_end then begin
+      incr issued;
+      Sim.Stats.record stats "lat_ms" (Sim.Time.to_ms (fin - sched))
+    end;
+    if fin >= w_start && fin < w_end then incr completed
+  in
+  (* Window boundaries: snapshot every CPU's busy time and scope an Obs
+     recorder to exactly the measurement window. *)
+  let n_mach = Array.length machines in
+  let busy0 = Array.make n_mach 0 and busy1 = Array.make n_mach 0 in
+  let seq_busy0 = ref 0 and seq_busy1 = ref 0 in
+  let seq_busy m = Machine.Cpu.busy_time (Machine.Mach.cpu m) in
+  let recorder = Obs.Recorder.create () in
+  ignore
+    (Sim.Engine.at eng w_start (fun () ->
+         Array.iteri (fun i m -> busy0.(i) <- seq_busy m) machines;
+         (match seq_machine with Some m -> seq_busy0 := seq_busy m | None -> ());
+         Obs.Recorder.install recorder));
+  ignore
+    (Sim.Engine.at eng w_end (fun () ->
+         Array.iteri (fun i m -> busy1.(i) <- seq_busy m) machines;
+         (match seq_machine with Some m -> seq_busy1 := seq_busy m | None -> ());
+         Obs.Recorder.uninstall ()));
+  (* One RNG per client, split in client order from the root seed. *)
+  let root = Sim.Rng.create ~seed:cfg.seed in
+  let mean_gap_ns = if cfg.rate > 0. then 1e9 /. per_client_rate else 0. in
+  let clients =
+    List.concat_map
+      (fun rank -> List.init cfg.clients_per_node (fun k -> (rank, k)))
+      client_ranks
+  in
+  List.iteri
+    (fun ci (rank, k) ->
+      let rng = Sim.Rng.split root in
+      let b = backends.(rank) in
+      let do_op () =
+        let size = Mix.pick cfg.mix rng in
+        match cfg.op with
+        | Rpc -> ignore (b.Orca.Backend.rpc ~dst:server ~size Sim.Payload.Empty)
+        | Group -> b.Orca.Backend.broadcast ~nonblocking:false ~size Sim.Payload.Empty
+      in
+      ignore
+        (Machine.Thread.spawn machines.(rank)
+           (Printf.sprintf "load.%d.%d" rank k)
+           (fun () ->
+             match cfg.arrival with
+             | Arrival.Closed think ->
+               let rec loop () =
+                 let sched = Sim.Engine.now eng in
+                 if sched < w_end then begin
+                   do_op ();
+                   note ~sched ~fin:(Sim.Engine.now eng);
+                   if think > 0 then Machine.Thread.sleep think;
+                   loop ()
+                 end
+               in
+               loop ()
+             | _ ->
+               (* Stagger client start times evenly across one mean gap so
+                  deterministic arrivals don't land in lockstep bursts. *)
+               let offset =
+                 int_of_float (mean_gap_ns *. float_of_int ci /. float_of_int n_clients)
+               in
+               let t_next = ref (t0 + offset) in
+               let rec loop () =
+                 let now = Sim.Engine.now eng in
+                 if !t_next < w_end && now < w_end then begin
+                   if now < !t_next then Machine.Thread.sleep (!t_next - now);
+                   let sched = !t_next in
+                   t_next :=
+                     sched + Arrival.gap cfg.arrival ~rate:per_client_rate rng;
+                   do_op ();
+                   note ~sched ~fin:(Sim.Engine.now eng);
+                   loop ()
+                 end
+               in
+               loop ())))
+    clients;
+  Sim.Engine.run eng;
+  (* The run can drain before the w_end snapshot fires only if no client
+     ever issues; guard so utilizations stay well-defined. *)
+  let window_s = Sim.Time.to_sec cfg.window in
+  let util i =
+    Float.max 0. (Sim.Time.to_sec (busy1.(i) - busy0.(i)) /. window_s)
+  in
+  let client_util =
+    List.fold_left (fun acc r -> Float.max acc (util r)) 0. client_ranks
+  in
+  let server_util = util server in
+  let seq_util =
+    match seq_machine with
+    | Some _ -> Float.max 0. (Sim.Time.to_sec (!seq_busy1 - !seq_busy0) /. window_s)
+    | None -> server_util
+  in
+  let achieved = float_of_int !completed /. window_s in
+  let offered = if Arrival.is_closed cfg.arrival then achieved else cfg.rate in
+  let lat p = Sim.Stats.percentile stats "lat_ms" p in
+  {
+    Metrics.label = backends.(0).Orca.Backend.label;
+    op = op_label cfg.op;
+    offered;
+    achieved;
+    issued = !issued;
+    completed = !completed;
+    p50_ms = lat 50.;
+    p95_ms = lat 95.;
+    p99_ms = lat 99.;
+    mean_ms = Sim.Stats.mean stats "lat_ms";
+    max_ms = (if Sim.Stats.count stats "lat_ms" = 0 then 0. else Sim.Stats.max_value stats "lat_ms");
+    client_util;
+    server_util;
+    seq_util;
+    ledger_cpu_ms = float_of_int (Obs.Recorder.cpu_ns recorder) /. 1e6;
+    violations = 0;
+  }

@@ -1,0 +1,49 @@
+(** Client populations: seeded, deterministic traffic over any backend.
+
+    [run] spawns [clients_per_node] client threads on every client rank,
+    each with its own SplitMix64 stream split from [seed], issuing
+    blocking RPCs to the server rank or totally-ordered group sends.
+    The run is warmup, then a measurement window (latency histogram,
+    achieved throughput, per-machine CPU utilization, an {!Obs.Recorder}
+    ledger scoped to the window), then drain; clients stop issuing at
+    the window's end, and the engine runs until every in-flight request
+    completes.  Everything is a pure function of (config, cluster), so
+    results are bit-identical across reruns and {!Exec.Pool} fan-out. *)
+
+type op = Rpc | Group
+
+type config = {
+  op : op;
+  mix : Mix.t;  (** request payload sizes *)
+  reply_size : int;  (** RPC reply payload size (replies are echoes) *)
+  arrival : Arrival.t;
+  rate : float;
+      (** aggregate offered load over all clients, ops/s; ignored for
+          closed-loop arrivals *)
+  clients_per_node : int;
+  warmup : Sim.Time.span;
+  window : Sim.Time.span;  (** measurement window length *)
+  seed : int;
+}
+
+val default : config
+(** Null RPC, uniform arrivals at 200 ops/s, 4 clients/node, 250 ms
+    warmup, 1 s window, seed 1. *)
+
+val run :
+  config ->
+  eng:Sim.Engine.t ->
+  backends:Orca.Backend.t array ->
+  machines:Machine.Mach.t array ->
+  ?seq_machine:Machine.Mach.t ->
+  ?server:int ->
+  ?client_ranks:int list ->
+  unit ->
+  Metrics.t
+(** [machines.(i)] must host [backends.(i)].  [server] (default 0) is
+    the RPC echo server and, for group traffic, the rank whose machine
+    is reported as the sequencer's unless [seq_machine] names a
+    dedicated one.  [client_ranks] defaults to every rank except
+    [server].  Runs the engine to completion; [Metrics.violations] is
+    always 0 here (checked-mode callers fill it in after finalizing
+    their checker). *)

@@ -1,0 +1,61 @@
+type t = { entries : (int * int) list; total : int }
+
+let of_list entries =
+  if entries = [] then invalid_arg "Mix.of_list: empty mix";
+  List.iter
+    (fun (size, w) ->
+      if size < 0 then invalid_arg (Printf.sprintf "Mix.of_list: negative size %d" size);
+      if w <= 0 then invalid_arg (Printf.sprintf "Mix.of_list: non-positive weight %d" w))
+    entries;
+  { entries; total = List.fold_left (fun acc (_, w) -> acc + w) 0 entries }
+
+let single size = of_list [ (size, 1) ]
+let sizes t = t.entries
+
+let pick t rng =
+  match t.entries with
+  | [ (size, _) ] -> size (* fixed-size: leave the RNG stream untouched *)
+  | entries ->
+    let r = Sim.Rng.int rng t.total in
+    let rec walk acc = function
+      | [] -> assert false
+      | (size, w) :: rest -> if r < acc + w then size else walk (acc + w) rest
+    in
+    walk 0 entries
+
+let mean_size t =
+  List.fold_left (fun acc (size, w) -> acc +. (float_of_int size *. float_of_int w))
+    0. t.entries
+  /. float_of_int t.total
+
+let parse s =
+  let items = String.split_on_char ',' (String.trim s) in
+  let parse_item it =
+    let it = String.trim it in
+    match String.index_opt it 'x' with
+    | None ->
+      (match int_of_string_opt it with
+       | Some size when size >= 0 -> Ok (size, 1)
+       | _ -> Error (Printf.sprintf "invalid size %S" it))
+    | Some i ->
+      let sz = String.sub it 0 i in
+      let w = String.sub it (i + 1) (String.length it - i - 1) in
+      (match (int_of_string_opt sz, int_of_string_opt w) with
+       | Some size, Some weight when size >= 0 && weight > 0 -> Ok (size, weight)
+       | _ -> Error (Printf.sprintf "invalid mix item %S (want SIZExWEIGHT)" it))
+  in
+  let rec collect acc = function
+    | [] -> Ok (of_list (List.rev acc))
+    | it :: rest ->
+      (match parse_item it with
+       | Ok e -> collect (e :: acc) rest
+       | Error _ as e -> e)
+  in
+  if items = [] || s = "" then Error "empty mix" else collect [] items
+
+let to_string t =
+  String.concat ","
+    (List.map
+       (fun (size, w) ->
+         if w = 1 then string_of_int size else Printf.sprintf "%dx%d" size w)
+       t.entries)

@@ -1,0 +1,26 @@
+(** Weighted request-size mixes.
+
+    A mix is a non-empty list of [(size_bytes, weight)] pairs; each
+    request draws its size with probability proportional to its weight.
+    A single-entry mix consumes no randomness, so fixed-size workloads
+    stay bit-identical to a mix-free driver. *)
+
+type t
+
+val single : int -> t
+val of_list : (int * int) list -> t
+(** @raise Invalid_argument on an empty list, negative sizes, or
+    non-positive weights. *)
+
+val pick : t -> Sim.Rng.t -> int
+val sizes : t -> (int * int) list
+
+val mean_size : t -> float
+(** Weight-averaged request size in bytes. *)
+
+val parse : string -> (t, string) result
+(** Comma-separated [SIZE] or [SIZExWEIGHT] items, sizes in bytes:
+    ["0"], ["1024"], ["64x9,8192x1"]. *)
+
+val to_string : t -> string
+(** Canonical form; [parse (to_string t)] round-trips. *)

@@ -1,0 +1,39 @@
+type curve = { c_label : string; c_points : Metrics.t list }
+
+let curve points =
+  match points with
+  | [] -> invalid_arg "Sweep.curve: no points"
+  | p :: _ ->
+    {
+      c_label = p.Metrics.label;
+      c_points =
+        List.stable_sort
+          (fun a b -> compare a.Metrics.offered b.Metrics.offered)
+          points;
+    }
+
+let knee ?frac t =
+  List.fold_left
+    (fun acc p -> if Metrics.saturated ?frac p then acc else Some p.Metrics.offered)
+    None t.c_points
+
+let peak t =
+  List.fold_left (fun acc p -> Float.max acc p.Metrics.achieved) 0. t.c_points
+
+let peak_point t =
+  match t.c_points with
+  | [] -> invalid_arg "Sweep.peak_point: empty curve"
+  | p :: rest ->
+    List.fold_left
+      (fun best q ->
+        if q.Metrics.achieved > best.Metrics.achieved then q else best)
+      p rest
+
+let pp_curve fmt t =
+  Format.fprintf fmt "%a@." Metrics.pp_header ();
+  List.iter (fun p -> Format.fprintf fmt "%a@." Metrics.pp p) t.c_points;
+  Format.fprintf fmt "%-10s knee %s  peak %.1f ops/s" t.c_label
+    (match knee t with
+     | Some r -> Printf.sprintf "%.1f ops/s" r
+     | None -> "below ramp")
+    (peak t)

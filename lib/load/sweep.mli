@@ -1,0 +1,24 @@
+(** Capacity analysis over a ramp of measured operating points. *)
+
+type curve = {
+  c_label : string;  (** stack label *)
+  c_points : Metrics.t list;  (** ascending offered load *)
+}
+
+val curve : Metrics.t list -> curve
+(** Orders the points by offered load.
+    @raise Invalid_argument on an empty list. *)
+
+val knee : ?frac:float -> curve -> float option
+(** Highest offered rate still achieving at least [frac] (default 0.95)
+    of its offered load — the saturation knee.  [None] when even the
+    lowest point is saturated. *)
+
+val peak : curve -> float
+(** Maximum achieved throughput over the curve, ops/s. *)
+
+val peak_point : curve -> Metrics.t
+(** The point achieving {!peak}. *)
+
+val pp_curve : Format.formatter -> curve -> unit
+(** Header, one row per point, then the knee and peak summary line. *)

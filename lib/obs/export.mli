@@ -8,7 +8,7 @@ val chrome_trace : Recorder.t -> string
 
 val csv : Recorder.t -> string
 (** CSV dump: the (layer x cause) ledger in nanoseconds, then counters, then
-    series with count/mean/min/max and p50/p90/p99. *)
+    series with count/mean/min/max and p50/p90/p95/p99. *)
 
 val to_file : string -> string -> unit
 (** [to_file path contents] writes [contents] to [path]. *)

@@ -47,9 +47,10 @@ module Histogram = struct
   let count t = t.n
 
   let percentile t p =
+    if not (Float.is_finite p) || p < 0. || p > 100. then
+      invalid_arg (Printf.sprintf "Stats.Histogram.percentile: p = %g not in [0, 100]" p);
     if t.n = 0 then 0.
     else begin
-      let p = Float.max 0. (Float.min 100. p) in
       let rank =
         let r = int_of_float (Float.round (p /. 100. *. float_of_int t.n)) in
         if r < 1 then 1 else if r > t.n then t.n else r
@@ -124,6 +125,8 @@ let max_value t name =
   match Hashtbl.find_opt t.floats name with Some s -> s.hi | None -> neg_infinity
 
 let percentile t name p =
+  if not (Float.is_finite p) || p < 0. || p > 100. then
+    invalid_arg (Printf.sprintf "Stats.percentile: p = %g not in [0, 100]" p);
   match Hashtbl.find_opt t.floats name with
   | None -> 0.
   | Some s when s.n = 0 -> 0.
@@ -131,6 +134,11 @@ let percentile t name p =
     (* The bucket midpoint can fall slightly outside the observed range;
        clamp so p0/p100 agree with the exact extremes. *)
     Float.max s.lo (Float.min s.hi (Histogram.percentile s.hist p))
+
+let p50 t name = percentile t name 50.
+let p90 t name = percentile t name 90.
+let p95 t name = percentile t name 95.
+let p99 t name = percentile t name 99.
 
 let histogram t name =
   match Hashtbl.find_opt t.floats name with Some s -> Some s.hist | None -> None

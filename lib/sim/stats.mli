@@ -13,7 +13,10 @@ module Histogram : sig
 
   val percentile : t -> float -> float
   (** [percentile t p] for [p] in [0..100]: the midpoint of the bucket
-      holding the rank-[p] sample; 0 when empty.  Monotone in [p]. *)
+      holding the rank-[p] sample; 0 when empty.  Monotone in [p].
+      @raise Invalid_argument when [p] is outside [0, 100] (or not
+      finite) — out-of-range queries are a caller bug, not a request to
+      extrapolate. *)
 end
 
 type t
@@ -42,7 +45,15 @@ val max_value : t -> string -> float
 val percentile : t -> string -> float -> float
 (** [percentile t name p] estimates the [p]-th percentile of the series
     from its histogram, clamped to the observed [min, max]; 0 when the
-    series is empty or unknown. *)
+    series is empty or unknown.
+    @raise Invalid_argument when [p] is outside [0, 100] or not finite. *)
+
+val p50 : t -> string -> float
+val p90 : t -> string -> float
+val p95 : t -> string -> float
+val p99 : t -> string -> float
+(** Shorthands for the common percentiles ([percentile t name 95.]
+    etc.), matching the set exported by [Obs.Export.csv]. *)
 
 val histogram : t -> string -> Histogram.t option
 

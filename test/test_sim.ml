@@ -449,6 +449,47 @@ let test_stats_series () =
   Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.min_value s "lat");
   Alcotest.(check (float 1e-9)) "max" 3.0 (Stats.max_value s "lat")
 
+let test_stats_percentile_domain () =
+  let s = Stats.create () in
+  Stats.record s "lat" 1.0;
+  let raises p =
+    match Stats.percentile s "lat" p with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  check_bool "p = -1 rejected" true (raises (-1.));
+  check_bool "p = 101 rejected" true (raises 101.);
+  check_bool "p = nan rejected" true (raises Float.nan);
+  check_bool "p = 0 ok" true (Stats.percentile s "lat" 0. >= 0.);
+  check_bool "p = 100 ok" true (Stats.percentile s "lat" 100. >= 0.);
+  (* accessors agree with the long form *)
+  Stats.record s "lat" 2.0;
+  Stats.record s "lat" 4.0;
+  Alcotest.(check (float 1e-9)) "p50" (Stats.percentile s "lat" 50.) (Stats.p50 s "lat");
+  Alcotest.(check (float 1e-9)) "p95" (Stats.percentile s "lat" 95.) (Stats.p95 s "lat");
+  Alcotest.(check (float 1e-9)) "p99" (Stats.percentile s "lat" 99.) (Stats.p99 s "lat")
+
+(* Percentile estimates from the log-bucket histogram must stay within the
+   documented bucket width (16 sub-buckets/octave => ~3% relative error,
+   3.5% with rounding slop) of the exact nearest-rank percentile. *)
+let prop_stats_percentile_accuracy =
+  QCheck.Test.make ~name:"percentile within log-bucket error" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 200) (float_range 1. 1000.))
+              (int_range 0 100))
+    (fun (samples, p_int) ->
+      let p = float_of_int p_int in
+      let s = Stats.create () in
+      List.iter (Stats.record s "x") samples;
+      let sorted = List.sort compare samples |> Array.of_list in
+      let n = Array.length sorted in
+      let rank =
+        let r = int_of_float (Float.round (p /. 100. *. float_of_int n)) in
+        if r < 1 then 1 else if r > n then n else r
+      in
+      let exact = sorted.(rank - 1) in
+      let est = Stats.percentile s "x" p in
+      abs_float (est -. exact) <= 0.035 *. exact)
+
 (* ------------------------------------------------------------------ *)
 (* Time *)
 
@@ -512,6 +553,8 @@ let () =
         [
           Alcotest.test_case "counters" `Quick test_stats_counters;
           Alcotest.test_case "series" `Quick test_stats_series;
-        ] );
+          Alcotest.test_case "percentile domain" `Quick test_stats_percentile_domain;
+        ]
+        @ qsuite [ prop_stats_percentile_accuracy ] );
       ("time", [ Alcotest.test_case "units" `Quick test_time_units ]);
     ]
