@@ -46,7 +46,7 @@ let paper_table3 =
       ] );
   ]
 
-let print_table1 ?pool ?faults () =
+let print_table1 ?pool ?faults ~net () =
   hr
     "Table 1: communication latencies [ms] (paper values in parentheses; \
      optimized columns are this reproduction's own)";
@@ -54,7 +54,8 @@ let print_table1 ?pool ?faults () =
     "%6s  %-14s %-14s %-14s %-14s %-14s %-14s %-9s %-9s\n"
     "size" "unicast/user" "mcast/user" "RPC/user" "RPC/kernel" "group/user"
     "group/kernel" "RPC/opt" "group/opt";
-  let rows = Core.Experiments.table1 ?pool ?faults () in
+  let profile = Core.Experiments.(with_net net default_profile) in
+  let rows = Core.Experiments.table1 ?pool ?faults ~profile () in
   List.iter2
     (fun r (_, (pu, pm, pru, prk, pgu, pgk)) ->
       Printf.printf
@@ -66,10 +67,11 @@ let print_table1 ?pool ?faults () =
         r.Core.Experiments.lr_grp_opt)
     rows paper_table1
 
-let print_table2 ?pool ?faults () =
+let print_table2 ?pool ?faults ~net () =
   hr
     "Table 2: communication throughputs [KB/s] (paper values in parentheses; \
      optimized column is this reproduction's own)";
+  let profile = Core.Experiments.(with_net net default_profile) in
   let paper = [ ("RPC", (825., 897.)); ("group", (941., 941.)) ] in
   List.iter2
     (fun r (_, (pu, pk)) ->
@@ -77,7 +79,7 @@ let print_table2 ?pool ?faults () =
         "%-6s  user %5.0f (%4.0f)   kernel %5.0f (%4.0f)   optimized %5.0f\n"
         r.Core.Experiments.tr_proto r.Core.Experiments.tr_user pu
         r.Core.Experiments.tr_kernel pk r.Core.Experiments.tr_opt)
-    (Core.Experiments.table2 ?pool ?faults ())
+    (Core.Experiments.table2 ?pool ?faults ~profile ())
     paper
 
 let paper_time app impl procs =
@@ -91,12 +93,12 @@ let paper_time app impl procs =
           | Some idx -> List.nth_opt times idx
           | None -> None))
 
-let print_table3 ?pool ?faults ?checked ?(procs = [ 1; 8; 16; 32 ]) () =
+let print_table3 ?pool ?faults ?checked ~net ?(procs = [ 1; 8; 16; 32 ]) () =
   hr "Table 3: Orca application runtimes [s] (paper values in parentheses)";
   Printf.printf "%-4s %-15s" "app" "implementation";
   List.iter (fun p -> Printf.printf "  %12s" (Printf.sprintf "P=%d" p)) procs;
   Printf.printf "  %8s\n" "speedup";
-  let outcomes = Core.Experiments.table3 ?pool ?faults ?checked ~procs () in
+  let outcomes = Core.Experiments.table3 ?pool ?faults ?checked ~net ~procs () in
   let by_key = Hashtbl.create 64 in
   List.iter
     (fun o ->
@@ -197,10 +199,10 @@ let print_optimized ?pool () =
   Format.printf "@[<v>optimized group:@,%a@]@."
     Core.Experiments.pp_opt_breakdown grp_o
 
-let print_fault_sweep ?pool ?(quick = false) ?seed () =
+let print_fault_sweep ?pool ?(quick = false) ?seed ~net () =
   hr "Fault sweep: degradation and conformance vs. frame-loss rate";
   let rates = if quick then [ 0.; 0.01 ] else [ 0.; 0.001; 0.01; 0.05 ] in
-  let rows = Core.Experiments.fault_sweep ?pool ~rates ?seed () in
+  let rows = Core.Experiments.fault_sweep ?pool ~net ~rates ?seed () in
   List.iter (fun r -> Format.printf "  %a@." Core.Experiments.pp_fault_row r) rows;
   if
     List.exists
@@ -228,7 +230,7 @@ let json_escape s =
 
 let load_json : string option ref = ref None
 
-let print_load ?pool ?faults ?(quick = false) () =
+let print_load ?pool ?faults ?(quick = false) ~net () =
   hr "Load: throughput-latency curves (null RPC, open loop)";
   let impls =
     if quick then [ Core.Cluster.User_optimized ] else Core.Experiments.load_impls
@@ -240,8 +242,10 @@ let print_load ?pool ?faults ?(quick = false) () =
     if quick then [ 400.; 1200.; 2000. ] else Core.Experiments.load_rates
   in
   let checked = faults <> None in
+  let np = net.Core.Params.np_name in
   let curves =
-    Core.Experiments.load_sweep ?pool ?faults ~checked ~config ~rates ~impls ()
+    Core.Experiments.load_sweep ?pool ?faults ~checked ~net ~config ~rates
+      ~impls ()
   in
   List.iter
     (fun (_, curve) -> Format.printf "%a@.@." Load.Sweep.pp_curve curve)
@@ -251,7 +255,8 @@ let print_load ?pool ?faults ?(quick = false) () =
     else begin
       hr "Load: sequencer saturation (closed-loop group senders, 8 nodes)";
       let rows =
-        Core.Experiments.sequencer_saturation ?pool ?faults ~checked ~config ()
+        Core.Experiments.sequencer_saturation ?pool ?faults ~checked ~net
+          ~config ()
       in
       List.iter
         (fun (_, points) ->
@@ -275,11 +280,14 @@ let print_load ?pool ?faults ?(quick = false) () =
   List.iteri
     (fun i (_, curve) ->
       Buffer.add_string b
-        (Printf.sprintf "      {\"stack\": \"%s\", \"knee\": %s, \"peak\": %.1f, \"points\": [%s]}%s\n"
+        (Printf.sprintf
+           "      {\"profile\": \"%s\", \"stack\": \"%s\", \"knee\": %s, \"peak\": %.1f, \"points\": [%s]}%s\n"
+           (json_escape np)
            (json_escape curve.Load.Sweep.c_label)
            (match Load.Sweep.knee curve with
-            | Some k -> Printf.sprintf "%.1f" k
-            | None -> "null")
+            | Load.Sweep.Knee k -> Printf.sprintf "%.1f" k
+            | Load.Sweep.Unsaturated -> "\"unsaturated\""
+            | Load.Sweep.Saturated -> "null")
            (Load.Sweep.peak curve)
            (String.concat ", " (List.map point curve.Load.Sweep.c_points))
            (if i = List.length curves - 1 then "" else ",")))
@@ -288,7 +296,9 @@ let print_load ?pool ?faults ?(quick = false) () =
   List.iteri
     (fun i (impl, points) ->
       Buffer.add_string b
-        (Printf.sprintf "      {\"stack\": \"%s\", \"points\": [%s]}%s\n"
+        (Printf.sprintf
+           "      {\"profile\": \"%s\", \"stack\": \"%s\", \"points\": [%s]}%s\n"
+           (json_escape np)
            (json_escape (Core.Cluster.impl_label impl))
            (String.concat ", "
               (List.map
@@ -302,6 +312,93 @@ let print_load ?pool ?faults ?(quick = false) () =
     saturation;
   Buffer.add_string b "    ]\n  }";
   load_json := Some (Buffer.contents b)
+
+(* The one-sided crossover artifact: DHT capacity over profile x stack,
+   with the ledger partition; also a json section with the profile and
+   stack named in every record. *)
+let onesided_json : string option ref = ref None
+
+let print_onesided ?pool ?faults ?(quick = false) () =
+  hr "One-sided crossover: DHT over all four stacks across network eras";
+  let nets =
+    if quick then [ Core.Params.net10m; Core.Params.net1g ]
+    else Core.Params.net_profiles
+  in
+  let window = Sim.Time.us_f (if quick then 0.3e6 else 1e6) in
+  let warmup = Sim.Time.ms (if quick then 100 else 250) in
+  let config =
+    {
+      Load.Clients.default with
+      Load.Clients.clients_per_node = 2;
+      window;
+      warmup;
+    }
+  in
+  let checked = faults <> None in
+  let cells =
+    Core.Experiments.onesided_crossover ?pool ?faults ~checked ~nets ~config ()
+  in
+  List.iter (fun c -> Format.printf "  %a@." Core.Experiments.pp_xcell c) cells;
+  Format.printf "@.";
+  let summary = Core.Experiments.crossover_summary cells in
+  List.iter
+    (fun r -> Format.printf "  %a@." Core.Experiments.pp_crossover_row r)
+    summary;
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n    \"cells\": [\n";
+  List.iteri
+    (fun i c ->
+      let l = c.Core.Experiments.xc_ledger in
+      Buffer.add_string b
+        (Printf.sprintf
+           "      {\"profile\": \"%s\", \"stack\": \"%s\", \"read_pct\": %d, \
+            \"capacity\": %.1f, \"p50_ms\": %.3f, \"server_util\": %.4f, \
+            \"server_thread_util\": %.4f, \"wire_util\": %.4f, \
+            \"initiator_cpu_ms\": %.3f, \"target_cpu_ms\": %.3f, \
+            \"nic_cpu_ms\": %.3f, \"stack_cpu_ms\": %.3f, \"residual_ms\": \
+            %.3f, \"violations\": %d}%s\n"
+           (json_escape c.Core.Experiments.xc_net)
+           (json_escape (Core.Cluster.stack_label c.Core.Experiments.xc_stack))
+           c.Core.Experiments.xc_read_pct
+           c.Core.Experiments.xc_capacity.Load.Metrics.achieved
+           c.Core.Experiments.xc_latency.Load.Metrics.p50_ms
+           c.Core.Experiments.xc_capacity.Load.Metrics.server_util
+           c.Core.Experiments.xc_capacity.Load.Metrics.server_thread_util
+           c.Core.Experiments.xc_wire_util l.Core.Experiments.ol_initiator_ms
+           l.Core.Experiments.ol_target_ms l.Core.Experiments.ol_nic_ms
+           l.Core.Experiments.ol_stack_ms l.Core.Experiments.ol_residual_ms
+           (c.Core.Experiments.xc_dht_violations
+           + c.Core.Experiments.xc_latency.Load.Metrics.violations
+           + c.Core.Experiments.xc_capacity.Load.Metrics.violations)
+           (if i = List.length cells - 1 then "" else ",")))
+    cells;
+  Buffer.add_string b "    ],\n    \"crossover\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "      {\"profile\": \"%s\", \"read_pct\": %d, \"best_rpc\": \
+            \"%s\", \"rpc_capacity\": %.1f, \"onesided_capacity\": %.1f, \
+            \"onesided_wins\": %b}%s\n"
+           (json_escape r.Core.Experiments.xs_net)
+           r.Core.Experiments.xs_read_pct
+           (json_escape r.Core.Experiments.xs_best_rpc)
+           r.Core.Experiments.xs_rpc_capacity
+           r.Core.Experiments.xs_os_capacity r.Core.Experiments.xs_os_wins
+           (if i = List.length summary - 1 then "" else ",")))
+    summary;
+  Buffer.add_string b "    ]\n  }";
+  onesided_json := Some (Buffer.contents b);
+  if
+    List.exists
+      (fun c ->
+        c.Core.Experiments.xc_dht_violations
+        + c.Core.Experiments.xc_latency.Load.Metrics.violations
+        + c.Core.Experiments.xc_capacity.Load.Metrics.violations
+        > 0)
+      cells
+  then Printf.printf "WARNING: DHT coherence or invariant violations!\n"
+  else Printf.printf "(all cells: zero coherence and invariant violations)\n"
 
 let print_ablations ?pool () =
   hr "Ablation: dedicated sequencer for LEQ [s]";
@@ -341,7 +438,7 @@ let timed name f =
   let events = Sim.Engine.events_total () - e0 in
   timings := { tm_name = name; tm_wall = wall; tm_events = events } :: !timings
 
-let write_json ~jobs file =
+let write_json ~jobs ~net file =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Buffer.add_string b
@@ -350,8 +447,15 @@ let write_json ~jobs file =
        (json_escape Sys.os_type) (json_escape Sys.ocaml_version) Sys.word_size
        (Exec.Pool.recommended ()));
   Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  Buffer.add_string b
+    (Printf.sprintf "  \"profile\": \"%s\",\n"
+       (json_escape net.Core.Params.np_name));
   (match !load_json with
    | Some section -> Buffer.add_string b (Printf.sprintf "  \"load\": %s,\n" section)
+   | None -> ());
+  (match !onesided_json with
+   | Some section ->
+     Buffer.add_string b (Printf.sprintf "  \"onesided\": %s,\n" section)
    | None -> ());
   Buffer.add_string b "  \"artifacts\": [\n";
   let rows = List.rev !timings in
@@ -518,6 +622,27 @@ let rec strip_faults = function
     let faults, sel = strip_faults rest in
     (faults, a :: sel)
 
+(* `--profile ERA` anywhere on the command line picks the network era the
+   clusters are built on (default: the paper's 10 Mbit/s Ethernet).  The
+   crossover artifact sweeps eras regardless. *)
+let rec strip_profile = function
+  | [] -> (None, [])
+  | [ "--profile" ] ->
+    prerr_endline "--profile needs an ERA argument";
+    exit 2
+  | "--profile" :: name :: rest -> (
+      let net, sel = strip_profile rest in
+      match Core.Params.net_profile_of_string name with
+      | Some p -> ((match net with Some _ -> net | None -> Some p), sel)
+      | None ->
+        Printf.eprintf "--profile: unknown network era %S (expected %s)\n" name
+          (String.concat " | "
+             (List.map (fun p -> p.Core.Params.np_name) Core.Params.net_profiles));
+        exit 2)
+  | a :: rest ->
+    let net, sel = strip_profile rest in
+    (net, a :: sel)
+
 (* `-j N` anywhere on the command line sets the pool size. *)
 let rec strip_jobs = function
   | [] -> (None, [])
@@ -555,6 +680,8 @@ let () =
   let obs_opts, args = strip_obs (List.tl (Array.to_list Sys.argv)) in
   let jobs_opt, args = strip_jobs args in
   let faults, args = strip_faults args in
+  let net_opt, args = strip_profile args in
+  let net = match net_opt with Some p -> p | None -> Core.Params.net10m in
   if List.mem `Log obs_opts then Obs.Log.set_enabled true;
   let jobs = match jobs_opt with Some j -> j | None -> Exec.Pool.recommended () in
   let json = List.mem "json" args in
@@ -568,9 +695,11 @@ let () =
     else Exec.Pool.with_pool ~jobs (fun p -> f ?pool:(Some p) ())
   in
   if wants "table1" then
-    timed "table1" (fun () -> with_pool (fun ?pool () -> print_table1 ?pool ?faults ()));
+    timed "table1" (fun () ->
+        with_pool (fun ?pool () -> print_table1 ?pool ?faults ~net ()));
   if wants "table2" then
-    timed "table2" (fun () -> with_pool (fun ?pool () -> print_table2 ?pool ?faults ()));
+    timed "table2" (fun () ->
+        with_pool (fun ?pool () -> print_table2 ?pool ?faults ~net ()));
   if wants "breakdown" then timed "breakdown" (fun () -> with_pool print_breakdown);
   if wants "optimized" then timed "optimized" (fun () -> with_pool print_optimized);
   if wants "table3" then
@@ -580,19 +709,25 @@ let () =
         with_pool (fun ?pool () ->
             (* An explicit fault schedule also turns the checkers on. *)
             print_table3 ?pool ?faults ?checked:(Option.map (fun _ -> true) faults)
-              ~procs ()));
+              ~net ~procs ()));
   if wants "faults" then
     timed
       (if quick then "faults-quick" else "faults")
       (fun () ->
         with_pool (fun ?pool () ->
             print_fault_sweep ?pool ~quick
-              ?seed:(Option.map (fun f -> f.Faults.Spec.seed) faults) ()));
+              ?seed:(Option.map (fun f -> f.Faults.Spec.seed) faults) ~net ()));
   if wants "load" then
     timed
       (if quick then "load-quick" else "load")
-      (fun () -> with_pool (fun ?pool () -> print_load ?pool ?faults ~quick ()));
+      (fun () ->
+        with_pool (fun ?pool () -> print_load ?pool ?faults ~quick ~net ()));
+  if wants "onesided" then
+    timed
+      (if quick then "onesided-quick" else "onesided")
+      (fun () ->
+        with_pool (fun ?pool () -> print_onesided ?pool ?faults ~quick ()));
   if wants "ablation" then timed "ablation" (fun () -> with_pool print_ablations);
   if List.mem "bechamel" selected || everything then run_bechamel ();
   List.iter run_obs obs_opts;
-  if json then write_json ~jobs "BENCH_results.json"
+  if json then write_json ~jobs ~net "BENCH_results.json"

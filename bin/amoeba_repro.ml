@@ -22,6 +22,33 @@ let impl_arg =
 let procs_arg =
   Arg.(value & opt int 8 & info [ "procs"; "p" ] ~doc:"Number of processors")
 
+let profile_conv =
+  let parse s =
+    match Core.Params.net_profile_of_string s with
+    | Some p -> Ok p
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown network profile %S (expected %s)" s
+              (String.concat " | "
+                 (List.map
+                    (fun p -> p.Core.Params.np_name)
+                    Core.Params.net_profiles))))
+  in
+  Arg.conv
+    (parse, fun fmt p -> Format.pp_print_string fmt p.Core.Params.np_name)
+
+let profile_arg =
+  Arg.(
+    value
+    & opt profile_conv Core.Params.net10m
+    & info [ "profile" ] ~docv:"ERA"
+        ~doc:
+          "Network era the cluster is built on: $(b,net10m) (the paper's \
+           10 Mbit/s Ethernet, the default), $(b,net100m), $(b,net1g) or \
+           $(b,net10g).  Machine and protocol costs stay at their 1995 \
+           values; only wire, switch and NIC constants change.")
+
 let size_arg = Arg.(value & opt int 0 & info [ "size" ] ~doc:"Message payload bytes")
 
 let faults_conv =
@@ -78,7 +105,7 @@ let obs_log_arg =
     & info [ "obs-log" ] ~doc:"Print the simulator's timestamped event log")
 
 let latency_cmd =
-  let run impl size faults trace obs obs_log =
+  let run impl size net faults trace obs obs_log =
     if obs_log then Obs.Log.set_enabled true;
     let impl2 =
       match impl with
@@ -86,10 +113,11 @@ let latency_cmd =
       | Core.Cluster.User_optimized -> `Opt
       | _ -> `User
     in
+    let profile = Core.Experiments.(with_net net default_profile) in
     Printf.printf "RPC   %-6s %5d B: %.3f ms\n" (Core.Cluster.impl_label impl) size
-      (Core.Experiments.rpc_latency ?faults ~impl:impl2 ~size ());
+      (Core.Experiments.rpc_latency ?faults ~profile ~impl:impl2 ~size ());
     Printf.printf "group %-6s %5d B: %.3f ms\n" (Core.Cluster.impl_label impl) size
-      (Core.Experiments.group_latency ?faults ~impl:impl2 ~size ());
+      (Core.Experiments.group_latency ?faults ~profile ~impl:impl2 ~size ());
     if trace <> None || obs then begin
       let r, _busy = Core.Experiments.recorded_rpc ~impl:impl2 ~size () in
       (match trace with
@@ -105,21 +133,24 @@ let latency_cmd =
     end
   in
   Cmd.v (Cmd.info "latency" ~doc:"Measure RPC and group latency (Table 1 entries)")
-    Term.(const run $ impl_arg $ size_arg $ faults_arg $ trace_arg $ obs_arg $ obs_log_arg)
+    Term.(
+      const run $ impl_arg $ size_arg $ profile_arg $ faults_arg $ trace_arg
+      $ obs_arg $ obs_log_arg)
 
 (* --- throughput --- *)
 
 let throughput_cmd =
-  let run jobs =
+  let run net jobs =
+    let profile = Core.Experiments.(with_net net default_profile) in
     List.iter
       (fun r ->
         Printf.printf "%-6s user %6.0f KB/s   kernel %6.0f KB/s   optimized %6.0f KB/s\n"
           r.Core.Experiments.tr_proto r.Core.Experiments.tr_user
           r.Core.Experiments.tr_kernel r.Core.Experiments.tr_opt)
-      (with_pool jobs (fun ?pool () -> Core.Experiments.table2 ?pool ()))
+      (with_pool jobs (fun ?pool () -> Core.Experiments.table2 ?pool ~profile ()))
   in
   Cmd.v (Cmd.info "throughput" ~doc:"Measure RPC and group throughput (Table 2)")
-    Term.(const run $ jobs_arg)
+    Term.(const run $ profile_arg $ jobs_arg)
 
 (* --- app --- *)
 
@@ -143,8 +174,8 @@ let app_cmd =
              gap-free identical total order); violations are printed and \
              make the run exit nonzero.")
   in
-  let run app impl procs faults checked stats =
-    let o = Core.Runner.run ?faults ~checked ~impl ~procs app in
+  let run app impl procs net faults checked stats =
+    let o = Core.Runner.run ?faults ~checked ~net ~impl ~procs app in
     Format.printf "%a@." Core.Runner.pp_outcome o;
     if stats then Format.printf "  %a@." Core.Runner.pp_stats o.Core.Runner.o_stats;
     List.iter (fun v -> Printf.printf "  violation: %s\n" v) o.Core.Runner.o_violations;
@@ -152,7 +183,9 @@ let app_cmd =
   in
   Cmd.v
     (Cmd.info "app" ~doc:"Run one Orca application (a Table 3 cell)")
-    Term.(const run $ app_arg $ impl_arg $ procs_arg $ faults_arg $ checked_arg $ stats_arg)
+    Term.(
+      const run $ app_arg $ impl_arg $ procs_arg $ profile_arg $ faults_arg
+      $ checked_arg $ stats_arg)
 
 (* --- fault sweep --- *)
 
@@ -170,10 +203,11 @@ let fault_sweep_cmd =
   let seed_arg =
     Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Master seed of the fault schedules")
   in
-  let run rates app procs seed jobs =
+  let run rates app procs net seed jobs =
     let rows =
       with_pool jobs (fun ?pool () ->
-          Core.Experiments.fault_sweep ?pool ~rates ~app_name:app ~procs ~seed ())
+          Core.Experiments.fault_sweep ?pool ~net ~rates ~app_name:app ~procs
+            ~seed ())
     in
     List.iter (fun r -> Format.printf "%a@." Core.Experiments.pp_fault_row r) rows;
     if
@@ -187,7 +221,9 @@ let fault_sweep_cmd =
        ~doc:
          "Latency and correctness of both stacks vs. frame-loss rate \
           (checked mode; nonzero exit on any invariant violation)")
-    Term.(const run $ rates_arg $ app_arg $ procs_arg $ seed_arg $ jobs_arg)
+    Term.(
+      const run $ rates_arg $ app_arg $ procs_arg $ profile_arg $ seed_arg
+      $ jobs_arg)
 
 (* --- load sweep --- *)
 
@@ -274,7 +310,7 @@ let load_sweep_cmd =
              violations are printed and make the run exit nonzero.")
   in
   let run impls rates nodes clients op arrival mix window warmup seed sequencer
-      faults checked jobs =
+      net faults checked jobs =
     let config =
       {
         Load.Clients.default with
@@ -299,8 +335,8 @@ let load_sweep_cmd =
             rows;
           Format.printf "@.")
         (with_pool jobs (fun ?pool () ->
-             Core.Experiments.sequencer_saturation ?pool ?faults ~checked ~nodes
-               ~clients_per_node:clients ~config ?impls ()))
+             Core.Experiments.sequencer_saturation ?pool ?faults ~checked ~net
+               ~nodes ~clients_per_node:clients ~config ?impls ()))
     else
       List.iter
         (fun (_, curve) ->
@@ -309,8 +345,8 @@ let load_sweep_cmd =
             curve.Load.Sweep.c_points;
           Format.printf "%a@.@." Load.Sweep.pp_curve curve)
         (with_pool jobs (fun ?pool () ->
-             Core.Experiments.load_sweep ?pool ?faults ~checked ~nodes ~config
-               ?rates ?impls ()));
+             Core.Experiments.load_sweep ?pool ?faults ~checked ~net ~nodes
+               ~config ?rates ?impls ()));
     if !violations > 0 then exit 1
   in
   Cmd.v
@@ -322,14 +358,14 @@ let load_sweep_cmd =
     Term.(
       const run $ impls_arg $ rates_arg $ nodes_arg $ clients_arg $ op_arg
       $ arrival_arg $ mix_arg $ window_arg $ warmup_arg $ seed_arg $ seq_arg
-      $ faults_arg $ checked_arg $ jobs_arg)
+      $ profile_arg $ faults_arg $ checked_arg $ jobs_arg)
 
 (* --- tables --- *)
 
-let table_cmd name doc f =
-  Cmd.v (Cmd.info name ~doc) Term.(const f $ jobs_arg)
+let table_cmd name doc term = Cmd.v (Cmd.info name ~doc) term
 
-let table1 jobs =
+let table1 net jobs =
+  let profile = Core.Experiments.(with_net net default_profile) in
   List.iter
     (fun r ->
       Printf.printf
@@ -340,7 +376,7 @@ let table1 jobs =
         r.Core.Experiments.lr_rpc_kernel r.Core.Experiments.lr_grp_user
         r.Core.Experiments.lr_grp_kernel r.Core.Experiments.lr_rpc_opt
         r.Core.Experiments.lr_grp_opt)
-    (with_pool jobs (fun ?pool () -> Core.Experiments.table1 ?pool ()))
+    (with_pool jobs (fun ?pool () -> Core.Experiments.table1 ?pool ~profile ()))
 
 let breakdown jobs =
   with_pool jobs (fun ?pool () ->
@@ -361,6 +397,135 @@ let breakdown jobs =
       Format.printf "@[<v>optimized rpc:@,%a@]@." Core.Experiments.pp_opt_breakdown rpc_o;
       Format.printf "@[<v>optimized grp:@,%a@]@." Core.Experiments.pp_opt_breakdown grp_o)
 
+(* --- DHT and the one-sided crossover --- *)
+
+let stack_conv =
+  let parse s =
+    match Core.Cluster.stack_of_string s with
+    | Some st -> Ok st
+    | None -> Error (`Msg (Printf.sprintf "unknown stack %S" s))
+  in
+  Arg.conv
+    (parse, fun fmt s -> Format.pp_print_string fmt (Core.Cluster.stack_label s))
+
+let dht_window_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "window" ] ~doc:"Measurement window, simulated seconds")
+
+let dht_warmup_arg =
+  Arg.(
+    value & opt float 0.1
+    & info [ "warmup" ] ~doc:"Warmup before the window, seconds")
+
+let dht_clients_arg =
+  Arg.(value & opt int 2 & info [ "clients" ] ~doc:"Client threads per client node")
+
+let dht_nodes_arg =
+  Arg.(value & opt int 4 & info [ "nodes" ] ~doc:"Cluster size in machines")
+
+let dht_reads_arg =
+  Arg.(
+    value
+    & opt (list int) [ 90 ]
+    & info [ "reads" ] ~docv:"PCT,..."
+        ~doc:"Get share(s) of the Zipf get/put mix, percent")
+
+let dht_seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Master seed of the client RNG streams")
+
+let checked_flag =
+  Arg.(
+    value & flag
+    & info [ "checked" ]
+        ~doc:
+          "Interpose the protocol-conformance checkers (including the \
+           one-sided at-most-once CAS invariants); violations make the \
+           run exit nonzero.")
+
+let dht_config ~clients ~warmup ~window ~seed =
+  {
+    Load.Clients.default with
+    Load.Clients.clients_per_node = clients;
+    warmup = Sim.Time.us_f (warmup *. 1e6);
+    window = Sim.Time.us_f (window *. 1e6);
+    seed;
+  }
+
+let xcell_violations c =
+  c.Core.Experiments.xc_dht_violations
+  + c.Core.Experiments.xc_latency.Load.Metrics.violations
+  + c.Core.Experiments.xc_capacity.Load.Metrics.violations
+
+let dht_cmd =
+  let stack_arg =
+    Arg.(
+      value
+      & opt stack_conv Core.Cluster.One_sided
+      & info [ "stack" ] ~doc:"kernel | user | optimized | onesided")
+  in
+  let run stack reads nodes clients window warmup seed net faults checked jobs =
+    let config = dht_config ~clients ~warmup ~window ~seed in
+    let cells =
+      with_pool jobs (fun ?pool () ->
+          Core.Experiments.onesided_crossover ?pool ?faults ~checked
+            ~nets:[ net ] ~stacks:[ stack ] ~read_pcts:reads ~nodes ~config ())
+    in
+    List.iter (fun c -> Format.printf "%a@." Core.Experiments.pp_xcell c) cells;
+    if List.exists (fun c -> xcell_violations c > 0) cells then exit 1
+  in
+  Cmd.v
+    (Cmd.info "dht"
+       ~doc:
+         "Run the Zipf get/put distributed hash table over one stack on one \
+          network era (a crossover cell): latency probe plus closed-loop \
+          capacity, with the ledger partition and coherence checks")
+    Term.(
+      const run $ stack_arg $ dht_reads_arg $ dht_nodes_arg $ dht_clients_arg
+      $ dht_window_arg $ dht_warmup_arg $ dht_seed_arg $ profile_arg
+      $ faults_arg $ checked_flag $ jobs_arg)
+
+let crossover_cmd =
+  let nets_arg =
+    Arg.(
+      value
+      & opt (some (list profile_conv)) None
+      & info [ "profiles" ] ~docv:"ERA,..."
+          ~doc:"Network eras to sweep (default net10m,net100m,net1g)")
+  in
+  let stacks_arg =
+    Arg.(
+      value
+      & opt (some (list stack_conv)) None
+      & info [ "stacks" ] ~docv:"STACK,..."
+          ~doc:"Stacks to compare (default kernel,user,optimized,onesided)")
+  in
+  let run nets stacks reads nodes clients window warmup seed faults checked jobs
+      =
+    let config = dht_config ~clients ~warmup ~window ~seed in
+    let cells =
+      with_pool jobs (fun ?pool () ->
+          Core.Experiments.onesided_crossover ?pool ?faults ~checked ?nets
+            ?stacks ~read_pcts:reads ~nodes ~config ())
+    in
+    List.iter (fun c -> Format.printf "%a@." Core.Experiments.pp_xcell c) cells;
+    Format.printf "@.";
+    List.iter
+      (fun r -> Format.printf "%a@." Core.Experiments.pp_crossover_row r)
+      (Core.Experiments.crossover_summary cells);
+    if List.exists (fun c -> xcell_violations c > 0) cells then exit 1
+  in
+  Cmd.v
+    (Cmd.info "crossover"
+       ~doc:
+         "Sweep the DHT workload over profile x stack x mix and report the \
+          RPC-vs-one-sided capacity crossover with its ledger-differential \
+          mechanism")
+    Term.(
+      const run $ nets_arg $ stacks_arg $ dht_reads_arg $ dht_nodes_arg
+      $ dht_clients_arg $ dht_window_arg $ dht_warmup_arg $ dht_seed_arg
+      $ faults_arg $ checked_flag $ jobs_arg)
+
 let default =
   Term.(ret (const (`Help (`Pager, None))))
 
@@ -380,6 +545,10 @@ let () =
             app_cmd;
             fault_sweep_cmd;
             load_sweep_cmd;
-            table_cmd "table1" "Regenerate Table 1 (latencies)" table1;
-            table_cmd "breakdown" "Regenerate the Sec. 4 overhead breakdowns" breakdown;
+            dht_cmd;
+            crossover_cmd;
+            table_cmd "table1" "Regenerate Table 1 (latencies)"
+              Term.(const table1 $ profile_arg $ jobs_arg);
+            table_cmd "breakdown" "Regenerate the Sec. 4 overhead breakdowns"
+              Term.(const breakdown $ jobs_arg);
           ]))

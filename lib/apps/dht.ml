@@ -1,0 +1,240 @@
+type params = {
+  dh_keys : int;
+  dh_value_words : int;
+  dh_read_pct : int;
+  dh_zipf : float;
+  dh_store_fixed : Sim.Time.span;
+  dh_store_word : Sim.Time.span;
+}
+
+let default_params =
+  {
+    dh_keys = 1024;
+    dh_value_words = 64;
+    dh_read_pct = 90;
+    dh_zipf = 0.99;
+    dh_store_fixed = Sim.Time.us 5;
+    dh_store_word = Sim.Time.ns 10;
+  }
+
+type Sim.Payload.t +=
+  | Dht_get of int
+  | Dht_put of int  (** key; the new block is derived server-side *)
+  | Dht_block of int array
+  | Dht_ack
+
+type kind =
+  | Over_rpc of Orca.Backend.t array
+  | Over_onesided of {
+      rnics : Onesided.Rnic.t array;
+      dst : Flip.Address.t;
+      rkey : int;
+    }
+
+type t = {
+  p : params;
+  kind : kind;
+  server : int;
+  store : int array;  (** the table words; the Region's own array when one-sided *)
+  zipf_cdf : float array;
+  mutable n_gets : int;
+  mutable n_puts : int;
+  mutable n_viol : int;
+}
+
+(* Slot layout: [version; w0..w(n-1); tag]. *)
+let slot_words p = p.dh_value_words + 2
+let idx_off p key = key * slot_words p
+let block_off p key = idx_off p key + 1
+let block_words p = p.dh_value_words + 1
+
+(* The deterministic content of (key, version): verifiable by any reader
+   from the block alone, since the tag word carries the version. *)
+let mix key version = (key * 1_000_003) lxor (version * 7_919)
+let pattern_word key version j = mix key version + j
+
+let fill_block p ~key ~version (a : int array) ~off =
+  for j = 0 to p.dh_value_words - 1 do
+    a.(off + j) <- pattern_word key version j
+  done;
+  a.(off + p.dh_value_words) <- version
+
+let make_block p ~key ~version =
+  let b = Array.make (block_words p) 0 in
+  fill_block p ~key ~version b ~off:0;
+  b
+
+(* A block read anywhere must match its own tag's pattern — stale is
+   legal, torn or spliced is not. *)
+let check_block t ~key (b : int array) ~off =
+  let version = b.(off + t.p.dh_value_words) in
+  let ok = ref true in
+  for j = 0 to t.p.dh_value_words - 1 do
+    if b.(off + j) <> pattern_word key version j then ok := false
+  done;
+  if not !ok then t.n_viol <- t.n_viol + 1
+
+let zipf_cdf ~keys ~theta =
+  let w = Array.init keys (fun i -> (float_of_int (i + 1)) ** -.theta) in
+  let total = Array.fold_left ( +. ) 0. w in
+  let cdf = Array.make keys 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i x ->
+      acc := !acc +. (x /. total);
+      cdf.(i) <- !acc)
+    w;
+  cdf.(keys - 1) <- 1.;
+  cdf
+
+let draw_key t rng =
+  let u = Sim.Rng.float rng 1. in
+  let cdf = t.zipf_cdf in
+  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let make_store p =
+  let store = Array.make (p.dh_keys * slot_words p) 0 in
+  for key = 0 to p.dh_keys - 1 do
+    store.(idx_off p key) <- 0;
+    fill_block p ~key ~version:0 store ~off:(block_off p key)
+  done;
+  store
+
+(* Request framing bytes beyond the data words (key + opcode). *)
+let req_meta = 16
+
+let create_rpc ~params:p ~backends ~server () =
+  let store = make_store p in
+  let t =
+    {
+      p;
+      kind = Over_rpc backends;
+      server;
+      store;
+      zipf_cdf = zipf_cdf ~keys:p.dh_keys ~theta:p.dh_zipf;
+      n_gets = 0;
+      n_puts = 0;
+      n_viol = 0;
+    }
+  in
+  let store_cost words =
+    p.dh_store_fixed + (words * p.dh_store_word)
+  in
+  backends.(server).Orca.Backend.set_rpc_handler
+    (fun ~client:_ ~size:_ payload ~reply ->
+      match payload with
+      | Dht_get key ->
+        Machine.Thread.compute ~layer:Obs.Layer.App
+          ~cause:Obs.Cause.Proto_proc
+          (store_cost (block_words p));
+        let b = Array.sub store (block_off p key) (block_words p) in
+        reply ~size:(8 * block_words p) (Dht_block b)
+      | Dht_put key ->
+        Machine.Thread.compute ~layer:Obs.Layer.App
+          ~cause:Obs.Cause.Proto_proc
+          (store_cost (block_words p + 1));
+        let v = store.(idx_off p key) + 1 in
+        store.(idx_off p key) <- v;
+        fill_block p ~key ~version:v store ~off:(block_off p key);
+        reply ~size:req_meta Dht_ack
+      | _ -> reply ~size:0 Dht_ack);
+  t
+
+let region_key = 1
+
+let create_onesided ~params:p ~rnics ~server () =
+  let store = make_store p in
+  let region =
+    { Onesided.Region.key = region_key; name = "dht"; data = store }
+  in
+  Onesided.Rnic.register_region rnics.(server) region;
+  {
+    p;
+    kind =
+      Over_onesided
+        { rnics; dst = Onesided.Rnic.addr rnics.(server); rkey = region_key };
+    server;
+    store;
+    zipf_cdf = zipf_cdf ~keys:p.dh_keys ~theta:p.dh_zipf;
+    n_gets = 0;
+    n_puts = 0;
+    n_viol = 0;
+  }
+
+let rpc_get t backends ~rank ~key =
+  let _, rsp =
+    backends.(rank).Orca.Backend.rpc ~dst:t.server ~size:req_meta (Dht_get key)
+  in
+  match rsp with
+  | Dht_block b -> check_block t ~key b ~off:0
+  | _ -> t.n_viol <- t.n_viol + 1
+
+let rpc_put t backends ~rank ~key =
+  let _, rsp =
+    backends.(rank).Orca.Backend.rpc ~dst:t.server
+      ~size:(req_meta + (8 * block_words t.p))
+      (Dht_put key)
+  in
+  match rsp with Dht_ack -> () | _ -> t.n_viol <- t.n_viol + 1
+
+let os_get t r ~dst ~rkey ~key =
+  (* Index read then block read: the Brock traversal — every pointer hop
+     is a wire round trip, but no server thread anywhere. *)
+  let _v = (Onesided.Rnic.read r ~dst ~rkey ~off:(idx_off t.p key) ~words:1).(0) in
+  let b =
+    Onesided.Rnic.read r ~dst ~rkey ~off:(block_off t.p key)
+      ~words:(block_words t.p)
+  in
+  check_block t ~key b ~off:0
+
+let os_put t r ~dst ~rkey ~key =
+  (* Claim the next version with cas, then publish the whole block in one
+     atomic write.  A lost cas observes the winner's version and retries
+     from there. *)
+  let rec claim expected =
+    let old =
+      Onesided.Rnic.cas r ~dst ~rkey ~off:(idx_off t.p key) ~expected
+        ~desired:(expected + 1)
+    in
+    if old = expected then expected + 1 else claim old
+  in
+  let v0 = (Onesided.Rnic.read r ~dst ~rkey ~off:(idx_off t.p key) ~words:1).(0) in
+  let v = claim v0 in
+  Onesided.Rnic.write r ~dst ~rkey ~off:(block_off t.p key)
+    (make_block t.p ~key ~version:v)
+
+let client_op t ~rank rng =
+  let is_get = Sim.Rng.int rng 100 < t.p.dh_read_pct in
+  let key = draw_key t rng in
+  if is_get then t.n_gets <- t.n_gets + 1 else t.n_puts <- t.n_puts + 1;
+  match t.kind with
+  | Over_rpc backends ->
+    if is_get then rpc_get t backends ~rank ~key
+    else rpc_put t backends ~rank ~key
+  | Over_onesided { rnics; dst; rkey } ->
+    let r = rnics.(rank) in
+    if is_get then os_get t r ~dst ~rkey ~key else os_put t r ~dst ~rkey ~key
+
+let ops t = t.n_gets + t.n_puts
+let gets t = t.n_gets
+let puts t = t.n_puts
+let violations t = t.n_viol
+
+let check_at_rest t =
+  let bad = ref 0 in
+  for key = 0 to t.p.dh_keys - 1 do
+    let v = t.store.(idx_off t.p key) in
+    let tag = t.store.(block_off t.p key + t.p.dh_value_words) in
+    let ok = ref (v = tag) in
+    for j = 0 to t.p.dh_value_words - 1 do
+      if t.store.(block_off t.p key + j) <> pattern_word key tag j then
+        ok := false
+    done;
+    if not !ok then incr bad
+  done;
+  !bad

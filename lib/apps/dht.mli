@@ -1,0 +1,65 @@
+(** A distributed hash table driven over RPC or one-sided operations —
+    the Brock et al. comparison workload.
+
+    One server rank holds the table; clients run a Zipf-skewed get/put
+    mix against it.  The same logical store layout backs both transports,
+    so the comparison isolates the communication backend:
+
+    - per key: an index word (the key's version), then a value block of
+      [dh_value_words] pattern words plus a trailing tag word repeating
+      the version.  Block word [j] of version [v] is a deterministic
+      function of [(key, v, j)], so any reader can verify that a block is
+      internally consistent with its own tag.
+    - {b RPC}: one round trip per logical op; the server thread reads or
+      bumps-and-rewrites the slot (store CPU charged to the server
+      thread).
+    - {b one-sided}: a get is a remote read of the index word then a read
+      of the value block; a put reads the index, claims the next version
+      with [cas], then writes the whole block — multiple wire round trips
+      (the Brock traversal point), but zero server-thread CPU.
+
+    Both writers write whole blocks atomically (one op, executed in one
+    target interrupt), so a block can be {e stale} relative to the index
+    word but never torn; [violations] counts blocks that fail their own
+    tag's pattern, which a correct backend never produces. *)
+
+type params = {
+  dh_keys : int;
+  dh_value_words : int;  (** words per value block (tag word excluded) *)
+  dh_read_pct : int;  (** get share of the mix, 0..100 *)
+  dh_zipf : float;  (** Zipf skew theta; 0. = uniform *)
+  dh_store_fixed : Sim.Time.span;  (** RPC server store access, per op *)
+  dh_store_word : Sim.Time.span;  (** RPC server store access, per word *)
+}
+
+val default_params : params
+(** 1024 keys, 64-word (512 B) values, 90% reads, theta 0.99. *)
+
+type t
+
+val create_rpc :
+  params:params -> backends:Orca.Backend.t array -> server:int -> unit -> t
+(** Installs the DHT request handler on the server backend (clobbering any
+    previously installed handler there). *)
+
+val create_onesided :
+  params:params -> rnics:Onesided.Rnic.t array -> server:int -> unit -> t
+(** Registers the table as a memory {!Onesided.Region} on the server's
+    Rnic. *)
+
+val client_op : t -> rank:int -> Sim.Rng.t -> unit
+(** One blocking logical operation (get or put) issued from the calling
+    client thread on [rank]; draws the op type then the key from [rng]
+    (the draw sequence is identical across transports). *)
+
+val ops : t -> int
+val gets : t -> int
+val puts : t -> int
+
+val violations : t -> int
+(** Blocks observed by any client that failed their own tag's pattern. *)
+
+val check_at_rest : t -> int
+(** After the run drains: verifies every slot's index word equals its
+    block tag and the block matches its pattern; returns the number of
+    bad slots (0 for a correct backend). *)

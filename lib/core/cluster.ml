@@ -4,6 +4,8 @@ type t = {
   topo : Net.Topology.t;
   flips : Flip.Flip_iface.t array;
   extra : Flip.Flip_iface.t option;
+  net : Params.net_profile;
+  mutable rnic_cache : Onesided.Rnic.t array option;
 }
 
 type impl = Kernel | User | User_dedicated | User_optimized
@@ -16,7 +18,24 @@ let impl_label = function
 
 let all_impls = [ Kernel; User; User_dedicated; User_optimized ]
 
-let create ?(extra_machine = false) ~n () =
+type stack = Rpc_stack of impl | One_sided
+
+let stack_label = function
+  | Rpc_stack impl -> impl_label impl
+  | One_sided -> "onesided"
+
+let all_stacks =
+  [ Rpc_stack Kernel; Rpc_stack User; Rpc_stack User_optimized; One_sided ]
+
+let stack_of_string = function
+  | "kernel" -> Some (Rpc_stack Kernel)
+  | "user" -> Some (Rpc_stack User)
+  | "user-dedicated" -> Some (Rpc_stack User_dedicated)
+  | "optimized" -> Some (Rpc_stack User_optimized)
+  | "onesided" -> Some One_sided
+  | _ -> None
+
+let create ?(extra_machine = false) ?(net = Params.net10m) ~n () =
   let eng = Sim.Engine.create () in
   let total = n + if extra_machine then 1 else 0 in
   let machines =
@@ -24,8 +43,9 @@ let create ?(extra_machine = false) ~n () =
         Machine.Mach.create eng ~id:i ~name:(Printf.sprintf "m%d" i) Params.machine)
   in
   let topo =
-    Net.Topology.build eng ~machines ~per_segment:8 ~segment_config:Params.segment
-      ~nic_config:Params.nic ~switch_latency:Params.switch_latency ()
+    Net.Topology.build eng ~machines ~per_segment:8
+      ~segment_config:net.Params.np_segment ~nic_config:net.Params.np_nic
+      ~switch_latency:net.Params.np_switch ()
   in
   let all_flips =
     Array.mapi
@@ -38,7 +58,34 @@ let create ?(extra_machine = false) ~n () =
     topo;
     flips = Array.sub all_flips 0 n;
     extra = (if extra_machine then Some all_flips.(n) else None);
+    net;
+    rnic_cache = None;
   }
+
+let net t = t.net
+
+(* Rnics are created lazily: [Address.fresh_point] draws from the engine's
+   shared id sequence, so creating them eagerly would shift the addresses
+   every existing (pinned) experiment sees. *)
+let rnics t =
+  match t.rnic_cache with
+  | Some r -> r
+  | None ->
+    let r =
+      Array.map (fun flip -> Onesided.Rnic.create ~config:Params.onesided flip) t.flips
+    in
+    (* Route exchange happens at connection setup in real one-sided
+       fabrics (QP exchange); seeding the FLIP route caches models that
+       and keeps LOCATE broadcasts off the measured data path. *)
+    Array.iteri
+      (fun i ri ->
+        Array.iteri
+          (fun j fj ->
+            if i <> j then Flip.Flip_iface.add_route fj (Onesided.Rnic.addr ri) i)
+          t.flips)
+      r;
+    t.rnic_cache <- Some r;
+    r
 
 let backends ?checker t impl =
   let backends =

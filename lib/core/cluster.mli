@@ -1,7 +1,9 @@
-(** Builds the paper's testbed: a pool of SPARC-like machines on 10 Mbit/s
-    Ethernet segments of eight, joined by a switch, each running FLIP. *)
+(** Builds the paper's testbed: a pool of SPARC-like machines on Ethernet
+    segments of eight, joined by a switch, each running FLIP.  The wire,
+    switch and NIC constants come from a {!Params.net_profile} (default:
+    the paper's own 10 Mbit/s era). *)
 
-type t = {
+type t = private {
   eng : Sim.Engine.t;
   machines : Machine.Mach.t array;
   topo : Net.Topology.t;
@@ -9,14 +11,39 @@ type t = {
   extra : Flip.Flip_iface.t option;
       (** an additional machine (on the last segment) for the
           dedicated-sequencer experiments *)
+  net : Params.net_profile;
+  mutable rnic_cache : Onesided.Rnic.t array option;
 }
 
-val create : ?extra_machine:bool -> n:int -> unit -> t
+val create : ?extra_machine:bool -> ?net:Params.net_profile -> n:int -> unit -> t
+
+val net : t -> Params.net_profile
+
+val rnics : t -> Onesided.Rnic.t array
+(** One one-sided Rnic per rank, created on first use (lazily, so the
+    engine's address sequence is untouched for clusters that never go
+    one-sided) with all pairwise routes pre-seeded — the connection-setup
+    route exchange — so no LOCATE broadcast ever lands on the measured
+    data path.  Memoized: repeated calls return the same array. *)
 
 type impl = Kernel | User | User_dedicated | User_optimized
 
 val impl_label : impl -> string
 val all_impls : impl list
+
+type stack = Rpc_stack of impl | One_sided
+(** The four communication backends: the three thread-scheduling RPC
+    stacks (plus the dedicated-sequencer variant) and the one-sided
+    backend. *)
+
+val stack_label : stack -> string
+
+val all_stacks : stack list
+(** The stacks compared by the crossover experiments: kernel, user,
+    optimized, onesided (the dedicated-sequencer variant needs an extra
+    machine and adds nothing to RPC-vs-one-sided comparisons). *)
+
+val stack_of_string : string -> stack option
 
 val backends : ?checker:Faults.Invariants.t -> t -> impl -> Orca.Backend.t array
 (** The raw communication backends (one per rank) for the given protocol

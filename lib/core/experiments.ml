@@ -6,6 +6,7 @@ type profile = {
   p_machine : Machine.Mach.config;
   p_nic : Net.Nic.config;
   p_segment : Net.Segment.config;
+  p_switch : Sim.Time.span;
   p_flip : Flip.Flip_iface.config;
   p_arpc : Amoeba.Rpc.config;
   p_agrp : Amoeba.Group.config;
@@ -19,12 +20,25 @@ let default_profile =
     p_machine = Params.machine;
     p_nic = Params.nic;
     p_segment = Params.segment;
+    p_switch = Params.switch_latency;
     p_flip = Params.flip;
     p_arpc = Params.amoeba_rpc;
     p_agrp = Params.amoeba_group;
     p_psys = Params.panda_system;
     p_prpc = Params.panda_rpc;
     p_pgrp = Params.panda_group;
+  }
+
+(* Re-skin a profile with a network era's wire, switch and NIC constants;
+   everything above the NIC (machine, protocol stacks) keeps its 1995
+   costs, which is exactly the counterfactual the crossover experiments
+   ask about. *)
+let with_net np p =
+  {
+    p with
+    p_nic = np.Params.np_nic;
+    p_segment = np.Params.np_segment;
+    p_switch = np.Params.np_switch;
   }
 
 (* The optimized user-space stack (impl [`Opt] below): the same profile
@@ -64,7 +78,7 @@ let micro_pool profile n =
   in
   let topo =
     Net.Topology.build eng ~machines ~per_segment:8 ~segment_config:profile.p_segment
-      ~nic_config:profile.p_nic ~switch_latency:Params.switch_latency ()
+      ~nic_config:profile.p_nic ~switch_latency:profile.p_switch ()
   in
   let flips =
     Array.mapi
@@ -472,7 +486,7 @@ let table2 ?pool ?faults ?(profile = default_profile) () =
 (* ------------------------------------------------------------------ *)
 (* Table 3 *)
 
-let table3 ?pool ?faults ?checked ?(procs = [ 1; 8; 16; 32 ]) ?app_names () =
+let table3 ?pool ?faults ?checked ?net ?(procs = [ 1; 8; 16; 32 ]) ?app_names () =
   let apps =
     match app_names with
     | None -> Runner.apps
@@ -492,7 +506,7 @@ let table3 ?pool ?faults ?checked ?(procs = [ 1; 8; 16; 32 ]) ?app_names () =
           procs)
       apps
   in
-  Runner.run_many ?pool ?faults ?checked cells
+  Runner.run_many ?pool ?faults ?checked ?net cells
 
 (* ------------------------------------------------------------------ *)
 (* Breakdowns: re-measure the user/kernel gap with one mechanism at a
@@ -708,7 +722,7 @@ let mechanism_of_cause = function
   | Obs.Cause.Header_wire -> Some "compact headers"
   | Obs.Cause.Ctx_switch | Obs.Cause.Uk_crossing | Obs.Cause.Regwin_trap
   | Obs.Cause.Proto_proc -> Some "single-switch receive fast path"
-  | Obs.Cause.Fault_wire | Obs.Cause.Idle -> None
+  | Obs.Cause.Fault_wire | Obs.Cause.Idle | Obs.Cause.Offload -> None
 
 let mechanism_names =
   [
@@ -942,10 +956,13 @@ type fault_row = {
   fw_violations : int;
 }
 
-let fault_sweep ?pool ?(rates = [ 0.; 0.001; 0.01; 0.05 ]) ?(app_name = "tsp")
+let fault_sweep ?pool ?net ?(rates = [ 0.; 0.001; 0.01; 0.05 ]) ?(app_name = "tsp")
     ?(procs = 8) ?(seed = 1) () =
   let app = Runner.app_named app_name in
   Runner.prepare app;
+  let profile =
+    match net with Some np -> with_net np default_profile | None -> default_profile
+  in
   let cell impl rate () =
     let faults = if rate > 0. then Some (Faults.Spec.loss ~seed rate) else None in
     let micro =
@@ -954,9 +971,9 @@ let fault_sweep ?pool ?(rates = [ 0.; 0.001; 0.01; 0.05 ]) ?(app_name = "tsp")
       | Cluster.User_optimized -> `Opt
       | _ -> `User
     in
-    let rpc = rpc_latency ?faults ~impl:micro ~size:0 () in
-    let grp = group_latency ?faults ~impl:micro ~size:0 () in
-    let o = Runner.run ?faults ~checked:true ~impl ~procs app in
+    let rpc = rpc_latency ?faults ~profile ~impl:micro ~size:0 () in
+    let grp = group_latency ?faults ~profile ~impl:micro ~size:0 () in
+    let o = Runner.run ?faults ?net ~checked:true ~impl ~procs app in
     {
       fw_impl = impl;
       fw_rate = rate;
@@ -994,9 +1011,9 @@ let pp_fault_row fmt r =
 
 let load_impls = [ Cluster.Kernel; Cluster.User; Cluster.User_optimized ]
 
-let load_cell ?faults ?(checked = false) ?client_ranks ~nodes ~impl cfg () =
+let load_cell ?faults ?(checked = false) ?net ?client_ranks ~nodes ~impl cfg () =
   let cluster =
-    Cluster.create ~extra_machine:(impl = Cluster.User_dedicated) ~n:nodes ()
+    Cluster.create ~extra_machine:(impl = Cluster.User_dedicated) ?net ~n:nodes ()
   in
   (match faults with
    | Some spec ->
@@ -1017,7 +1034,7 @@ let load_cell ?faults ?(checked = false) ?client_ranks ~nodes ~impl cfg () =
 
 let load_rates = [ 200.; 400.; 800.; 1200.; 1600.; 2000. ]
 
-let load_sweep ?pool ?faults ?checked ?(nodes = 4)
+let load_sweep ?pool ?faults ?checked ?net ?(nodes = 4)
     ?(config = Load.Clients.default) ?(rates = load_rates) ?(impls = load_impls)
     () =
   let cells =
@@ -1025,7 +1042,7 @@ let load_sweep ?pool ?faults ?checked ?(nodes = 4)
       (fun impl ->
         List.map
           (fun rate () ->
-            load_cell ?faults ?checked ~nodes ~impl
+            load_cell ?faults ?checked ?net ~nodes ~impl
               { config with Load.Clients.rate } ())
           rates)
       impls
@@ -1044,7 +1061,7 @@ let load_sweep ?pool ?faults ?checked ?(nodes = 4)
    sends, so its utilization is pure sequencing. *)
 let sequencer_senders = [ 1; 2; 4; 7 ]
 
-let sequencer_saturation ?pool ?faults ?checked ?(nodes = 8)
+let sequencer_saturation ?pool ?faults ?checked ?net ?(nodes = 8)
     ?(senders = sequencer_senders) ?(clients_per_node = 2)
     ?(config = Load.Clients.default) ?(impls = load_impls) () =
   let cfg =
@@ -1063,7 +1080,7 @@ let sequencer_saturation ?pool ?faults ?checked ?(nodes = 8)
             if s >= nodes then
               invalid_arg "Experiments.sequencer_saturation: senders >= nodes";
             let client_ranks = List.init s (fun i -> i + 1) in
-            load_cell ?faults ?checked ~client_ranks ~nodes ~impl cfg ())
+            load_cell ?faults ?checked ?net ~client_ranks ~nodes ~impl cfg ())
           senders)
       impls
   in
@@ -1083,6 +1100,286 @@ let pp_saturation_row fmt (s, m) =
     (100. *. m.Load.Metrics.seq_util)
     (if m.Load.Metrics.violations = 0 then ""
      else Printf.sprintf "  %d VIOLATIONS" m.Load.Metrics.violations)
+
+(* ------------------------------------------------------------------ *)
+(* One-sided crossover: the DHT workload over all four stacks across
+   network eras.  Each (era, mix, stack) runs two independent cells — an
+   open-loop low-rate latency probe and a closed-loop capacity cell —
+   and the capacity cell's recorder ledger is partitioned into the cost
+   components the crossover argument turns on. *)
+
+(* Partition of the window's CPU ledger.  The four CPU buckets enumerate
+   every (layer, is_cpu cause) cell, so their sum must equal the
+   recorder's CPU total; [ol_residual_ms] is the difference and any
+   nonzero value means a charge escaped the attribution. *)
+type os_ledger = {
+  ol_initiator_ms : float;
+  ol_target_ms : float;
+  ol_nic_ms : float;
+  ol_stack_ms : float;
+  ol_wire_hdr_ms : float;
+  ol_cpu_ms : float;
+  ol_residual_ms : float;
+}
+
+let os_ledger_of r =
+  let ms ns = float_of_int ns /. 1e6 in
+  let init = ref 0 and target = ref 0 and nic = ref 0 and stack = ref 0 in
+  List.iter
+    (fun layer ->
+      List.iter
+        (fun cause ->
+          if Obs.Cause.is_cpu cause then
+            let v = Obs.Recorder.ledger_ns r ~layer ~cause in
+            match (layer, cause) with
+            | Obs.Layer.Onesided, (Obs.Cause.Uk_crossing | Obs.Cause.Offload) ->
+              target := !target + v
+            | Obs.Layer.Onesided, _ -> init := !init + v
+            | Obs.Layer.Nic, _ -> nic := !nic + v
+            | _, _ -> stack := !stack + v)
+        Obs.Cause.all)
+    Obs.Layer.all;
+  let total = Obs.Recorder.cpu_ns r in
+  {
+    ol_initiator_ms = ms !init;
+    ol_target_ms = ms !target;
+    ol_nic_ms = ms !nic;
+    ol_stack_ms = ms !stack;
+    ol_wire_hdr_ms = ms (Obs.Recorder.cause_ns r Obs.Cause.Header_wire);
+    ol_cpu_ms = ms total;
+    ol_residual_ms = ms (total - (!init + !target + !nic + !stack));
+  }
+
+type xcell = {
+  xc_net : string;
+  xc_stack : Cluster.stack;
+  xc_read_pct : int;
+  xc_latency : Load.Metrics.t;  (** open-loop low-rate probe *)
+  xc_capacity : Load.Metrics.t;  (** closed-loop, zero think time *)
+  xc_ledger : os_ledger;  (** the capacity cell's window ledger *)
+  xc_wire_util : float;  (** busiest segment over the capacity window *)
+  xc_gets : int;
+  xc_puts : int;
+  xc_dht_violations : int;
+}
+
+(* One DHT measurement on a fresh cluster.  Returns the window metrics
+   plus the ledger partition, the busiest segment's utilization over the
+   window, and the DHT's own coherence counters (client-observed torn
+   blocks plus the post-drain at-rest scan). *)
+let dht_cell ?faults ?(checked = false) ~net ~stack ~read_pct ~params ~nodes
+    cfg () =
+  let cluster = Cluster.create ~net ~n:nodes () in
+  let eng = cluster.Cluster.eng in
+  (match faults with
+   | Some spec -> ignore (Faults.Inject.install eng cluster.Cluster.topo spec)
+   | None -> ());
+  let checker = if checked then Some (Faults.Invariants.create ()) else None in
+  let dp = { params with Apps.Dht.dh_read_pct = read_pct } in
+  let recorder = Obs.Recorder.create () in
+  (* Wire-busy snapshots at the window edges (scheduled before the load
+     generator's own edge callbacks; segment busy time is not touched by
+     either callback, so the order within the instant is immaterial). *)
+  let segs = cluster.Cluster.topo.Net.Topology.segments in
+  let wire0 = Array.make (Array.length segs) 0 in
+  let wire1 = Array.make (Array.length segs) 0 in
+  let t0 = Sim.Engine.now eng in
+  ignore
+    (Sim.Engine.at eng (t0 + cfg.Load.Clients.warmup) (fun () ->
+         Array.iteri (fun i s -> wire0.(i) <- Net.Segment.busy_time s) segs));
+  ignore
+    (Sim.Engine.at eng
+       (t0 + cfg.Load.Clients.warmup + cfg.Load.Clients.window)
+       (fun () ->
+         Array.iteri (fun i s -> wire1.(i) <- Net.Segment.busy_time s) segs));
+  let label = Cluster.stack_label stack in
+  let run_load dht =
+    Load.Clients.run_custom cfg ~eng ~machines:cluster.Cluster.machines ~label
+      ~op_name:"dht" ~recorder
+      ~op:(fun rank rng -> Apps.Dht.client_op dht ~rank rng)
+      ()
+  in
+  let dht, m =
+    match stack with
+    | Cluster.Rpc_stack impl ->
+      let backends = Cluster.backends ?checker cluster impl in
+      let dht = Apps.Dht.create_rpc ~params:dp ~backends ~server:0 () in
+      (dht, run_load dht)
+    | Cluster.One_sided ->
+      let rnics = Cluster.rnics cluster in
+      (match checker with
+       | Some c -> Faults.Invariants.attach_rnics c rnics
+       | None -> ());
+      let dht = Apps.Dht.create_onesided ~params:dp ~rnics ~server:0 () in
+      (dht, run_load dht)
+  in
+  let violations =
+    match checker with
+    | Some c ->
+      Faults.Invariants.finalize c;
+      Faults.Invariants.n_violations c
+    | None -> 0
+  in
+  let m = { m with Load.Metrics.violations } in
+  let window_s = Sim.Time.to_sec cfg.Load.Clients.window in
+  let wire_util = ref 0. in
+  Array.iteri
+    (fun i _ ->
+      wire_util :=
+        Float.max !wire_util
+          (Float.max 0. (Sim.Time.to_sec (wire1.(i) - wire0.(i)) /. window_s)))
+    segs;
+  let dviol = Apps.Dht.violations dht + Apps.Dht.check_at_rest dht in
+  (m, os_ledger_of recorder, !wire_util, Apps.Dht.gets dht, Apps.Dht.puts dht, dviol)
+
+let crossover_nets = [ Params.net10m; Params.net100m; Params.net1g ]
+
+let onesided_crossover ?pool ?faults ?checked
+    ?(nets = crossover_nets) ?(stacks = Cluster.all_stacks)
+    ?(read_pcts = [ 90 ]) ?(nodes = 4) ?(params = Apps.Dht.default_params)
+    ?(config = { Load.Clients.default with Load.Clients.clients_per_node = 2 })
+    () =
+  let lat_cfg =
+    { config with Load.Clients.arrival = Load.Arrival.Uniform; rate = 100. }
+  in
+  let cap_cfg =
+    { config with Load.Clients.arrival = Load.Arrival.Closed 0 }
+  in
+  let cells =
+    List.concat_map
+      (fun net ->
+        List.concat_map
+          (fun read_pct ->
+            List.map
+              (fun stack () ->
+                let lat, _, _, _, _, lat_viol =
+                  dht_cell ?faults ?checked ~net ~stack ~read_pct ~params
+                    ~nodes lat_cfg ()
+                in
+                let cap, ledger, wire, gets, puts, cap_viol =
+                  dht_cell ?faults ?checked ~net ~stack ~read_pct ~params
+                    ~nodes cap_cfg ()
+                in
+                {
+                  xc_net = net.Params.np_name;
+                  xc_stack = stack;
+                  xc_read_pct = read_pct;
+                  xc_latency = lat;
+                  xc_capacity = cap;
+                  xc_ledger = ledger;
+                  xc_wire_util = wire;
+                  xc_gets = gets;
+                  xc_puts = puts;
+                  xc_dht_violations = lat_viol + cap_viol;
+                })
+              stacks)
+          read_pcts)
+      nets
+  in
+  run_cells ?pool cells
+
+type crossover_row = {
+  xs_net : string;
+  xs_read_pct : int;
+  xs_best_rpc : string;
+  xs_rpc_capacity : float;
+  xs_os_capacity : float;
+  xs_os_wins : bool;
+  xs_mechanism : string;
+}
+
+let crossover_summary cells =
+  let keys =
+    List.fold_left
+      (fun acc c ->
+        let k = (c.xc_net, c.xc_read_pct) in
+        if List.mem k acc then acc else acc @ [ k ])
+      [] cells
+  in
+  List.filter_map
+    (fun (net, pct) ->
+      let group =
+        List.filter (fun c -> c.xc_net = net && c.xc_read_pct = pct) cells
+      in
+      let rpcs =
+        List.filter
+          (fun c ->
+            match c.xc_stack with Cluster.Rpc_stack _ -> true | _ -> false)
+          group
+      in
+      let os =
+        List.find_opt (fun c -> c.xc_stack = Cluster.One_sided) group
+      in
+      match (rpcs, os) with
+      | [], _ | _, None -> None
+      | r0 :: rest, Some os ->
+        let best =
+          List.fold_left
+            (fun b c ->
+              if
+                c.xc_capacity.Load.Metrics.achieved
+                > b.xc_capacity.Load.Metrics.achieved
+              then c
+              else b)
+            r0 rest
+        in
+        let bm = best.xc_capacity and om = os.xc_capacity in
+        let os_wins = om.Load.Metrics.achieved > bm.Load.Metrics.achieved in
+        (* The ledger differential: which cost component flips (or holds)
+           the winner.  When one-sided wins, the best RPC stack's server
+           thread is the bottleneck — protocol+app CPU the one-sided path
+           simply does not have (its stack bucket is 0 and its target CPU
+           is all interrupt context).  When RPC holds, the wire is the
+           common bottleneck and the one-sided path pays more round trips
+           per logical op on it. *)
+        let mechanism =
+          if os_wins then
+            Printf.sprintf
+              "server CPU flips it: %s server thread %.0f%% busy (stack+app CPU %.1f ms) vs one-sided 0 thread CPU (%.1f ms target, all interrupt; stack bucket %.1f ms)"
+              (Cluster.stack_label best.xc_stack)
+              (100. *. bm.Load.Metrics.server_thread_util)
+              best.xc_ledger.ol_stack_ms os.xc_ledger.ol_target_ms
+              os.xc_ledger.ol_stack_ms
+          else
+            Printf.sprintf
+              "wire holds it: segment util %.0f%% (%s) vs %.0f%% (one-sided, %d–%d wire round trips per op)"
+              (100. *. best.xc_wire_util)
+              (Cluster.stack_label best.xc_stack)
+              (100. *. os.xc_wire_util) 2 3
+        in
+        Some
+          {
+            xs_net = net;
+            xs_read_pct = pct;
+            xs_best_rpc = Cluster.stack_label best.xc_stack;
+            xs_rpc_capacity = bm.Load.Metrics.achieved;
+            xs_os_capacity = om.Load.Metrics.achieved;
+            xs_os_wins = os_wins;
+            xs_mechanism = mechanism;
+          })
+    keys
+
+let pp_xcell fmt c =
+  Format.fprintf fmt
+    "%-7s %-10s r%d%%  cap %8.1f op/s  p50 %6.3f ms  srv %5.1f%% (thr %5.1f%%)  wire %5.1f%%  stackCPU %7.2f ms  tgt %6.2f ms  resid %.3f ms%s"
+    c.xc_net
+    (Cluster.stack_label c.xc_stack)
+    c.xc_read_pct c.xc_capacity.Load.Metrics.achieved
+    c.xc_latency.Load.Metrics.p50_ms
+    (100. *. c.xc_capacity.Load.Metrics.server_util)
+    (100. *. c.xc_capacity.Load.Metrics.server_thread_util)
+    (100. *. c.xc_wire_util) c.xc_ledger.ol_stack_ms c.xc_ledger.ol_target_ms
+    c.xc_ledger.ol_residual_ms
+    (if c.xc_dht_violations + c.xc_capacity.Load.Metrics.violations = 0 then ""
+     else
+       Printf.sprintf "  %d VIOLATIONS"
+         (c.xc_dht_violations + c.xc_capacity.Load.Metrics.violations))
+
+let pp_crossover_row fmt r =
+  Format.fprintf fmt "%-7s r%d%%  best rpc %-10s %8.1f op/s  one-sided %8.1f op/s  %s — %s"
+    r.xs_net r.xs_read_pct r.xs_best_rpc r.xs_rpc_capacity r.xs_os_capacity
+    (if r.xs_os_wins then "ONE-SIDED WINS" else "rpc holds")
+    r.xs_mechanism
 
 let ablation_continuations ?pool ?(procs = 16) () =
   let app = Runner.app_named "rl" in

@@ -7,6 +7,7 @@ type profile = {
   p_machine : Machine.Mach.config;
   p_nic : Net.Nic.config;
   p_segment : Net.Segment.config;
+  p_switch : Sim.Time.span;
   p_flip : Flip.Flip_iface.config;
   p_arpc : Amoeba.Rpc.config;
   p_agrp : Amoeba.Group.config;
@@ -16,6 +17,11 @@ type profile = {
 }
 
 val default_profile : profile
+
+val with_net : Params.net_profile -> profile -> profile
+(** Re-skins the profile's wire, switch and NIC constants with a network
+    era's, keeping every machine and protocol cost at its 1995 value —
+    the microbenchmark side of the [--profile] switch. *)
 
 val optimize_profile : profile -> profile
 (** Switches the profile's Panda configs to the optimized user-space stack
@@ -96,6 +102,7 @@ val table3 :
   ?pool:Exec.Pool.t ->
   ?faults:Faults.Spec.t ->
   ?checked:bool ->
+  ?net:Params.net_profile ->
   ?procs:int list ->
   ?app_names:string list ->
   unit ->
@@ -123,6 +130,7 @@ type fault_row = {
 
 val fault_sweep :
   ?pool:Exec.Pool.t ->
+  ?net:Params.net_profile ->
   ?rates:float list ->
   ?app_name:string ->
   ?procs:int ->
@@ -149,6 +157,7 @@ val load_sweep :
   ?pool:Exec.Pool.t ->
   ?faults:Faults.Spec.t ->
   ?checked:bool ->
+  ?net:Params.net_profile ->
   ?nodes:int ->
   ?config:Load.Clients.config ->
   ?rates:float list ->
@@ -168,6 +177,7 @@ val sequencer_saturation :
   ?pool:Exec.Pool.t ->
   ?faults:Faults.Spec.t ->
   ?checked:bool ->
+  ?net:Params.net_profile ->
   ?nodes:int ->
   ?senders:int list ->
   ?clients_per_node:int ->
@@ -183,6 +193,87 @@ val sequencer_saturation :
     last. *)
 
 val pp_saturation_row : Format.formatter -> int * Load.Metrics.t -> unit
+
+(** {1 One-sided crossover (the fourth stack across network eras)} *)
+
+(** Partition of a measurement window's CPU ledger into the cost
+    components the RPC-vs-one-sided argument turns on.  The four CPU
+    buckets enumerate every (layer, CPU cause) cell exactly once, so
+    [ol_residual_ms] — the recorder's CPU total minus their sum — is a
+    zero-residual attribution check. *)
+type os_ledger = {
+  ol_initiator_ms : float;
+      (** one-sided initiator CPU: posting and completion handling *)
+  ol_target_ms : float;
+      (** one-sided target CPU: NIC interrupt entry + op execution, all
+          in interrupt context (never a server thread) *)
+  ol_nic_ms : float;  (** NIC layer CPU (both RPC and one-sided) *)
+  ol_stack_ms : float;
+      (** thread-side protocol + application CPU (FLIP, Amoeba, Panda,
+          Orca, App) — 0 on a pure one-sided data path *)
+  ol_wire_hdr_ms : float;  (** wire occupancy charged to headers (not CPU) *)
+  ol_cpu_ms : float;  (** the recorder's CPU total *)
+  ol_residual_ms : float;
+}
+
+type xcell = {
+  xc_net : string;  (** network-era profile name *)
+  xc_stack : Cluster.stack;
+  xc_read_pct : int;  (** get share of the DHT mix *)
+  xc_latency : Load.Metrics.t;  (** open-loop probe at 100 ops/s *)
+  xc_capacity : Load.Metrics.t;  (** closed-loop, zero think time *)
+  xc_ledger : os_ledger;  (** the capacity window's ledger partition *)
+  xc_wire_util : float;  (** busiest segment over the capacity window *)
+  xc_gets : int;
+  xc_puts : int;
+  xc_dht_violations : int;
+      (** torn/spliced blocks seen by clients + bad slots at rest, summed
+          over both cells (0 for a correct backend, faults or not) *)
+}
+
+val crossover_nets : Params.net_profile list
+(** Default era sweep: net10m, net100m, net1g. *)
+
+val onesided_crossover :
+  ?pool:Exec.Pool.t ->
+  ?faults:Faults.Spec.t ->
+  ?checked:bool ->
+  ?nets:Params.net_profile list ->
+  ?stacks:Cluster.stack list ->
+  ?read_pcts:int list ->
+  ?nodes:int ->
+  ?params:Apps.Dht.params ->
+  ?config:Load.Clients.config ->
+  unit ->
+  xcell list
+(** The tentpole experiment: the Zipf get/put DHT over every stack
+    (default {!Cluster.all_stacks}) on every network era, one latency
+    probe and one capacity cell each (defaults: 4 nodes, 2 clients per
+    client node, 90% reads).  Cells are returned in
+    (net, read_pct, stack) input order and fan out over [?pool] with
+    bit-identical results. *)
+
+type crossover_row = {
+  xs_net : string;
+  xs_read_pct : int;
+  xs_best_rpc : string;  (** highest-capacity RPC stack at this point *)
+  xs_rpc_capacity : float;
+  xs_os_capacity : float;
+  xs_os_wins : bool;
+  xs_mechanism : string;
+      (** the ledger differential naming which cost component flips (or
+          holds) the winner *)
+}
+
+val crossover_summary : xcell list -> crossover_row list
+(** One row per (era, mix): the best RPC stack vs one-sided, and the
+    mechanism.  On the slow wire both stacks queue for the segment and
+    the one-sided path pays extra round trips per logical op; on the
+    fast wire the RPC server thread's protocol+app CPU becomes the
+    bottleneck the one-sided path simply does not have. *)
+
+val pp_xcell : Format.formatter -> xcell -> unit
+val pp_crossover_row : Format.formatter -> crossover_row -> unit
 
 (** {1 In-text breakdowns (§4.2, §4.3)} *)
 

@@ -115,3 +115,98 @@ let panda_group_opt =
 
 let rts_overhead = Sim.Time.us 10
 let pool_size_max = 32
+
+(* The one-sided (RDMA-style) backend: user-level posting, NIC-completed
+   target ops.  The figures are early-RDMA-class (VIA/InfiniBand host
+   overheads of a few microseconds), deliberately independent of the wire
+   era — the profile decides the wire, these decide the endpoints. *)
+let onesided =
+  {
+    Onesided.Rnic.os_header = 28;
+    post_cost = Sim.Time.us 8;
+    completion_cost = Sim.Time.us 6;
+    op_fixed = Sim.Time.us 5;
+    op_word = Sim.Time.ns 10;
+    retrans_timeout = Sim.Time.ms 200;
+    max_retries = 10;
+    cas_cache = 4096;
+  }
+
+(* Network-era profiles: the wire, the switch, and the NIC change with the
+   era; the 1995 machine and protocol-software constants deliberately do
+   not.  That isolation is the point — as the network gets faster, the
+   fixed per-message protocol CPU is exposed as the bottleneck, which is
+   the historical argument for one-sided operations. *)
+
+type net_profile = {
+  np_name : string;  (** the [--profile] spelling *)
+  np_label : string;
+  np_segment : Net.Segment.config;
+  np_nic : Net.Nic.config;
+  np_switch : Sim.Time.span;
+}
+
+(* 10 Mbit/s Ethernet, the paper's own wire: byte_time 800 ns. *)
+let net10m =
+  {
+    np_name = "net10m";
+    np_label = "10 Mbit/s Ethernet (1995 baseline)";
+    np_segment = segment;
+    np_nic = nic;
+    np_switch = switch_latency;
+  }
+
+(* 100 Mbit/s switched Ethernet: byte_time 80 ns, a leaner NIC. *)
+let net100m =
+  {
+    np_name = "net100m";
+    np_label = "100 Mbit/s switched Ethernet";
+    np_segment =
+      { Net.Segment.byte_time = Sim.Time.ns 80; framing_bytes = 38; min_payload = 46 };
+    np_nic =
+      {
+        Net.Nic.rx_base = Sim.Time.us 60;
+        rx_byte = Sim.Time.ns 30;
+        rx_mcast_extra = Sim.Time.us 45;
+      };
+    np_switch = Sim.Time.us 20;
+  }
+
+(* Gigabit-class fabric: byte_time 8 ns, low-latency cut-through switch. *)
+let net1g =
+  {
+    np_name = "net1g";
+    np_label = "1 Gbit/s low-latency fabric";
+    np_segment =
+      { Net.Segment.byte_time = Sim.Time.ns 8; framing_bytes = 38; min_payload = 46 };
+    np_nic =
+      {
+        Net.Nic.rx_base = Sim.Time.us 20;
+        rx_byte = Sim.Time.ns 5;
+        rx_mcast_extra = Sim.Time.us 15;
+      };
+    np_switch = Sim.Time.us 5;
+  }
+
+(* 10G-class fabric.  Integer nanoseconds cannot express 0.8 ns/byte, so
+   byte_time 1 ns (8 Gbit/s) stands in for the 10 Gbit era; the
+   endpoint-bound conclusions are unaffected. *)
+let net10g =
+  {
+    np_name = "net10g";
+    np_label = "10 Gbit-class fabric (8 Gbit/s: integer-ns floor)";
+    np_segment =
+      { Net.Segment.byte_time = Sim.Time.ns 1; framing_bytes = 38; min_payload = 46 };
+    np_nic =
+      {
+        Net.Nic.rx_base = Sim.Time.us 5;
+        rx_byte = Sim.Time.ns 1;
+        rx_mcast_extra = Sim.Time.us 3;
+      };
+    np_switch = Sim.Time.us 1;
+  }
+
+let net_profiles = [ net10m; net100m; net1g; net10g ]
+
+let net_profile_of_string s =
+  List.find_opt (fun p -> String.equal p.np_name s) net_profiles

@@ -33,3 +33,37 @@ val rts_overhead : Sim.Time.span
 
 val pool_size_max : int
 (** Largest processor count used by the paper's experiments (32). *)
+
+val onesided : Onesided.Rnic.config
+(** The one-sided backend's endpoint costs (user-level post/completion,
+    target interrupt-context execution).  Era-independent: only the
+    {!net_profile} changes with the wire. *)
+
+(** A network era: the wire, switch, and NIC constants that change between
+    1995 and the fast-network present, while machine and protocol-software
+    constants stay fixed at their calibrated 1995 values. *)
+type net_profile = {
+  np_name : string;  (** the [--profile] spelling, e.g. ["net1g"] *)
+  np_label : string;  (** human-readable description *)
+  np_segment : Net.Segment.config;
+  np_nic : Net.Nic.config;
+  np_switch : Sim.Time.span;
+}
+
+val net10m : net_profile
+(** The paper's own 10 Mbit/s Ethernet — identical to {!segment}, {!nic}
+    and {!switch_latency}, so the default path is bit-for-bit the
+    calibrated baseline. *)
+
+val net100m : net_profile
+val net1g : net_profile
+
+val net10g : net_profile
+(** 10 Gbit-class; integer nanoseconds floor the byte time at 1 ns
+    (8 Gbit/s). *)
+
+val net_profiles : net_profile list
+(** All profiles, in era order. *)
+
+val net_profile_of_string : string -> net_profile option
+(** Inverse of [np_name]: [net_profile_of_string p.np_name = Some p]. *)

@@ -68,14 +68,14 @@ type outcome = {
   o_violations : string list;
 }
 
-let run ?faults ?(checked = false) ~impl ~procs app =
+let run ?faults ?(checked = false) ?net ~impl ~procs app =
   (* The dedicated-sequencer variant sacrifices one of the P processors to
      the sequencer: P-1 Orca workers (the paper's 15 workers at P=16). *)
   let workers =
     match impl with Cluster.User_dedicated -> max 1 (procs - 1) | _ -> procs
   in
   let cluster =
-    Cluster.create ~extra_machine:(impl = Cluster.User_dedicated) ~n:workers ()
+    Cluster.create ~extra_machine:(impl = Cluster.User_dedicated) ?net ~n:workers ()
   in
   let fstats =
     match faults with
@@ -135,16 +135,17 @@ let run ?faults ?(checked = false) ~impl ~procs app =
 
 let prepare app = ignore (Lazy.force app.app_reference)
 
-let run_cell ?faults ?checked (impl, procs, app) = run ?faults ?checked ~impl ~procs app
+let run_cell ?faults ?checked ?net (impl, procs, app) =
+  run ?faults ?checked ?net ~impl ~procs app
 
-let run_many ?pool ?faults ?checked cells =
+let run_many ?pool ?faults ?checked ?net cells =
   match pool with
-  | None -> List.map (run_cell ?faults ?checked) cells
+  | None -> List.map (run_cell ?faults ?checked ?net) cells
   | Some p ->
     (* Force every sequential reference before fanning out: [Lazy.force]
        from two domains at once is a race. *)
     List.iter (fun (_, _, app) -> prepare app) cells;
-    Exec.Pool.map_list p (run_cell ?faults ?checked) cells
+    Exec.Pool.map_list p (run_cell ?faults ?checked ?net) cells
 
 let pp_stats fmt s =
   Format.fprintf fmt

@@ -41,11 +41,18 @@ type outcome = {
 }
 
 val run :
-  ?faults:Faults.Spec.t -> ?checked:bool -> impl:Cluster.impl -> procs:int -> app -> outcome
+  ?faults:Faults.Spec.t ->
+  ?checked:bool ->
+  ?net:Params.net_profile ->
+  impl:Cluster.impl ->
+  procs:int ->
+  app ->
+  outcome
 (** [?faults] installs the fault schedule on the cluster's network before
     the run; [?checked] (default false) wraps the backends in the
     {!Faults.Invariants} conformance checkers and reports violations in
-    [o_violations]. *)
+    [o_violations]; [?net] (default {!Params.net10m}) picks the network
+    era the cluster is built on. *)
 
 val prepare : app -> unit
 (** Forces the app's sequential reference result.  Must be called (in one
@@ -57,6 +64,7 @@ val run_many :
   ?pool:Exec.Pool.t ->
   ?faults:Faults.Spec.t ->
   ?checked:bool ->
+  ?net:Params.net_profile ->
   (Cluster.impl * int * app) list ->
   outcome list
 (** Runs each (impl, procs, app) cell as an independent simulation ([?faults]

@@ -22,6 +22,10 @@ type t = {
   mutable log_len : int;
   pos : (int, int ref) Hashtbl.t;  (* member rank -> next position *)
   sent : (int, int ref) Hashtbl.t;  (* origin rank -> broadcasts sent *)
+  (* One-sided ops, keyed (initiator address, op id). *)
+  os_outstanding : (Flip.Address.t * int, unit) Hashtbl.t;
+  os_cas_done : (Flip.Address.t * int, unit) Hashtbl.t;
+  mutable os_checked : int;  (* target executions observed *)
 }
 
 let create () =
@@ -36,6 +40,9 @@ let create () =
     log_len = 0;
     pos = Hashtbl.create 16;
     sent = Hashtbl.create 16;
+    os_outstanding = Hashtbl.create 64;
+    os_cas_done = Hashtbl.create 1024;
+    os_checked = 0;
   }
 
 let violate c fmt =
@@ -150,10 +157,49 @@ let wrap_backends c backends =
     backends;
   Array.map (wrap_backend c) backends
 
+(* One-sided conformance: observe the Rnic's events rather than wrapping a
+   record — the backend has no thread-visible server side to interpose on,
+   which is rather the point. *)
+let attach_rnic c rnic =
+  let me = Onesided.Rnic.addr rnic in
+  let addr_s a = Format.asprintf "%a" Flip.Address.pp a in
+  Onesided.Rnic.set_observer rnic (function
+    | Onesided.Rnic.Posted { op_id; _ } ->
+      if Hashtbl.mem c.os_outstanding (me, op_id) then
+        violate c "onesided: op %d from %s posted twice" op_id (addr_s me)
+      else Hashtbl.replace c.os_outstanding (me, op_id) ()
+    | Onesided.Rnic.Completed { op_id; _ } ->
+      if not (Hashtbl.mem c.os_outstanding (me, op_id)) then
+        violate c "onesided: op %d from %s completed but was never posted"
+          op_id (addr_s me);
+      Hashtbl.remove c.os_outstanding (me, op_id)
+    | Onesided.Rnic.Failed { op_id } ->
+      violate c "onesided: op %d from %s gave up after retries" op_id
+        (addr_s me);
+      Hashtbl.remove c.os_outstanding (me, op_id)
+    | Onesided.Rnic.Target_exec { src; op_id; op; fresh } ->
+      c.os_checked <- c.os_checked + 1;
+      (match (op, fresh) with
+       | Onesided.Rnic.Cas _, true ->
+         let key = (src, op_id) in
+         if Hashtbl.mem c.os_cas_done key then
+           violate c
+             "onesided: at-most-once broken — cas %d from %s executed twice"
+             op_id (addr_s src)
+         else Hashtbl.replace c.os_cas_done key ()
+       | _ -> ()))
+
+let attach_rnics c rnics = Array.iter (attach_rnic c) rnics
+
 let finalize c =
   Hashtbl.iter
     (fun id () -> violate c "rpc: request %d issued but never completed" id)
     c.outstanding;
+  Hashtbl.iter
+    (fun (a, id) () ->
+      violate c "onesided: op %d from %s posted but never completed" id
+        (Format.asprintf "%a" Flip.Address.pp a))
+    c.os_outstanding;
   Hashtbl.iter
     (fun member k ->
       if !k <> c.log_len then
@@ -186,6 +232,7 @@ let n_violations c = c.n_viol
 let ok c = c.n_viol = 0
 let rpcs_checked c = c.handled
 let broadcasts_checked c = c.log_len
+let onesided_checked c = c.os_checked
 
 let pp fmt c =
   if ok c then

@@ -39,6 +39,15 @@ val wrap_backends : t -> Orca.Backend.t array -> Orca.Backend.t array
     be shared between concurrently running simulations (one engine, one
     checker). *)
 
+val attach_rnic : t -> Onesided.Rnic.t -> unit
+(** Observes a one-sided Rnic (chained onto any existing observer),
+    asserting at-most-once [cas] execution under retransmission — a
+    retransmitted cas must replay its cached result, never swap twice —
+    and (at {!finalize}) that every posted op completed.  Attach every
+    Rnic of the simulation, initiators and targets alike. *)
+
+val attach_rnics : t -> Onesided.Rnic.t array -> unit
+
 val finalize : t -> unit
 (** Runs the end-of-run completeness checks.  Call once, after
     [Sim.Engine.run] has drained. *)
@@ -56,5 +65,8 @@ val rpcs_checked : t -> int
 
 val broadcasts_checked : t -> int
 (** Distinct ordered broadcasts delivered under the checker. *)
+
+val onesided_checked : t -> int
+(** One-sided target executions observed (cas replays included). *)
 
 val pp : Format.formatter -> t -> unit

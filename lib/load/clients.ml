@@ -27,25 +27,14 @@ let default =
 
 let op_label = function Rpc -> "rpc" | Group -> "group"
 
-let run cfg ~eng ~backends ~machines ?seq_machine ?(server = 0) ?client_ranks () =
-  let n = Array.length backends in
-  if n < 2 then invalid_arg "Clients.run: need at least two ranks";
-  let client_ranks =
-    match client_ranks with
-    | Some l -> l
-    | None -> List.filter (fun r -> r <> server) (List.init n Fun.id)
-  in
-  if client_ranks = [] then invalid_arg "Clients.run: no client ranks";
+(* The measurement engine shared by [run] (Orca backends) and
+   [run_custom] (any op body, e.g. one-sided DHT ops).  The order of every
+   RNG split and every scheduled event is load-bearing: existing pinned
+   results depend on it bit-for-bit. *)
+let run_core cfg ~eng ~machines ~label ~op_name ?seq_machine ~server
+    ~client_ranks ?recorder ~op () =
   let n_clients = cfg.clients_per_node * List.length client_ranks in
   let per_client_rate = cfg.rate /. float_of_int n_clients in
-  (* Echo server and group sink; installing on every rank is harmless and
-     keeps the group's total order observable everywhere. *)
-  Array.iter
-    (fun b ->
-      b.Orca.Backend.set_rpc_handler (fun ~client:_ ~size:_ _ ~reply ->
-          reply ~size:cfg.reply_size Sim.Payload.Empty);
-      b.Orca.Backend.set_deliver (fun ~sender:_ ~size:_ _ -> ()))
-    backends;
   let t0 = Sim.Engine.now eng in
   let w_start = t0 + cfg.warmup in
   let w_end = w_start + cfg.window in
@@ -63,17 +52,23 @@ let run cfg ~eng ~backends ~machines ?seq_machine ?(server = 0) ?client_ranks ()
   let n_mach = Array.length machines in
   let busy0 = Array.make n_mach 0 and busy1 = Array.make n_mach 0 in
   let seq_busy0 = ref 0 and seq_busy1 = ref 0 in
+  let srv_intr0 = ref 0 and srv_intr1 = ref 0 in
   let seq_busy m = Machine.Cpu.busy_time (Machine.Mach.cpu m) in
-  let recorder = Obs.Recorder.create () in
+  let intr_busy m = Machine.Cpu.busy_interrupt_time (Machine.Mach.cpu m) in
+  let recorder =
+    match recorder with Some r -> r | None -> Obs.Recorder.create ()
+  in
   ignore
     (Sim.Engine.at eng w_start (fun () ->
          Array.iteri (fun i m -> busy0.(i) <- seq_busy m) machines;
          (match seq_machine with Some m -> seq_busy0 := seq_busy m | None -> ());
+         srv_intr0 := intr_busy machines.(server);
          Obs.Recorder.install recorder));
   ignore
     (Sim.Engine.at eng w_end (fun () ->
          Array.iteri (fun i m -> busy1.(i) <- seq_busy m) machines;
          (match seq_machine with Some m -> seq_busy1 := seq_busy m | None -> ());
+         srv_intr1 := intr_busy machines.(server);
          Obs.Recorder.uninstall ()));
   (* One RNG per client, split in client order from the root seed. *)
   let root = Sim.Rng.create ~seed:cfg.seed in
@@ -86,13 +81,7 @@ let run cfg ~eng ~backends ~machines ?seq_machine ?(server = 0) ?client_ranks ()
   List.iteri
     (fun ci (rank, k) ->
       let rng = Sim.Rng.split root in
-      let b = backends.(rank) in
-      let do_op () =
-        let size = Mix.pick cfg.mix rng in
-        match cfg.op with
-        | Rpc -> ignore (b.Orca.Backend.rpc ~dst:server ~size Sim.Payload.Empty)
-        | Group -> b.Orca.Backend.broadcast ~nonblocking:false ~size Sim.Payload.Empty
-      in
+      let do_op () = op rank rng in
       ignore
         (Machine.Thread.spawn machines.(rank)
            (Printf.sprintf "load.%d.%d" rank k)
@@ -141,6 +130,12 @@ let run cfg ~eng ~backends ~machines ?seq_machine ?(server = 0) ?client_ranks ()
     List.fold_left (fun acc r -> Float.max acc (util r)) 0. client_ranks
   in
   let server_util = util server in
+  let server_thread_util =
+    Float.max 0.
+      (Sim.Time.to_sec
+         (busy1.(server) - busy0.(server) - (!srv_intr1 - !srv_intr0))
+      /. window_s)
+  in
   let seq_util =
     match seq_machine with
     | Some _ -> Float.max 0. (Sim.Time.to_sec (!seq_busy1 - !seq_busy0) /. window_s)
@@ -150,8 +145,8 @@ let run cfg ~eng ~backends ~machines ?seq_machine ?(server = 0) ?client_ranks ()
   let offered = if Arrival.is_closed cfg.arrival then achieved else cfg.rate in
   let lat p = Sim.Stats.percentile stats "lat_ms" p in
   {
-    Metrics.label = backends.(0).Orca.Backend.label;
-    op = op_label cfg.op;
+    Metrics.label;
+    op = op_name;
     offered;
     achieved;
     issued = !issued;
@@ -163,7 +158,47 @@ let run cfg ~eng ~backends ~machines ?seq_machine ?(server = 0) ?client_ranks ()
     max_ms = (if Sim.Stats.count stats "lat_ms" = 0 then 0. else Sim.Stats.max_value stats "lat_ms");
     client_util;
     server_util;
+    server_thread_util;
     seq_util;
     ledger_cpu_ms = float_of_int (Obs.Recorder.cpu_ns recorder) /. 1e6;
     violations = 0;
   }
+
+let resolve_ranks ~n ~server = function
+  | Some l -> l
+  | None -> List.filter (fun r -> r <> server) (List.init n Fun.id)
+
+let run cfg ~eng ~backends ~machines ?seq_machine ?(server = 0) ?client_ranks
+    ?recorder () =
+  let n = Array.length backends in
+  if n < 2 then invalid_arg "Clients.run: need at least two ranks";
+  let client_ranks = resolve_ranks ~n ~server client_ranks in
+  if client_ranks = [] then invalid_arg "Clients.run: no client ranks";
+  (* Echo server and group sink; installing on every rank is harmless and
+     keeps the group's total order observable everywhere. *)
+  Array.iter
+    (fun b ->
+      b.Orca.Backend.set_rpc_handler (fun ~client:_ ~size:_ _ ~reply ->
+          reply ~size:cfg.reply_size Sim.Payload.Empty);
+      b.Orca.Backend.set_deliver (fun ~sender:_ ~size:_ _ -> ()))
+    backends;
+  let op rank rng =
+    let size = Mix.pick cfg.mix rng in
+    let b = backends.(rank) in
+    match cfg.op with
+    | Rpc -> ignore (b.Orca.Backend.rpc ~dst:server ~size Sim.Payload.Empty)
+    | Group -> b.Orca.Backend.broadcast ~nonblocking:false ~size Sim.Payload.Empty
+  in
+  run_core cfg ~eng ~machines
+    ~label:backends.(0).Orca.Backend.label
+    ~op_name:(op_label cfg.op) ?seq_machine ~server ~client_ranks ?recorder ~op
+    ()
+
+let run_custom cfg ~eng ~machines ~label ~op_name ?seq_machine ?(server = 0)
+    ?client_ranks ?recorder ~op () =
+  let n = Array.length machines in
+  if n < 2 then invalid_arg "Clients.run_custom: need at least two machines";
+  let client_ranks = resolve_ranks ~n ~server client_ranks in
+  if client_ranks = [] then invalid_arg "Clients.run_custom: no client ranks";
+  run_core cfg ~eng ~machines ~label ~op_name ?seq_machine ~server
+    ~client_ranks ?recorder ~op ()

@@ -38,12 +38,35 @@ val run :
   ?seq_machine:Machine.Mach.t ->
   ?server:int ->
   ?client_ranks:int list ->
+  ?recorder:Obs.Recorder.t ->
   unit ->
   Metrics.t
 (** [machines.(i)] must host [backends.(i)].  [server] (default 0) is
     the RPC echo server and, for group traffic, the rank whose machine
     is reported as the sequencer's unless [seq_machine] names a
     dedicated one.  [client_ranks] defaults to every rank except
-    [server].  Runs the engine to completion; [Metrics.violations] is
-    always 0 here (checked-mode callers fill it in after finalizing
-    their checker). *)
+    [server].  [recorder] (default: a private one) is installed over the
+    measurement window, so callers can read the layer × cause ledger
+    cells afterwards.  Runs the engine to completion;
+    [Metrics.violations] is always 0 here (checked-mode callers fill it
+    in after finalizing their checker). *)
+
+val run_custom :
+  config ->
+  eng:Sim.Engine.t ->
+  machines:Machine.Mach.t array ->
+  label:string ->
+  op_name:string ->
+  ?seq_machine:Machine.Mach.t ->
+  ?server:int ->
+  ?client_ranks:int list ->
+  ?recorder:Obs.Recorder.t ->
+  op:(int -> Sim.Rng.t -> unit) ->
+  unit ->
+  Metrics.t
+(** Same measurement machinery as {!run} — identical arrival processes,
+    RNG splitting, window snapshots — but the operation body is caller
+    supplied: [op rank rng] must issue one blocking logical operation
+    from the calling client thread (e.g. a one-sided DHT get/put).
+    [config.op], [config.mix] and [config.reply_size] are ignored;
+    [label]/[op_name] fill the metric's identity fields. *)

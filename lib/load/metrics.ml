@@ -12,6 +12,7 @@ type t = {
   max_ms : float;
   client_util : float;
   server_util : float;
+  server_thread_util : float;
   seq_util : float;
   ledger_cpu_ms : float;
   violations : int;

@@ -19,6 +19,10 @@ type t = {
           backlog past saturation shows up in the tail *)
   client_util : float;  (** max client-machine CPU busy fraction over the window *)
   server_util : float;  (** RPC-server (or sequencer-rank) machine busy fraction *)
+  server_thread_util : float;
+      (** the thread-context share of [server_util], interrupt time
+          excluded — exactly 0 for a one-sided data path, where the target
+          CPU runs only in interrupt context *)
   seq_util : float;
       (** sequencer machine busy fraction — the dedicated machine when one
           exists, otherwise the sequencer rank's machine; for RPC runs this

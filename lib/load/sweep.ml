@@ -12,10 +12,23 @@ let curve points =
           points;
     }
 
+type knee = Knee of float | Unsaturated | Saturated
+
 let knee ?frac t =
-  List.fold_left
-    (fun acc p -> if Metrics.saturated ?frac p then acc else Some p.Metrics.offered)
-    None t.c_points
+  let sat p = Metrics.saturated ?frac p in
+  if List.for_all (fun p -> not (sat p)) t.c_points then
+    (* Every point still keeps up with its offered load: the ramp never
+       found the capacity, so there is no knee to report — returning the
+       last rate would misread "we stopped ramping" as "it saturated". *)
+    Unsaturated
+  else
+    match
+      List.fold_left
+        (fun acc p -> if sat p then acc else Some p.Metrics.offered)
+        None t.c_points
+    with
+    | Some r -> Knee r
+    | None -> Saturated
 
 let peak t =
   List.fold_left (fun acc p -> Float.max acc p.Metrics.achieved) 0. t.c_points
@@ -34,6 +47,7 @@ let pp_curve fmt t =
   List.iter (fun p -> Format.fprintf fmt "%a@." Metrics.pp p) t.c_points;
   Format.fprintf fmt "%-10s knee %s  peak %.1f ops/s" t.c_label
     (match knee t with
-     | Some r -> Printf.sprintf "%.1f ops/s" r
-     | None -> "below ramp")
+     | Knee r -> Printf.sprintf "%.1f ops/s" r
+     | Unsaturated -> "beyond ramp (never saturated)"
+     | Saturated -> "below ramp")
     (peak t)

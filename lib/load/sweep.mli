@@ -9,10 +9,17 @@ val curve : Metrics.t list -> curve
 (** Orders the points by offered load.
     @raise Invalid_argument on an empty list. *)
 
-val knee : ?frac:float -> curve -> float option
-(** Highest offered rate still achieving at least [frac] (default 0.95)
-    of its offered load — the saturation knee.  [None] when even the
-    lowest point is saturated. *)
+type knee =
+  | Knee of float
+      (** highest offered rate still achieving ≥ [frac] of offered, with
+          saturation observed beyond it *)
+  | Unsaturated
+      (** every measured point kept up with its offered load: the ramp
+          ended before the capacity was found, so no knee exists *)
+  | Saturated  (** even the lowest point was saturated *)
+
+val knee : ?frac:float -> curve -> knee
+(** The saturation knee of the ramp, [frac] defaulting to 0.95. *)
 
 val peak : curve -> float
 (** Maximum achieved throughput over the curve, ops/s. *)

@@ -30,6 +30,7 @@ type t = {
   ready : job Queue.t array;
   mutable last : int;
   mutable busy_ns : Sim.Time.span;
+  mutable busy_intr_ns : Sim.Time.span;
   mutable n_switches : int;
 }
 
@@ -46,13 +47,21 @@ let create ?(name = "cpu") eng costs =
     ready = Array.init n_prios (fun _ -> Queue.create ());
     last = idle_key;
     busy_ns = 0;
+    busy_intr_ns = 0;
     n_switches = 0;
   }
 
 let busy t = t.current <> None
 let last_key t = t.last
 let busy_time t = t.busy_ns
+let busy_interrupt_time t = t.busy_intr_ns
 let switches t = t.n_switches
+
+let accrue t running now =
+  let elapsed = now - running.started in
+  t.busy_ns <- t.busy_ns + elapsed;
+  if running.job.key = interrupt_key then
+    t.busy_intr_ns <- t.busy_intr_ns + elapsed
 
 let queue_length t =
   Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.ready
@@ -86,7 +95,7 @@ let rec start t ~preempting job =
 
 and complete t running =
   let now = Sim.Engine.now t.eng in
-  t.busy_ns <- t.busy_ns + (now - running.started);
+  accrue t running now;
   Obs.Recorder.span_end ~track:t.track ~now;
   t.current <- None;
   running.job.on_complete ();
@@ -108,7 +117,7 @@ let preempt t running =
   (match running.handle with
    | Some h -> Sim.Engine.cancel t.eng h
    | None -> assert false);
-  t.busy_ns <- t.busy_ns + (now - running.started);
+  accrue t running now;
   Obs.Recorder.span_end ~track:t.track ~now;
   (* The switch cost was charged in full at switch-in, but a preemption
      arriving mid-switch abandons the un-elapsed tail: that time never

@@ -53,6 +53,12 @@ val last_key : t -> int
 val busy_time : t -> Sim.Time.span
 (** Accumulated CPU occupancy, including switch costs. *)
 
+val busy_interrupt_time : t -> Sim.Time.span
+(** The share of [busy_time] spent in interrupt context (jobs keyed
+    [interrupt_key]).  [busy_time t - busy_interrupt_time t] is thread
+    context, the evidence that a one-sided data path schedules no server
+    thread. *)
+
 val switches : t -> int
 (** Number of cold context switches performed. *)
 

@@ -8,10 +8,11 @@ type t =
   | Copy
   | Fault_wire
   | Idle
+  | Offload
 
 let all =
   [ Ctx_switch; Regwin_trap; Uk_crossing; Fragmentation; Header_wire; Proto_proc;
-    Copy; Fault_wire; Idle ]
+    Copy; Fault_wire; Idle; Offload ]
 
 let count = List.length all
 
@@ -25,6 +26,7 @@ let index = function
   | Copy -> 6
   | Fault_wire -> 7
   | Idle -> 8
+  | Offload -> 9
 
 let to_string = function
   | Ctx_switch -> "ctx_switch"
@@ -36,13 +38,15 @@ let to_string = function
   | Copy -> "copy"
   | Fault_wire -> "fault_wire"
   | Idle -> "idle"
+  | Offload -> "offload"
 
 (* Causes that consume simulated CPU time.  Header_wire is wire/NIC time
    attributable to protocol header bytes, Fault_wire is wire occupancy
    wasted on frames killed by injected faults, and Idle is derived, so
    none of the three counts towards CPU occupancy. *)
 let is_cpu = function
-  | Ctx_switch | Regwin_trap | Uk_crossing | Fragmentation | Proto_proc | Copy ->
+  | Ctx_switch | Regwin_trap | Uk_crossing | Fragmentation | Proto_proc | Copy
+  | Offload ->
     true
   | Header_wire | Fault_wire | Idle -> false
 

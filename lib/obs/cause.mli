@@ -18,6 +18,10 @@ type t =
           so injected loss shows up in the layer × cause accounting
           instead of silently vanishing. *)
   | Idle  (** derived: CPU time charged to nothing *)
+  | Offload
+      (** one-sided op execution on the target, in interrupt context: CPU
+          time the NIC/interrupt layer spends completing a remote
+          read/write/cas with no server thread scheduled *)
 
 val all : t list
 val count : int

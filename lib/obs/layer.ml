@@ -8,9 +8,11 @@ type t =
   | Amoeba_grp
   | Orca
   | App
+  | Onesided
 
 let all =
-  [ Nic; Flip; Panda_sys; Panda_rpc; Panda_grp; Amoeba_rpc; Amoeba_grp; Orca; App ]
+  [ Nic; Flip; Panda_sys; Panda_rpc; Panda_grp; Amoeba_rpc; Amoeba_grp; Orca; App;
+    Onesided ]
 
 let count = List.length all
 
@@ -24,6 +26,7 @@ let index = function
   | Amoeba_grp -> 6
   | Orca -> 7
   | App -> 8
+  | Onesided -> 9
 
 let to_string = function
   | Nic -> "nic"
@@ -35,5 +38,6 @@ let to_string = function
   | Amoeba_grp -> "amoeba_grp"
   | Orca -> "orca"
   | App -> "app"
+  | Onesided -> "onesided"
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -10,6 +10,9 @@ type t =
   | Amoeba_grp  (** Amoeba's kernel group communication *)
   | Orca  (** the Orca runtime system *)
   | App  (** application / unattributed thread work *)
+  | Onesided
+      (** the one-sided (RDMA-style) backend: initiator posting/completion
+          and target-side interrupt-context op execution *)
 
 val all : t list
 val count : int

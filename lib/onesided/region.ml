@@ -1,0 +1,4 @@
+type t = { key : int; name : string; data : int array }
+
+let create ~key ~name ~words = { key; name; data = Array.make words 0 }
+let length t = Array.length t.data

@@ -1,0 +1,19 @@
+(** Registered memory regions.
+
+    One-sided operations address remote memory, not remote procedures: the
+    target registers a region (pinning it, exchanging the protection key at
+    setup time) and initiators then read, write, or compare-and-swap words
+    inside it without any target-side software being scheduled.  Word
+    granularity keeps the model exact — values are integers, offsets are
+    word offsets. *)
+
+type t = {
+  key : int;  (** protection key quoted by remote operations *)
+  name : string;
+  data : int array;  (** the registered words *)
+}
+
+val create : key:int -> name:string -> words:int -> t
+(** A zero-filled region of [words] words. *)
+
+val length : t -> int

@@ -111,6 +111,7 @@ let synth offered achieved =
     max_ms = 0.;
     client_util = 0.;
     server_util = 0.;
+    server_thread_util = 0.;
     seq_util = 0.;
     ledger_cpu_ms = 0.;
     violations = 0;
@@ -125,12 +126,20 @@ let test_knee_detection () =
   Alcotest.(check (list (float 1e-9))) "ordered"
     [ 100.; 200.; 400.; 800. ]
     (List.map (fun p -> p.Load.Metrics.offered) c.Load.Sweep.c_points);
-  check_float "knee" 400. (Option.get (Load.Sweep.knee c));
+  check_bool "knee" true (Load.Sweep.knee c = Load.Sweep.Knee 400.);
   check_float "peak" 520. (Load.Sweep.peak c);
   check_float "peak point" 800.
     (Load.Sweep.peak_point c).Load.Metrics.offered;
   let saturated_everywhere = Load.Sweep.curve [ synth 100. 50. ] in
-  check_bool "no knee" true (Load.Sweep.knee saturated_everywhere = None)
+  check_bool "no knee" true
+    (Load.Sweep.knee saturated_everywhere = Load.Sweep.Saturated);
+  (* A ramp that never saturates must report the sentinel, not its own
+     last point. *)
+  let unsaturated =
+    Load.Sweep.curve [ synth 100. 100.; synth 200. 199.; synth 400. 400. ]
+  in
+  check_bool "unsaturated ramp has no knee" true
+    (Load.Sweep.knee unsaturated = Load.Sweep.Unsaturated)
 
 (* ------------------------------------------------------------------ *)
 (* Sweep determinism: same seed => bit-identical tables, sequentially
