@@ -12,6 +12,11 @@
    N domains (default: the host's recommended domain count; `-j 1` is the
    sequential path).  Every simulation is deterministic and confined to
    one domain, so the printed tables are bit-identical for every N.
+   `--lanes` additionally shards each multi-segment cluster's engine into
+   conservative per-segment event lanes — also bit-identical.  The
+   `engine` artifact benchmarks the scheduler itself (pure event churn,
+   the timer-cancel pattern with the timing wheel on vs off, and the
+   laned window/merge machinery).
 
    A Bechamel group (one Test.make per table, plus event-heap
    microbenchmarks) measures the host-side cost of regenerating each
@@ -251,12 +256,21 @@ let print_load ?pool ?faults ?(quick = false) ~net () =
     (fun (_, curve) -> Format.printf "%a@.@." Load.Sweep.pp_curve curve)
     curves;
   let saturation =
-    if quick then []
-    else begin
-      hr "Load: sequencer saturation (closed-loop group senders, 8 nodes)";
+    begin
+      (* Quick mode keeps a 2-point sweep on the one quick stack so the CI
+         smoke still exercises — and the json still records — the
+         sequencer-scaling pipeline. *)
+      hr
+        (if quick then
+           "Load: sequencer saturation (quick: 2-point sweep, 8 nodes)"
+         else "Load: sequencer saturation (closed-loop group senders, 8 nodes)");
       let rows =
-        Core.Experiments.sequencer_saturation ?pool ?faults ~checked ~net
-          ~config ()
+        if quick then
+          Core.Experiments.sequencer_saturation ?pool ?faults ~checked ~net
+            ~config ~senders:[ 1; 2 ] ~impls ()
+        else
+          Core.Experiments.sequencer_saturation ?pool ?faults ~checked ~net
+            ~config ()
       in
       List.iter
         (fun (_, points) ->
@@ -312,6 +326,126 @@ let print_load ?pool ?faults ?(quick = false) ~net () =
     saturation;
   Buffer.add_string b "    ]\n  }";
   load_json := Some (Buffer.contents b)
+
+(* Engine microbenchmarks: the scheduler hot paths in isolation.
+   Three shapes: pure event churn (heap path only), the timer-cancel
+   pattern that motivates the timing wheel — 200 ms retransmission-style
+   timers armed and cancelled long before they fire — run with the wheel
+   on and off on the identical schedule, and a laned run that stresses
+   the conservative window/merge machinery itself.  Event counts are
+   deterministic; only the wall-clock rates vary run to run. *)
+let engine_json : string option ref = ref None
+
+let print_engine ?(quick = false) () =
+  hr "Engine: scheduler microbenchmarks";
+  let scale = if quick then 1 else 5 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let events = f () in
+    (events, Unix.gettimeofday () -. t0)
+  in
+  (* Eight self-rescheduling chains with staggered near-term delays:
+     every event is a heap push + pop, no timers, no lanes. *)
+  let pure () =
+    let n = 200_000 * scale in
+    let e = Sim.Engine.create () in
+    let left = ref n in
+    let rec tick d () =
+      if !left > 0 then begin
+        decr left;
+        ignore (Sim.Engine.after e d (tick d))
+      end
+    in
+    for i = 0 to 7 do
+      let d = Sim.Time.us (3 + i) in
+      ignore (Sim.Engine.after e d (tick d))
+    done;
+    Sim.Engine.run e;
+    Sim.Engine.events_executed e
+  in
+  (* Each tick re-arms one of 512 outstanding 200 ms timers — the
+     protocol stack's dominant pattern (retransmission timers that are
+     nearly always cancelled).  With the wheel the arm and the cancel are
+     both O(1) and the timer never reaches the heap. *)
+  let timers ~wheel () =
+    let n = 100_000 * scale in
+    let k = 512 in
+    let e = Sim.Engine.create ~wheel () in
+    let ring = Array.make k None in
+    let left = ref n in
+    let i = ref 0 in
+    let rec tick () =
+      let slot = !i mod k in
+      (match ring.(slot) with
+       | Some h -> Sim.Engine.cancel e h
+       | None -> ());
+      ring.(slot) <- Some (Sim.Engine.after e (Sim.Time.ms 200) ignore);
+      incr i;
+      if !left > 0 then begin
+        decr left;
+        ignore (Sim.Engine.after e (Sim.Time.us 50) tick)
+      end
+    in
+    ignore (Sim.Engine.after e (Sim.Time.us 50) tick);
+    Sim.Engine.run e;
+    Sim.Engine.events_executed e
+  in
+  (* A chain hopping lane to lane at exactly the lookahead horizon, plus
+     local filler work: every hop crosses a window boundary, so this
+     measures the window scheduling and deterministic merge overhead. *)
+  let sharded () =
+    let n = 50_000 * scale in
+    let e = Sim.Engine.create () in
+    let look = Sim.Time.us 100 in
+    Sim.Engine.configure_lanes e ~n:4 ~lookahead:look;
+    let left = ref n in
+    let rec hop lane () =
+      if !left > 0 then begin
+        decr left;
+        ignore (Sim.Engine.after e (Sim.Time.us 10) ignore);
+        let next = (lane + 1) mod 4 in
+        Sim.Engine.at_lane e ~lane:next (Sim.Engine.now e + look) (hop next)
+      end
+    in
+    ignore (Sim.Engine.after e look (hop 0));
+    Sim.Engine.run e;
+    (Sim.Engine.events_executed e, Sim.Engine.windows e,
+     Sim.Engine.cross_merged e)
+  in
+  let rate e w = if w > 0. then float_of_int e /. w else 0. in
+  let line label events wall =
+    Printf.printf "  %-24s %9d events  %8.3f s  %8.2f Mev/s\n" label events
+      wall
+      (rate events wall /. 1e6)
+  in
+  let ep, wp = time pure in
+  line "pure-scheduler" ep wp;
+  let ew, ww = time (timers ~wheel:true) in
+  line "timer-cancel (wheel)" ew ww;
+  let eh, wh = time (timers ~wheel:false) in
+  line "timer-cancel (heap)" eh wh;
+  let speedup = if ww > 0. then wh /. ww else 0. in
+  Printf.printf "  wheel speedup on the timer-heavy shape: %.2fx\n" speedup;
+  let (es, wins, merged), ws = time sharded in
+  line "sharded-merge (4 lanes)" es ws;
+  Printf.printf "  windows %d, cross-lane merges %d\n" wins merged;
+  let obj label events wall extra =
+    Printf.sprintf
+      "{\"shape\": \"%s\", \"events\": %d, \"wall_seconds\": %.6f, \
+       \"events_per_sec\": %.0f%s}"
+      label events wall (rate events wall) extra
+  in
+  engine_json :=
+    Some
+      (Printf.sprintf
+         "{\n    \"shapes\": [\n      %s,\n      %s,\n      %s,\n      %s\n\
+         \    ],\n    \"wheel_speedup\": %.3f\n  }"
+         (obj "pure-scheduler" ep wp "")
+         (obj "timer-cancel-wheel" ew ww "")
+         (obj "timer-cancel-heap" eh wh "")
+         (obj "sharded-merge" es ws
+            (Printf.sprintf ", \"windows\": %d, \"merged\": %d" wins merged))
+         speedup)
 
 (* The one-sided crossover artifact: DHT capacity over profile x stack,
    with the ledger partition; also a json section with the profile and
@@ -424,19 +558,35 @@ let print_ablations ?pool () =
 
 (* ------------------------------------------------------------------ *)
 (* Wall-clock accounting, for the json report: per-artifact host
-   seconds and simulated events executed (across all pool domains). *)
+   seconds, simulated events executed (across all pool domains), and the
+   high-water mark of pending events (heap + wheel, max over every
+   engine's lanes) — a leak in any protocol layer shows up here long
+   before it shows up in wall time. *)
 
-type timing = { tm_name : string; tm_wall : float; tm_events : int }
+type timing = {
+  tm_name : string;
+  tm_wall : float;
+  tm_events : int;
+  tm_live_hw : int;
+}
 
 let timings : timing list ref = ref []
 
 let timed name f =
   let t0 = Unix.gettimeofday () in
   let e0 = Sim.Engine.events_total () in
+  Sim.Engine.reset_live_hw ();
   f ();
   let wall = Unix.gettimeofday () -. t0 in
   let events = Sim.Engine.events_total () - e0 in
-  timings := { tm_name = name; tm_wall = wall; tm_events = events } :: !timings
+  timings :=
+    {
+      tm_name = name;
+      tm_wall = wall;
+      tm_events = events;
+      tm_live_hw = Sim.Engine.live_hw ();
+    }
+    :: !timings
 
 let write_json ~jobs ~net file =
   let b = Buffer.create 1024 in
@@ -457,6 +607,10 @@ let write_json ~jobs ~net file =
    | Some section ->
      Buffer.add_string b (Printf.sprintf "  \"onesided\": %s,\n" section)
    | None -> ());
+  (match !engine_json with
+   | Some section ->
+     Buffer.add_string b (Printf.sprintf "  \"engine\": %s,\n" section)
+   | None -> ());
   Buffer.add_string b "  \"artifacts\": [\n";
   let rows = List.rev !timings in
   List.iteri
@@ -464,8 +618,8 @@ let write_json ~jobs ~net file =
       let eps = if t.tm_wall > 0. then float_of_int t.tm_events /. t.tm_wall else 0. in
       Buffer.add_string b
         (Printf.sprintf
-           "    {\"name\": \"%s\", \"wall_seconds\": %.6f, \"sim_events\": %d, \"events_per_sec\": %.0f}%s\n"
-           (json_escape t.tm_name) t.tm_wall t.tm_events eps
+           "    {\"name\": \"%s\", \"wall_seconds\": %.6f, \"sim_events\": %d, \"events_per_sec\": %.0f, \"live_hw\": %d}%s\n"
+           (json_escape t.tm_name) t.tm_wall t.tm_events eps t.tm_live_hw
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string b "  ]\n}\n";
@@ -643,6 +797,18 @@ let rec strip_profile = function
     let net, sel = strip_profile rest in
     (net, a :: sel)
 
+(* `--lanes` anywhere on the command line shards every multi-segment
+   cluster into conservative per-segment engine lanes (see DESIGN.md);
+   results are bit-identical with and without it. *)
+let rec strip_lanes = function
+  | [] -> (false, [])
+  | "--lanes" :: rest ->
+    let _, sel = strip_lanes rest in
+    (true, sel)
+  | a :: rest ->
+    let l, sel = strip_lanes rest in
+    (l, a :: sel)
+
 (* `-j N` anywhere on the command line sets the pool size. *)
 let rec strip_jobs = function
   | [] -> (None, [])
@@ -680,6 +846,8 @@ let () =
   let obs_opts, args = strip_obs (List.tl (Array.to_list Sys.argv)) in
   let jobs_opt, args = strip_jobs args in
   let faults, args = strip_faults args in
+  let lanes, args = strip_lanes args in
+  if lanes then Core.Cluster.set_default_lanes true;
   let net_opt, args = strip_profile args in
   let net = match net_opt with Some p -> p | None -> Core.Params.net10m in
   if List.mem `Log obs_opts then Obs.Log.set_enabled true;
@@ -728,6 +896,10 @@ let () =
       (fun () ->
         with_pool (fun ?pool () -> print_onesided ?pool ?faults ~quick ()));
   if wants "ablation" then timed "ablation" (fun () -> with_pool print_ablations);
+  if wants "engine" then
+    timed
+      (if quick then "engine-quick" else "engine")
+      (fun () -> print_engine ~quick ());
   if List.mem "bechamel" selected || everything then run_bechamel ();
   List.iter run_obs obs_opts;
   if json then write_json ~jobs ~net "BENCH_results.json"

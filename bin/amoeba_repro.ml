@@ -66,6 +66,18 @@ let faults_arg =
            seed, loss, dup, corrupt, reorder, rdelay (us), burst=PxN, \
            part=T+D (s), swpart=T+D (s).")
 
+let lanes_arg =
+  Arg.(
+    value & flag
+    & info [ "lanes" ]
+        ~doc:
+          "Shard each multi-segment cluster (more than one Ethernet \
+           segment, i.e. more than 8 machines) into conservative \
+           per-segment engine lanes with deterministic cross-lane merge. \
+           Results are bit-identical with and without this flag; \
+           single-segment clusters always use the plain sequential \
+           engine.")
+
 let jobs_arg =
   Arg.(
     value
@@ -174,8 +186,8 @@ let app_cmd =
              gap-free identical total order); violations are printed and \
              make the run exit nonzero.")
   in
-  let run app impl procs net faults checked stats =
-    let o = Core.Runner.run ?faults ~checked ~net ~impl ~procs app in
+  let run app impl procs net faults checked stats lanes =
+    let o = Core.Runner.run ?faults ~checked ~net ~lanes ~impl ~procs app in
     Format.printf "%a@." Core.Runner.pp_outcome o;
     if stats then Format.printf "  %a@." Core.Runner.pp_stats o.Core.Runner.o_stats;
     List.iter (fun v -> Printf.printf "  violation: %s\n" v) o.Core.Runner.o_violations;
@@ -185,7 +197,7 @@ let app_cmd =
     (Cmd.info "app" ~doc:"Run one Orca application (a Table 3 cell)")
     Term.(
       const run $ app_arg $ impl_arg $ procs_arg $ profile_arg $ faults_arg
-      $ checked_arg $ stats_arg)
+      $ checked_arg $ stats_arg $ lanes_arg)
 
 (* --- fault sweep --- *)
 
@@ -203,7 +215,8 @@ let fault_sweep_cmd =
   let seed_arg =
     Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Master seed of the fault schedules")
   in
-  let run rates app procs net seed jobs =
+  let run rates app procs net seed lanes jobs =
+    Core.Cluster.set_default_lanes lanes;
     let rows =
       with_pool jobs (fun ?pool () ->
           Core.Experiments.fault_sweep ?pool ~net ~rates ~app_name:app ~procs
@@ -223,7 +236,7 @@ let fault_sweep_cmd =
           (checked mode; nonzero exit on any invariant violation)")
     Term.(
       const run $ rates_arg $ app_arg $ procs_arg $ profile_arg $ seed_arg
-      $ jobs_arg)
+      $ lanes_arg $ jobs_arg)
 
 (* --- load sweep --- *)
 
@@ -310,7 +323,8 @@ let load_sweep_cmd =
              violations are printed and make the run exit nonzero.")
   in
   let run impls rates nodes clients op arrival mix window warmup seed sequencer
-      net faults checked jobs =
+      net faults checked lanes jobs =
+    Core.Cluster.set_default_lanes lanes;
     let config =
       {
         Load.Clients.default with
@@ -358,7 +372,7 @@ let load_sweep_cmd =
     Term.(
       const run $ impls_arg $ rates_arg $ nodes_arg $ clients_arg $ op_arg
       $ arrival_arg $ mix_arg $ window_arg $ warmup_arg $ seed_arg $ seq_arg
-      $ profile_arg $ faults_arg $ checked_arg $ jobs_arg)
+      $ profile_arg $ faults_arg $ checked_arg $ lanes_arg $ jobs_arg)
 
 (* --- tables --- *)
 
@@ -464,7 +478,9 @@ let dht_cmd =
       & opt stack_conv Core.Cluster.One_sided
       & info [ "stack" ] ~doc:"kernel | user | optimized | onesided")
   in
-  let run stack reads nodes clients window warmup seed net faults checked jobs =
+  let run stack reads nodes clients window warmup seed net faults checked lanes
+      jobs =
+    Core.Cluster.set_default_lanes lanes;
     let config = dht_config ~clients ~warmup ~window ~seed in
     let cells =
       with_pool jobs (fun ?pool () ->
@@ -483,7 +499,7 @@ let dht_cmd =
     Term.(
       const run $ stack_arg $ dht_reads_arg $ dht_nodes_arg $ dht_clients_arg
       $ dht_window_arg $ dht_warmup_arg $ dht_seed_arg $ profile_arg
-      $ faults_arg $ checked_flag $ jobs_arg)
+      $ faults_arg $ checked_flag $ lanes_arg $ jobs_arg)
 
 let crossover_cmd =
   let nets_arg =
@@ -500,8 +516,9 @@ let crossover_cmd =
       & info [ "stacks" ] ~docv:"STACK,..."
           ~doc:"Stacks to compare (default kernel,user,optimized,onesided)")
   in
-  let run nets stacks reads nodes clients window warmup seed faults checked jobs
-      =
+  let run nets stacks reads nodes clients window warmup seed faults checked
+      lanes jobs =
+    Core.Cluster.set_default_lanes lanes;
     let config = dht_config ~clients ~warmup ~window ~seed in
     let cells =
       with_pool jobs (fun ?pool () ->
@@ -524,7 +541,7 @@ let crossover_cmd =
     Term.(
       const run $ nets_arg $ stacks_arg $ dht_reads_arg $ dht_nodes_arg
       $ dht_clients_arg $ dht_window_arg $ dht_warmup_arg $ dht_seed_arg
-      $ faults_arg $ checked_flag $ jobs_arg)
+      $ faults_arg $ checked_flag $ lanes_arg $ jobs_arg)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))

@@ -35,7 +35,18 @@ let stack_of_string = function
   | "onesided" -> Some One_sided
   | _ -> None
 
-let create ?(extra_machine = false) ?(net = Params.net10m) ~n () =
+(* When set, every cluster shards its engine into conservative event lanes
+   (multi-segment topologies only; see [Sim.Lanes]).  A process-wide
+   default so the `--lanes` CLI flag reaches every experiment driver
+   without threading a parameter through each one; set it before any
+   cluster is built. *)
+let lanes_default = ref false
+
+let set_default_lanes b = lanes_default := b
+let default_lanes () = !lanes_default
+
+let create ?(extra_machine = false) ?(net = Params.net10m) ?lanes ~n () =
+  let lanes = match lanes with Some b -> b | None -> !lanes_default in
   let eng = Sim.Engine.create () in
   let total = n + if extra_machine then 1 else 0 in
   let machines =
@@ -45,7 +56,7 @@ let create ?(extra_machine = false) ?(net = Params.net10m) ~n () =
   let topo =
     Net.Topology.build eng ~machines ~per_segment:8
       ~segment_config:net.Params.np_segment ~nic_config:net.Params.np_nic
-      ~switch_latency:net.Params.np_switch ()
+      ~switch_latency:net.Params.np_switch ~lanes ()
   in
   let all_flips =
     Array.mapi
@@ -63,6 +74,7 @@ let create ?(extra_machine = false) ?(net = Params.net10m) ~n () =
   }
 
 let net t = t.net
+let machine_lane t i = Net.Topology.machine_lane t.topo i
 
 (* Rnics are created lazily: [Address.fresh_point] draws from the engine's
    shared id sequence, so creating them eagerly would shift the addresses

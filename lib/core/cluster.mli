@@ -15,9 +15,24 @@ type t = private {
   mutable rnic_cache : Onesided.Rnic.t array option;
 }
 
-val create : ?extra_machine:bool -> ?net:Params.net_profile -> n:int -> unit -> t
+val create :
+  ?extra_machine:bool -> ?net:Params.net_profile -> ?lanes:bool -> n:int -> unit -> t
+(** [lanes] (default {!default_lanes}) shards the engine into conservative
+    event lanes when the topology spans several segments (> 8 machines);
+    single-segment clusters always keep the sequential engine path. *)
+
+val set_default_lanes : bool -> unit
+(** Process-wide default for [create]'s [?lanes] — how the [--lanes] CLI
+    flag reaches every experiment driver.  Set before building clusters. *)
+
+val default_lanes : unit -> bool
 
 val net : t -> Params.net_profile
+
+val machine_lane : t -> int -> int
+(** Engine lane of rank [i]'s machine (0 when unlaned).  Worker fibers for
+    rank [i] must be spawned under [Sim.Engine.with_lane] on this lane so
+    their event chains stay lane-local. *)
 
 val rnics : t -> Onesided.Rnic.t array
 (** One one-sided Rnic per rank, created on first use (lazily, so the

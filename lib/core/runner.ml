@@ -68,14 +68,16 @@ type outcome = {
   o_violations : string list;
 }
 
-let run ?faults ?(checked = false) ?net ~impl ~procs app =
+let run ?faults ?(checked = false) ?net ?lanes ~impl ~procs app =
   (* The dedicated-sequencer variant sacrifices one of the P processors to
      the sequencer: P-1 Orca workers (the paper's 15 workers at P=16). *)
   let workers =
     match impl with Cluster.User_dedicated -> max 1 (procs - 1) | _ -> procs
   in
   let cluster =
-    Cluster.create ~extra_machine:(impl = Cluster.User_dedicated) ?net ~n:workers ()
+    Cluster.create
+      ~extra_machine:(impl = Cluster.User_dedicated)
+      ?net ?lanes ~n:workers ()
   in
   let fstats =
     match faults with
@@ -87,13 +89,18 @@ let run ?faults ?(checked = false) ?net ~impl ~procs app =
   let body, result = app.app_make dom in
   let finish = ref Sim.Time.zero in
   for rank = 0 to workers - 1 do
-    ignore
-      (Orca.Rts.spawn dom ~rank
-         (Printf.sprintf "%s.%d" app.app_name rank)
-         (fun ~rank ->
-           body ~rank;
-           let now = Sim.Engine.now cluster.Cluster.eng in
-           if now > !finish then finish := now))
+    (* Spawn each worker under its machine's lane so the fiber's event
+       chain — and everything it schedules — lives where its machine's
+       segment does; a no-op on unlaned clusters. *)
+    Sim.Engine.with_lane cluster.Cluster.eng (Cluster.machine_lane cluster rank)
+      (fun () ->
+        ignore
+          (Orca.Rts.spawn dom ~rank
+             (Printf.sprintf "%s.%d" app.app_name rank)
+             (fun ~rank ->
+               body ~rank;
+               let now = Sim.Engine.now cluster.Cluster.eng in
+               if now > !finish then finish := now)))
   done;
   Sim.Engine.run cluster.Cluster.eng;
   (match checker with Some c -> Faults.Invariants.finalize c | None -> ());
@@ -135,17 +142,17 @@ let run ?faults ?(checked = false) ?net ~impl ~procs app =
 
 let prepare app = ignore (Lazy.force app.app_reference)
 
-let run_cell ?faults ?checked ?net (impl, procs, app) =
-  run ?faults ?checked ?net ~impl ~procs app
+let run_cell ?faults ?checked ?net ?lanes (impl, procs, app) =
+  run ?faults ?checked ?net ?lanes ~impl ~procs app
 
-let run_many ?pool ?faults ?checked ?net cells =
+let run_many ?pool ?faults ?checked ?net ?lanes cells =
   match pool with
-  | None -> List.map (run_cell ?faults ?checked ?net) cells
+  | None -> List.map (run_cell ?faults ?checked ?net ?lanes) cells
   | Some p ->
     (* Force every sequential reference before fanning out: [Lazy.force]
        from two domains at once is a race. *)
     List.iter (fun (_, _, app) -> prepare app) cells;
-    Exec.Pool.map_list p (run_cell ?faults ?checked ?net) cells
+    Exec.Pool.map_list p (run_cell ?faults ?checked ?net ?lanes) cells
 
 let pp_stats fmt s =
   Format.fprintf fmt

@@ -44,6 +44,7 @@ val run :
   ?faults:Faults.Spec.t ->
   ?checked:bool ->
   ?net:Params.net_profile ->
+  ?lanes:bool ->
   impl:Cluster.impl ->
   procs:int ->
   app ->
@@ -52,7 +53,10 @@ val run :
     the run; [?checked] (default false) wraps the backends in the
     {!Faults.Invariants} conformance checkers and reports violations in
     [o_violations]; [?net] (default {!Params.net10m}) picks the network
-    era the cluster is built on. *)
+    era the cluster is built on; [?lanes] (default
+    {!Cluster.default_lanes}) shards multi-segment clusters into
+    conservative engine lanes, with each rank's worker fiber spawned in
+    its machine's lane. *)
 
 val prepare : app -> unit
 (** Forces the app's sequential reference result.  Must be called (in one
@@ -65,6 +69,7 @@ val run_many :
   ?faults:Faults.Spec.t ->
   ?checked:bool ->
   ?net:Params.net_profile ->
+  ?lanes:bool ->
   (Cluster.impl * int * app) list ->
   outcome list
 (** Runs each (impl, procs, app) cell as an independent simulation ([?faults]

@@ -32,24 +32,14 @@ type t = {
   mutable busy_ns : Sim.Time.span;
   mutable busy_intr_ns : Sim.Time.span;
   mutable n_switches : int;
+  (* Every completion event runs this one closure; it reads [current], so
+     [start] need not allocate a fresh callback per dispatched job. *)
+  mutable on_tick : unit -> unit;
 }
 
 let n_prios = 3
 let interrupt_key = -1
 let idle_key = -2
-
-let create ?(name = "cpu") eng costs =
-  {
-    eng;
-    costs;
-    track = "cpu:" ^ name;
-    current = None;
-    ready = Array.init n_prios (fun _ -> Queue.create ());
-    last = idle_key;
-    busy_ns = 0;
-    busy_intr_ns = 0;
-    n_switches = 0;
-  }
 
 let busy t = t.current <> None
 let last_key t = t.last
@@ -89,7 +79,7 @@ let rec start t ~preempting job =
   Obs.Recorder.span_begin ~track:t.track ~layer:job.layer ~name:job.label ~now;
   let total = switch + job.remaining in
   let running = { job; started = now; switch; handle = None } in
-  let handle = Sim.Engine.after t.eng total (fun () -> complete t running) in
+  let handle = Sim.Engine.after t.eng total t.on_tick in
   running.handle <- Some handle;
   t.current <- Some running
 
@@ -111,6 +101,26 @@ and dispatch t =
         | None -> pick (i + 1)
     in
     pick 0
+
+let create ?(name = "cpu") eng costs =
+  let t =
+    {
+      eng;
+      costs;
+      track = "cpu:" ^ name;
+      current = None;
+      ready = Array.init n_prios (fun _ -> Queue.create ());
+      last = idle_key;
+      busy_ns = 0;
+      busy_intr_ns = 0;
+      n_switches = 0;
+      on_tick = ignore;
+    }
+  in
+  t.on_tick <-
+    (fun () ->
+      match t.current with Some r -> complete t r | None -> assert false);
+  t
 
 let preempt t running =
   let now = Sim.Engine.now t.eng in

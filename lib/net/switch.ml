@@ -4,6 +4,18 @@ type port = {
   attachment : Segment.attachment;
 }
 
+(* Lane placement for the conservative parallel engine: the switch runs in
+   its own lane, [port_lane] maps a port to its segment's lane, and the
+   store-and-forward latency is split into an ingress hop (segment lane ->
+   switch lane) and an egress hop (switch lane -> destination segment
+   lane), so both cross-lane edges satisfy the engine's lookahead. *)
+type lane_cfg = {
+  self : int;
+  port_lane : int array;
+  ingress_d : Sim.Time.span;
+  egress_d : Sim.Time.span;
+}
+
 type t = {
   eng : Sim.Engine.t;
   name : string;
@@ -13,6 +25,7 @@ type t = {
   mutable forwarded : int;
   mutable fault : (Frame.t -> bool) option;
   mutable dropped : int;
+  mutable lanes : lane_cfg option;
 }
 
 let create eng ?(latency = Sim.Time.us 50) name =
@@ -25,9 +38,14 @@ let create eng ?(latency = Sim.Time.us 50) name =
     forwarded = 0;
     fault = None;
     dropped = 0;
+    lanes = None;
   }
 
-let forward t ~ingress frame =
+(* Table learning, fault filtering and port selection; runs in the switch's
+   lane when laned (after the ingress hop), synchronously in the ingress
+   segment's deliver event otherwise.  [egress] is the remaining latency to
+   apply before the frame hits each output segment. *)
+let forward_core t ~ingress ~egress frame =
   Hashtbl.replace t.table frame.Frame.src ingress;
   let blocked = match t.fault with Some f -> f frame | None -> false in
   if blocked then begin
@@ -48,12 +66,30 @@ let forward t ~ingress frame =
   in
   if out_ports <> [] then begin
     t.forwarded <- t.forwarded + 1;
-    ignore
-      (Sim.Engine.after t.eng t.latency (fun () ->
-           List.iter
-             (fun port -> Segment.transmit port.seg ~from:port.attachment frame)
-             out_ports))
+    match t.lanes with
+    | None ->
+      ignore
+        (Sim.Engine.after t.eng egress (fun () ->
+             List.iter
+               (fun port ->
+                 Segment.transmit port.seg ~from:port.attachment frame)
+               out_ports))
+    | Some cfg ->
+      let at = Sim.Engine.now t.eng + egress in
+      List.iter
+        (fun port ->
+          Sim.Engine.at_lane t.eng ~lane:cfg.port_lane.(port.index) at
+            (fun () -> Segment.transmit port.seg ~from:port.attachment frame))
+        out_ports
   end
+
+let forward t ~ingress frame =
+  match t.lanes with
+  | None -> forward_core t ~ingress ~egress:t.latency frame
+  | Some cfg ->
+    Sim.Engine.at_lane t.eng ~lane:cfg.self
+      (Sim.Engine.now t.eng + cfg.ingress_d)
+      (fun () -> forward_core t ~ingress ~egress:cfg.egress_d frame)
 
 let add_port t seg =
   let index = List.length t.port_list in
@@ -64,6 +100,9 @@ let add_port t seg =
       (fun frame -> forward t ~ingress:index frame)
   in
   t.port_list <- { index; seg; attachment } :: t.port_list
+
+let set_lanes t ~self ~port_lane ~ingress ~egress =
+  t.lanes <- Some { self; port_lane; ingress_d = ingress; egress_d = egress }
 
 let ports t = List.length t.port_list
 let frames_forwarded t = t.forwarded

@@ -13,6 +13,20 @@ val create : Sim.Engine.t -> ?latency:Sim.Time.span -> string -> t
 
 val add_port : t -> Segment.t -> unit
 
+val set_lanes :
+  t ->
+  self:int ->
+  port_lane:int array ->
+  ingress:Sim.Time.span ->
+  egress:Sim.Time.span ->
+  unit
+(** Lane placement for the conservative parallel engine ([Net.Topology]
+    calls this when lanes are enabled): the switch executes in lane [self],
+    port [i]'s segment in lane [port_lane.(i)], and the store-and-forward
+    latency splits into an [ingress] hop into the switch lane and an
+    [egress] hop out of it ([ingress + egress] = total latency, both at
+    least the engine lookahead). *)
+
 val ports : t -> int
 val frames_forwarded : t -> int
 

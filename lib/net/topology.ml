@@ -2,13 +2,25 @@ type t = {
   segments : Segment.t array;
   switch : Switch.t option;
   nics : Nic.t array;
+  lanes : Sim.Lanes.plan option;
 }
 
 let build eng ~machines ?(per_segment = 8) ?(segment_config = Segment.default_config)
-    ?(nic_config = Nic.default_config) ?(switch_latency = Sim.Time.us 50) () =
+    ?(nic_config = Nic.default_config) ?(switch_latency = Sim.Time.us 50)
+    ?(lanes = false) () =
   let n = Array.length machines in
   assert (n > 0 && per_segment > 0);
   let n_segments = (n + per_segment - 1) / per_segment in
+  (* Lanes shard the engine, so they must be configured before any segment,
+     switch or NIC schedules events.  A plan only exists for multi-segment
+     topologies with a positive lookahead; otherwise the engine keeps its
+     sequential single-lane path. *)
+  let plan =
+    if lanes then
+      Sim.Lanes.plan ~n_machines:n ~per_segment ~switch_latency
+    else None
+  in
+  (match plan with Some p -> Sim.Lanes.apply eng p | None -> ());
   let segments =
     Array.init n_segments (fun i ->
         Segment.create eng ~config:segment_config (Printf.sprintf "seg%d" i))
@@ -17,6 +29,13 @@ let build eng ~machines ?(per_segment = 8) ?(segment_config = Segment.default_co
     if n_segments > 1 then begin
       let sw = Switch.create eng ~latency:switch_latency "switch" in
       Array.iter (fun seg -> Switch.add_port sw seg) segments;
+      (match plan with
+       | Some p ->
+         (* Port [i] is segment [i] (added in order above). *)
+         Switch.set_lanes sw ~self:p.Sim.Lanes.switch_lane
+           ~port_lane:p.Sim.Lanes.segment_lane ~ingress:p.Sim.Lanes.ingress
+           ~egress:p.Sim.Lanes.egress
+       | None -> ());
       Some sw
     end
     else None
@@ -26,9 +45,14 @@ let build eng ~machines ?(per_segment = 8) ?(segment_config = Segment.default_co
       (fun i mach -> Nic.create mach ~config:nic_config segments.(i / per_segment))
       machines
   in
-  { segments; switch; nics }
+  { segments; switch; nics; lanes = plan }
 
 let nic t i = t.nics.(i)
+
+let machine_lane t i =
+  match t.lanes with
+  | Some p -> p.Sim.Lanes.machine_lane.(i)
+  | None -> 0
 
 let total_bytes t =
   Array.fold_left (fun acc seg -> acc + Segment.bytes_carried seg) 0 t.segments

@@ -5,6 +5,8 @@ type t = {
   segments : Segment.t array;
   switch : Switch.t option;  (** absent when everything fits one segment *)
   nics : Nic.t array;  (** indexed by machine id *)
+  lanes : Sim.Lanes.plan option;
+      (** lane plan when built with [~lanes:true] on a shardable topology *)
 }
 
 val build :
@@ -14,13 +16,23 @@ val build :
   ?segment_config:Segment.config ->
   ?nic_config:Nic.config ->
   ?switch_latency:Sim.Time.span ->
+  ?lanes:bool ->
   unit ->
   t
 (** [per_segment] defaults to 8, as in the paper's pool.  Machine [i] lands
     on segment [i / per_segment]; a switch is added only when more than one
-    segment is needed. *)
+    segment is needed.
+
+    [lanes] (default [false]) shards the engine into conservative event
+    lanes — one per segment plus one for the switch, lookahead = half the
+    switch latency (see {!Sim.Lanes}).  Must be requested before anything
+    schedules events on [eng].  Single-segment topologies ignore it and
+    keep the exact sequential engine path. *)
 
 val nic : t -> int -> Nic.t
+
+val machine_lane : t -> int -> int
+(** Engine lane machine [i]'s segment belongs to (0 when unlaned). *)
 
 val total_bytes : t -> int
 (** Bytes carried across all segments (forwarded frames count once per

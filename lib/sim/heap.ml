@@ -15,11 +15,13 @@ exception Empty
 type handle = int
 
 (* Handle layout: [gen | slot] with [slot_bits] low bits of slot index.
+   The packed handle fits in 54 bits so the engine can stamp a lane id and
+   a scheduler-kind bit above it and still hand out an immediate int.
    Generations wrap within their field; a collision needs the same slot to
-   be reused 2^31 times while an old handle is retained. *)
-let slot_bits = 30
+   be reused 2^28 times while an old handle is retained. *)
+let slot_bits = 26
 let slot_mask = (1 lsl slot_bits) - 1
-let gen_mask = (1 lsl 31) - 1
+let gen_mask = (1 lsl 28) - 1
 
 let pack ~gen ~slot = (gen lsl slot_bits) lor slot
 let handle_slot h = h land slot_mask
@@ -76,6 +78,7 @@ let capacity t = Array.length t.heap
 let grow t =
   let old = capacity t in
   let cap = 2 * old in
+  if cap > slot_mask + 1 then invalid_arg "Sim.Heap: too many pending events";
   let extend a fill =
     let b = Array.make cap fill in
     Array.blit a 0 b 0 old;
@@ -126,13 +129,13 @@ let free_slot t s =
   t.times.(s) <- t.free_head;
   t.free_head <- s
 
-let push t ~time value =
+let push_seq t ~time ~seq value =
   if t.free_head = -1 then grow t;
   let s = t.free_head in
   t.free_head <- t.times.(s);
   t.times.(s) <- time;
-  t.seqs.(s) <- t.next_seq;
-  t.next_seq <- t.next_seq + 1;
+  t.seqs.(s) <- seq;
+  if seq >= t.next_seq then t.next_seq <- seq + 1;
   t.values.(s) <- value;
   Bytes.unsafe_set t.states s st_live;
   t.heap.(t.len) <- s;
@@ -140,6 +143,8 @@ let push t ~time value =
   t.live <- t.live + 1;
   sift_up t (t.len - 1);
   pack ~gen:t.gens.(s) ~slot:s
+
+let push t ~time value = push_seq t ~time ~seq:t.next_seq value
 
 (* Remove the root slot from the heap array (state untouched). *)
 let pop_top t =

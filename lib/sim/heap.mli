@@ -12,10 +12,11 @@
 
 type 'a t
 
-type handle = private int
+type handle = int
 (** Identifies a scheduled event so it can be cancelled.  An immediate int
     (no allocation); generation-tagged, so using a handle after its event
-    fired or was collected is harmless. *)
+    fired or was collected is harmless.  Exposed as a plain int so the
+    engine can pack lane/kind bits above it (54-bit payload). *)
 
 exception Empty
 
@@ -25,6 +26,14 @@ val create : ?capacity:int -> dummy:'a -> unit -> 'a t
 
 val push : 'a t -> time:Time.t -> 'a -> handle
 (** [push h ~time v] schedules [v] at [time] and returns its handle. *)
+
+val push_seq : 'a t -> time:Time.t -> seq:int -> 'a -> handle
+(** [push_seq h ~time ~seq v] schedules [v] with a caller-supplied tie-break
+    sequence number instead of the heap's internal counter.  Used by the
+    engine, which owns the per-lane (time, seq) total order so events can
+    move between the timing wheel and the heap without reordering.  The
+    internal counter is bumped past [seq], so mixing with plain [push]
+    stays FIFO. *)
 
 val pop : 'a t -> (Time.t * 'a) option
 (** [pop h] removes and returns the earliest live event, skipping cancelled

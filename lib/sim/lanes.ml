@@ -1,0 +1,44 @@
+(* Lane plans: how a topology shards onto engine lanes.
+
+   One lane per network segment (a segment and the machines attached to it
+   share all their synchronous interactions: medium arbitration, NIC rx
+   interrupts, CPU scheduling), plus one lane for the store-and-forward
+   switch.  The only cross-lane edges are segment->switch (ingress) and
+   switch->segment (egress); splitting the switch latency across the two
+   hops makes the minimum cross-lane delay — the conservative lookahead —
+   half the switch latency, which is positive for every network era. *)
+
+type plan = {
+  n_lanes : int;  (* n_segments + 1 (switch) *)
+  lookahead : Time.span;  (* min cross-lane latency = min(ingress, egress) *)
+  machine_lane : int array;  (* machine index -> lane *)
+  segment_lane : int array;  (* segment index -> lane *)
+  switch_lane : int;
+  ingress : Time.span;  (* segment -> switch hop *)
+  egress : Time.span;  (* switch -> destination segment hop *)
+}
+
+let plan ~n_machines ~per_segment ~switch_latency =
+  if n_machines <= 0 || per_segment <= 0 then None
+  else begin
+    let n_segments = (n_machines + per_segment - 1) / per_segment in
+    let ingress = switch_latency / 2 in
+    let egress = switch_latency - ingress in
+    let lookahead = min ingress egress in
+    (* One segment has no switch and nothing to shard; a sub-2 ns switch
+       would leave no conservative window.  Collapse to sequential. *)
+    if n_segments < 2 || lookahead <= 0 then None
+    else
+      Some
+        {
+          n_lanes = n_segments + 1;
+          lookahead;
+          machine_lane = Array.init n_machines (fun i -> i / per_segment);
+          segment_lane = Array.init n_segments (fun s -> s);
+          switch_lane = n_segments;
+          ingress;
+          egress;
+        }
+  end
+
+let apply eng p = Engine.configure_lanes eng ~n:p.n_lanes ~lookahead:p.lookahead

@@ -1,0 +1,27 @@
+(** Lane plans: how a multi-segment topology shards onto engine lanes.
+
+    One lane per segment (with its attached machines) plus one for the
+    switch; the switch's store-and-forward latency is split across the
+    ingress and egress hops, so the conservative lookahead is
+    [switch_latency / 2] — honest smaller windows for faster network
+    eras. *)
+
+type plan = {
+  n_lanes : int;
+  lookahead : Time.span;
+  machine_lane : int array;
+  segment_lane : int array;
+  switch_lane : int;
+  ingress : Time.span;
+  egress : Time.span;
+}
+
+val plan :
+  n_machines:int -> per_segment:int -> switch_latency:Time.span -> plan option
+(** [None] when the topology cannot (or need not) shard: a single segment,
+    or a switch too fast to leave a positive lookahead — those collapse to
+    the sequential engine path. *)
+
+val apply : Engine.t -> plan -> unit
+(** Configure the engine's lanes from the plan
+    ({!Engine.configure_lanes}). *)

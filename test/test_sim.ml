@@ -246,6 +246,110 @@ let test_engine_stop () =
   Engine.run e;
   check_int "stopped after first" 1 !fired
 
+(* An exception escaping an event must not lose the executed-event counts:
+   [run] flushes them into the process-wide tally on the way out. *)
+let test_engine_counts_survive_exception () =
+  let e = Engine.create () in
+  ignore (Engine.at e 1 ignore);
+  ignore (Engine.at e 2 (fun () -> failwith "boom"));
+  ignore (Engine.at e 3 ignore);
+  let before = Engine.events_total () in
+  (match Engine.run e with
+   | () -> Alcotest.fail "expected the event's exception to escape run"
+   | exception Failure _ -> ());
+  check_int "executed flushed to global tally" 2 (Engine.events_total () - before);
+  check_int "per-engine count" 2 (Engine.events_executed e)
+
+(* ------------------------------------------------------------------ *)
+(* Timing wheel (far timers) and the hybrid scheduler *)
+
+let g0 = Wheel.granule0
+
+(* Far timers cross the wheel; near events stay in the heap.  The merged
+   fire order must still be exactly (time, schedule order). *)
+let test_wheel_order_across_structures () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Engine.at e (3 * g0) (note "far-b"));
+  ignore (Engine.at e 5 (note "near-a"));
+  ignore (Engine.at e (7 * g0) (note "far-c"));
+  ignore (Engine.at e (3 * g0) (note "far-b2"));
+  Engine.run e;
+  Alcotest.(check (list string))
+    "order" [ "near-a"; "far-b"; "far-b2"; "far-c" ] (List.rev !log)
+
+(* Cancelling a wheel timer whose bucket has already been drained into the
+   heap must still take effect: the wheel slot forwards the cancel to the
+   migrated heap entry. *)
+let test_wheel_cancel_after_migration () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.at e ((3 * g0) + 17) (fun () -> fired := true) in
+  (* This event shares the victim's bucket, so executing it proves the
+     bucket was flushed to the heap before the cancel runs. *)
+  ignore (Engine.at e ((3 * g0) + 1) (fun () -> Engine.cancel e h));
+  Engine.run e;
+  check_bool "migrated timer cancelled" false !fired
+
+(* A handle kept past its timer's firing is stale; cancelling it later must
+   not disturb anything (the forwarding slot was reclaimed on fire). *)
+let test_wheel_stale_cancel_after_fire () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  let fired_late = ref false in
+  let h = Engine.at e (2 * g0) (fun () -> incr fired) in
+  ignore (Engine.at e (4 * g0) (fun () -> Engine.cancel e h));
+  ignore (Engine.at e (6 * g0) (fun () -> fired_late := true));
+  Engine.run e;
+  check_int "fired exactly once" 1 !fired;
+  check_bool "unrelated later timer unaffected" true !fired_late
+
+(* The hybrid model test (the wheel's contract): an engine with the wheel
+   enabled must fire the exact same (time, id) sequence as one with every
+   event in the pure heap, under a random program of schedules and cancels
+   — including cancels of already-fired (stale) handles and of timers that
+   have migrated wheel -> heap. *)
+let run_scheduler_program ~wheel ops =
+  let n = List.length ops in
+  let e = Engine.create ~wheel () in
+  let log = ref [] in
+  let handles = Array.make (max 1 n) None in
+  (* Driver ticks march time forward a third of a granule per op, so far
+     timers live through several bucket drains before firing. *)
+  let step = g0 / 3 in
+  List.iteri
+    (fun i (op, x) ->
+      ignore
+        (Engine.at e
+           ((i + 1) * step)
+           (fun () ->
+             match op with
+             | 0 | 1 ->
+               let d =
+                 if op = 0 then 1 + (x mod g0) (* near: heap path *)
+                 else g0 + (x * 2053 mod (5 * g0)) (* far: wheel path *)
+               in
+               handles.(i) <-
+                 Some
+                   (Engine.after e d (fun () ->
+                        log := (Engine.now e, i) :: !log))
+             | _ -> (
+               match handles.(x mod max 1 n) with
+               | Some h -> Engine.cancel e h (* live, migrated or stale *)
+               | None -> ()))))
+    ops;
+  Engine.run e;
+  List.rev !log
+
+let prop_wheel_matches_heap =
+  QCheck.Test.make ~name:"hybrid wheel+heap fires exactly like a pure heap"
+    ~count:100
+    QCheck.(list_of_size Gen.(5 -- 80) (pair (int_bound 2) (int_bound 10_000)))
+    (fun ops ->
+      run_scheduler_program ~wheel:true ops
+      = run_scheduler_program ~wheel:false ops)
+
 (* ------------------------------------------------------------------ *)
 (* Fibers *)
 
@@ -523,7 +627,19 @@ let () =
           Alcotest.test_case "cancel" `Quick test_engine_cancel;
           Alcotest.test_case "until" `Quick test_engine_until;
           Alcotest.test_case "stop" `Quick test_engine_stop;
+          Alcotest.test_case "counts survive exception" `Quick
+            test_engine_counts_survive_exception;
         ] );
+      ( "wheel",
+        [
+          Alcotest.test_case "order across structures" `Quick
+            test_wheel_order_across_structures;
+          Alcotest.test_case "cancel after migration" `Quick
+            test_wheel_cancel_after_migration;
+          Alcotest.test_case "stale cancel after fire" `Quick
+            test_wheel_stale_cancel_after_fire;
+        ]
+        @ qsuite [ prop_wheel_matches_heap ] );
       ( "fiber",
         [
           Alcotest.test_case "sleep" `Quick test_fiber_sleep;
