@@ -282,6 +282,32 @@ let print_load ?pool ?faults ?(quick = false) ~net () =
       rows
     end
   in
+  let policy_rows =
+    begin
+      hr
+        (if quick then
+           "Load: sequencer policy capacity (quick: 2-point sweep, user stack)"
+         else
+           "Load: sequencer policy capacity (user stack, policy x senders)");
+      let rows =
+        if quick then
+          Core.Experiments.sequencer_policy_sweep ?pool ?faults ~checked ~net
+            ~config ~senders:[ 1; 2 ] ()
+        else
+          Core.Experiments.sequencer_policy_sweep ?pool ?faults ~checked ~net
+            ~config ()
+      in
+      List.iter
+        (fun (policy, points) ->
+          List.iter
+            (fun row ->
+              Format.printf "  %a@." Core.Experiments.pp_policy_row (policy, row))
+            points;
+          Format.printf "@.")
+        rows;
+      rows
+    end
+  in
   let b = Buffer.create 1024 in
   let point m =
     Printf.sprintf
@@ -306,6 +332,19 @@ let print_load ?pool ?faults ?(quick = false) ~net () =
            (String.concat ", " (List.map point curve.Load.Sweep.c_points))
            (if i = List.length curves - 1 then "" else ",")))
     curves;
+  let sat_point (s, m) =
+    let shards =
+      if Array.length m.Load.Metrics.per_shard > 1 then
+        Printf.sprintf ", \"per_shard\": [%s]"
+          (String.concat ", "
+             (Array.to_list (Array.map string_of_int m.Load.Metrics.per_shard)))
+      else ""
+    in
+    Printf.sprintf
+      "{\"senders\": %d, \"achieved\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"seq_util\": %.4f, \"violations\": %d%s}"
+      s m.Load.Metrics.achieved m.Load.Metrics.p50_ms m.Load.Metrics.p99_ms
+      m.Load.Metrics.seq_util m.Load.Metrics.violations shards
+  in
   Buffer.add_string b "    ],\n    \"sequencer_saturation\": [\n";
   List.iteri
     (fun i (impl, points) ->
@@ -314,16 +353,20 @@ let print_load ?pool ?faults ?(quick = false) ~net () =
            "      {\"profile\": \"%s\", \"stack\": \"%s\", \"points\": [%s]}%s\n"
            (json_escape np)
            (json_escape (Core.Cluster.impl_label impl))
-           (String.concat ", "
-              (List.map
-                 (fun (s, m) ->
-                   Printf.sprintf
-                     "{\"senders\": %d, \"achieved\": %.1f, \"p50_ms\": %.3f, \"seq_util\": %.4f}"
-                     s m.Load.Metrics.achieved m.Load.Metrics.p50_ms
-                     m.Load.Metrics.seq_util)
-                 points))
+           (String.concat ", " (List.map sat_point points))
            (if i = List.length saturation - 1 then "" else ",")))
     saturation;
+  Buffer.add_string b "    ],\n    \"sequencer_policies\": [\n";
+  List.iteri
+    (fun i (policy, points) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "      {\"profile\": \"%s\", \"stack\": \"user\", \"policy\": \"%s\", \"points\": [%s]}%s\n"
+           (json_escape np)
+           (json_escape (Panda.Seq_policy.to_string policy))
+           (String.concat ", " (List.map sat_point points))
+           (if i = List.length policy_rows - 1 then "" else ",")))
+    policy_rows;
   Buffer.add_string b "    ]\n  }";
   load_json := Some (Buffer.contents b)
 

@@ -64,7 +64,32 @@ let faults_arg =
           "Inject deterministic network faults, e.g. \
            $(b,seed=42,loss=0.01,dup=0.005,burst=0.001x8,part=0.5+0.2).  Keys: \
            seed, loss, dup, corrupt, reorder, rdelay (us), burst=PxN, \
-           part=T+D (s), swpart=T+D (s).")
+           part=T+D (s), swpart=T+D (s), seqcrash=T (s; crash the group \
+           sequencer mid-run — needs a recoverable $(b,--sequencer) policy).")
+
+let policy_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Panda.Seq_policy.of_string s) in
+  Arg.conv
+    (parse, fun fmt p -> Format.pp_print_string fmt (Panda.Seq_policy.to_string p))
+
+let policy_list_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Panda.Seq_policy.parse_list s) in
+  Arg.conv
+    ( parse,
+      fun fmt ps ->
+        Format.pp_print_string fmt
+          (String.concat "," (List.map Panda.Seq_policy.to_string ps)) )
+
+let policy_arg =
+  Arg.(
+    value
+    & opt policy_conv Panda.Seq_policy.Single
+    & info [ "sequencer" ] ~docv:"MODE"
+        ~doc:
+          "Sequencer capacity policy for the group protocol: $(b,single) \
+           (the paper's, default), $(b,batch)[:N], $(b,rotate)[:N], \
+           $(b,shard)[:N] or $(b,failover).  The kernel stack accepts \
+           single and batch only.")
 
 let lanes_arg =
   Arg.(
@@ -186,8 +211,10 @@ let app_cmd =
              gap-free identical total order); violations are printed and \
              make the run exit nonzero.")
   in
-  let run app impl procs net faults checked stats lanes =
-    let o = Core.Runner.run ?faults ~checked ~net ~lanes ~impl ~procs app in
+  let run app impl procs net faults checked stats lanes sequencer =
+    let o =
+      Core.Runner.run ?faults ~checked ~net ~lanes ~sequencer ~impl ~procs app
+    in
     Format.printf "%a@." Core.Runner.pp_outcome o;
     if stats then Format.printf "  %a@." Core.Runner.pp_stats o.Core.Runner.o_stats;
     List.iter (fun v -> Printf.printf "  violation: %s\n" v) o.Core.Runner.o_violations;
@@ -197,7 +224,7 @@ let app_cmd =
     (Cmd.info "app" ~doc:"Run one Orca application (a Table 3 cell)")
     Term.(
       const run $ app_arg $ impl_arg $ procs_arg $ profile_arg $ faults_arg
-      $ checked_arg $ stats_arg $ lanes_arg)
+      $ checked_arg $ stats_arg $ lanes_arg $ policy_arg)
 
 (* --- fault sweep --- *)
 
@@ -307,12 +334,17 @@ let load_sweep_cmd =
   in
   let seq_arg =
     Arg.(
-      value & flag
-      & info [ "sequencer" ]
+      value
+      & opt ~vopt:(Some [ Panda.Seq_policy.Single ]) (some policy_list_conv) None
+      & info [ "sequencer" ] ~docv:"MODE,..."
           ~doc:
             "Run the sequencer-saturation experiment instead of a rate ramp: \
-             closed-loop group senders scaled over ranks until each stack's \
-             sequencer is the bottleneck")
+             closed-loop group senders scaled over ranks until the sequencer \
+             is the bottleneck.  Without a value (or with $(b,single)) the \
+             three stacks are compared under the paper's protocol; with \
+             policy modes ($(b,single) | $(b,batch)[:N] | $(b,rotate)[:N] | \
+             $(b,shard)[:N] | $(b,failover), comma-separated, or $(b,all)) \
+             the user stack's capacity is swept policy by policy.")
   in
   let checked_arg =
     Arg.(
@@ -337,30 +369,52 @@ let load_sweep_cmd =
         seed;
       }
     in
-    let nodes = match nodes with Some n -> n | None -> if sequencer then 8 else 4 in
+    let nodes =
+      match nodes with Some n -> n | None -> if sequencer <> None then 8 else 4
+    in
     let violations = ref 0 in
-    if sequencer then
-      List.iter
-        (fun (_, rows) ->
-          List.iter
-            (fun ((_, m) as row) ->
-              violations := !violations + m.Load.Metrics.violations;
-              Format.printf "%a@." Core.Experiments.pp_saturation_row row)
-            rows;
-          Format.printf "@.")
-        (with_pool jobs (fun ?pool () ->
-             Core.Experiments.sequencer_saturation ?pool ?faults ~checked ~net
-               ~nodes ~clients_per_node:clients ~config ?impls ()))
-    else
-      List.iter
-        (fun (_, curve) ->
-          List.iter
-            (fun m -> violations := !violations + m.Load.Metrics.violations)
-            curve.Load.Sweep.c_points;
-          Format.printf "%a@.@." Load.Sweep.pp_curve curve)
-        (with_pool jobs (fun ?pool () ->
-             Core.Experiments.load_sweep ?pool ?faults ~checked ~net ~nodes
-               ~config ?rates ?impls ()));
+    (match sequencer with
+     | Some [ Panda.Seq_policy.Single ] | Some [] ->
+       (* The classic three-stack saturation comparison, all under the
+          paper's single-sequencer protocol. *)
+       List.iter
+         (fun (_, rows) ->
+           List.iter
+             (fun ((_, m) as row) ->
+               violations := !violations + m.Load.Metrics.violations;
+               Format.printf "%a@." Core.Experiments.pp_saturation_row row)
+             rows;
+           Format.printf "@.")
+         (with_pool jobs (fun ?pool () ->
+              Core.Experiments.sequencer_saturation ?pool ?faults ~checked ~net
+                ~nodes ~clients_per_node:clients ~config ?impls ()))
+     | Some policies ->
+       (* Policy × senders capacity table over one stack (the first of
+          --impls, default user). *)
+       let impl =
+         match impls with Some (i :: _) -> i | _ -> Core.Cluster.User
+       in
+       List.iter
+         (fun (policy, rows) ->
+           List.iter
+             (fun ((_, m) as row) ->
+               violations := !violations + m.Load.Metrics.violations;
+               Format.printf "%a@." Core.Experiments.pp_policy_row (policy, row))
+             rows;
+           Format.printf "@.")
+         (with_pool jobs (fun ?pool () ->
+              Core.Experiments.sequencer_policy_sweep ?pool ?faults ~checked
+                ~net ~nodes ~clients_per_node:clients ~config ~impl ~policies ()))
+     | None ->
+       List.iter
+         (fun (_, curve) ->
+           List.iter
+             (fun m -> violations := !violations + m.Load.Metrics.violations)
+             curve.Load.Sweep.c_points;
+           Format.printf "%a@.@." Load.Sweep.pp_curve curve)
+         (with_pool jobs (fun ?pool () ->
+              Core.Experiments.load_sweep ?pool ?faults ~checked ~net ~nodes
+                ~config ?rates ?impls ())));
     if !violations > 0 then exit 1
   in
   Cmd.v

@@ -7,6 +7,8 @@ type config = {
   copy_byte : Sim.Time.span;
   deliver_fixed : Sim.Time.span;
   seq_process : Sim.Time.span;
+  seq_batch_max : int;  (** orderings coalesced per interrupt; 1 = off *)
+  seq_order_item : Sim.Time.span;  (** marginal cost per extra batched item *)
   call_depth : int;
   bb_threshold : int;
   retrans_timeout : Sim.Time.span;
@@ -21,6 +23,8 @@ let default_config =
     copy_byte = Sim.Time.ns 50;
     deliver_fixed = Sim.Time.us 30;
     seq_process = Sim.Time.us 50;
+    seq_batch_max = 1;
+    seq_order_item = Sim.Time.us 15;
     call_depth = 2;
     bb_threshold = 1460;
     retrans_timeout = Sim.Time.ms 200;
@@ -44,6 +48,7 @@ type Sim.Payload.t +=
   | Pb_req of { sender : int; local_id : int; size : int; user : Sim.Payload.t }
   | Bb_data of { sender : int; local_id : int; size : int; user : Sim.Payload.t }
   | Ordered of entry
+  | Ordered_batch of entry list
   | Accept of { a_seq : int; a_sender : int; a_local : int }
   | Retrans_req of { rq_member : int; rq_from : int }
   | Status_req of { sr_next : int }
@@ -78,6 +83,8 @@ type sequencer = {
   mutable status_round : int;
   last_status_rsp : (int, int) Hashtbl.t; (* index -> round last answered *)
   mutable idle_timer : Sim.Engine.handle option;
+  sq_pending : (int * int * int * Sim.Payload.t) Queue.t; (* batched PB requests *)
+  mutable sq_batch_scheduled : bool;
 }
 
 type t = {
@@ -283,11 +290,73 @@ let do_order t s ~sender ~local_id ~size ~user =
 
 (* A queued ordering request: the sequencer's work is charged as a software
    interrupt on its machine, preempting whatever thread runs there. *)
-let schedule_order t s ~sender ~local_id ~size ~user =
-  Hashtbl.replace s.ordered_ids (sender, local_id) queued_mark;
+let schedule_order_now t s ~sender ~local_id ~size ~user =
   Mach.interrupt (seq_mach s) ~layer:Obs.Layer.Amoeba_grp ~name:"grp.sequencer"
     ~cost:t.cfg.seq_process (fun () ->
       do_order t s ~sender ~local_id ~size ~user)
+
+(* Batched ordering: while one sequencer interrupt is pending, further PB
+   data requests queue behind it; the interrupt drains up to
+   [seq_batch_max] of them, assigns them a consecutive range and announces
+   the whole range in one multicast.  Marginal items cost only
+   [seq_order_item] instead of a full [seq_process] — the amortization. *)
+let do_order_entry t s ~sender ~local_id ~size ~user =
+  let e =
+    { e_seq = s.next_seq; e_sender = sender; e_local = local_id;
+      e_size = size; e_user = user }
+  in
+  s.next_seq <- s.next_seq + 1;
+  Hashtbl.replace s.history e.e_seq e;
+  Hashtbl.replace s.ordered_ids (sender, local_id) e.e_seq;
+  t.n_ordered <- t.n_ordered + 1;
+  e
+
+let rec do_order_batch t s =
+  s.sq_batch_scheduled <- false;
+  let entries = ref [] and k = ref 0 in
+  while !k < t.cfg.seq_batch_max && not (Queue.is_empty s.sq_pending) do
+    let sender, local_id, size, user = Queue.pop s.sq_pending in
+    entries := do_order_entry t s ~sender ~local_id ~size ~user :: !entries;
+    incr k
+  done;
+  (match List.rev !entries with
+   | [] -> ()
+   | [ e ] ->
+     seq_multicast ~hdr:(grp_hdr t) t s ~size:(data_size t e.e_size) (Ordered e)
+   | entries ->
+     let sz =
+       List.fold_left (fun a e -> a + 8 + e.e_size) t.cfg.header_bytes entries
+     in
+     seq_multicast ~hdr:(grp_hdr t) t s ~size:sz (Ordered_batch entries));
+  maybe_status_exchange t s;
+  arm_idle_check t s;
+  if not (Queue.is_empty s.sq_pending) then begin
+    s.sq_batch_scheduled <- true;
+    Mach.interrupt (seq_mach s) ~layer:Obs.Layer.Amoeba_grp ~name:"grp.sequencer"
+      ~cost:t.cfg.seq_process (fun () -> do_order_batch t s)
+  end
+
+let schedule_order t s ~sender ~local_id ~size ~user =
+  Hashtbl.replace s.ordered_ids (sender, local_id) queued_mark;
+  if
+    t.cfg.seq_batch_max > 1 && sender <> system_sender
+    && size <= t.cfg.bb_threshold
+  then begin
+    Queue.push (sender, local_id, size, user) s.sq_pending;
+    let k = Queue.length s.sq_pending in
+    if not s.sq_batch_scheduled then begin
+      s.sq_batch_scheduled <- true;
+      Mach.interrupt (seq_mach s) ~layer:Obs.Layer.Amoeba_grp
+        ~name:"grp.sequencer" ~cost:t.cfg.seq_process (fun () ->
+          do_order_batch t s)
+    end
+    else if k > 1 then
+      (* The marginal item rides the already-pending interrupt; its cost
+         lands as a separate cheap interrupt so the ledger still sees it. *)
+      Mach.interrupt (seq_mach s) ~layer:Obs.Layer.Amoeba_grp
+        ~name:"grp.seq-batch-item" ~cost:t.cfg.seq_order_item (fun () -> ())
+  end
+  else schedule_order_now t s ~sender ~local_id ~size ~user
 
 let resend_ordered t s ~seq ~to_member =
   match (Hashtbl.find_opt s.history seq, Hashtbl.find_opt s.sq_members to_member) with
@@ -514,6 +583,7 @@ let handle_accept m ~a_seq ~a_sender ~a_local =
 let member_handle m payload =
   match payload with
   | Ordered e -> handle_ordered m e
+  | Ordered_batch entries -> List.iter (fun e -> handle_ordered m e) entries
   | Accept { a_seq; a_sender; a_local } -> handle_accept m ~a_seq ~a_sender ~a_local
   | Bb_data { sender; local_id; size; user } -> (
       match Hashtbl.find_opt m.awaiting_data (sender, local_id) with
@@ -718,6 +788,8 @@ let create_static ?(config = default_config) ~name ~sequencer flips =
       status_round = 0;
       last_status_rsp = Hashtbl.create 16;
       idle_timer = None;
+      sq_pending = Queue.create ();
+      sq_batch_scheduled = false;
     }
   in
   Array.iteri

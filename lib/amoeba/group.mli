@@ -33,6 +33,12 @@ type config = {
   deliver_fixed : Sim.Time.span;
   seq_process : Sim.Time.span;
       (** sequencer's per-message handling, in interrupt context *)
+  seq_batch_max : int;
+      (** max PB orderings coalesced into one interrupt + one
+          {!Ordered_batch} multicast; 1 disables batching (the paper's
+          protocol, and the default) *)
+  seq_order_item : Sim.Time.span;
+      (** marginal sequencer cost per extra batched ordering *)
   call_depth : int;
   bb_threshold : int;  (** sizes strictly above this use the BB method *)
   retrans_timeout : Sim.Time.span;
@@ -65,6 +71,7 @@ type Sim.Payload.t +=
   | Pb_req of { sender : int; local_id : int; size : int; user : Sim.Payload.t }
   | Bb_data of { sender : int; local_id : int; size : int; user : Sim.Payload.t }
   | Ordered of entry
+  | Ordered_batch of entry list
   | Accept of { a_seq : int; a_sender : int; a_local : int }
   | Retrans_req of { rq_member : int; rq_from : int }
   | Status_req of { sr_next : int }

@@ -99,15 +99,28 @@ let rnics t =
     t.rnic_cache <- Some r;
     r
 
-let backends ?checker t impl =
+let backends ?checker ?(policy = Panda.Seq_policy.Single) t impl =
   let backends =
     match impl with
     | Kernel ->
-      Orca.Backend.kernel_stack ~rpc_config:Params.amoeba_rpc
-        ~group_config:Params.amoeba_group t.flips ()
+      (* The kernel sequencer runs in interrupt context; of the capacity
+         policies only ordering-batch coalescing translates (rotation and
+         sharding would be kernel-reset-protocol surgery, §6). *)
+      let group_config =
+        match policy with
+        | Panda.Seq_policy.Single -> Params.amoeba_group
+        | Panda.Seq_policy.Batching b ->
+          { Params.amoeba_group with Amoeba.Group.seq_batch_max = b }
+        | p ->
+          invalid_arg
+            (Printf.sprintf "Cluster.backends: kernel stack cannot run policy %s"
+               (Panda.Seq_policy.to_string p))
+      in
+      Orca.Backend.kernel_stack ~rpc_config:Params.amoeba_rpc ~group_config t.flips ()
     | User ->
       Orca.Backend.user_stack ~sys_config:Params.panda_system
-        ~rpc_config:Params.panda_rpc ~group_config:Params.panda_group t.flips ()
+        ~rpc_config:Params.panda_rpc ~group_config:Params.panda_group ~policy
+        t.flips ()
     | User_dedicated ->
       let extra =
         match t.extra with
@@ -115,18 +128,20 @@ let backends ?checker t impl =
         | None -> invalid_arg "Cluster.domain: no extra machine for the dedicated sequencer"
       in
       Orca.Backend.user_stack ~sys_config:Params.panda_system
-        ~rpc_config:Params.panda_rpc ~group_config:Params.panda_group t.flips
-        ~dedicated_sequencer:extra ()
+        ~rpc_config:Params.panda_rpc ~group_config:Params.panda_group ~policy
+        t.flips ~dedicated_sequencer:extra ()
     | User_optimized ->
       Orca.Backend.user_stack ~label:"optimized" ~sys_config:Params.panda_system_opt
-        ~rpc_config:Params.panda_rpc_opt ~group_config:Params.panda_group_opt t.flips ()
+        ~rpc_config:Params.panda_rpc_opt ~group_config:Params.panda_group_opt
+        ~policy t.flips ()
   in
   match checker with
   | Some c -> Faults.Invariants.wrap_backends c backends
   | None -> backends
 
-let domain ?checker t impl =
-  Orca.Rts.create_domain ~rts_overhead:Params.rts_overhead (backends ?checker t impl)
+let domain ?checker ?policy t impl =
+  Orca.Rts.create_domain ~rts_overhead:Params.rts_overhead
+    (backends ?checker ?policy t impl)
 
 let sequencer_machine t impl =
   match impl with

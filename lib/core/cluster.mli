@@ -60,16 +60,28 @@ val all_stacks : stack list
 
 val stack_of_string : string -> stack option
 
-val backends : ?checker:Faults.Invariants.t -> t -> impl -> Orca.Backend.t array
+val backends :
+  ?checker:Faults.Invariants.t ->
+  ?policy:Panda.Seq_policy.t ->
+  t ->
+  impl ->
+  Orca.Backend.t array
 (** The raw communication backends (one per rank) for the given protocol
     implementation — what {!domain} builds the Orca runtime on, exposed
     so load generators can drive the stacks directly.  [User_dedicated]
     requires the cluster to have been created with [extra_machine:true].
     With [checker] the backends are wrapped in the protocol-conformance
     checkers (checked mode); call [Faults.Invariants.finalize] after the
-    run drains. *)
+    run drains.  [policy] (default [Single]) selects the sequencer
+    capacity policy; the user stacks accept them all, the kernel stack
+    only [Single] and [Batching] (@raise Invalid_argument otherwise). *)
 
-val domain : ?checker:Faults.Invariants.t -> t -> impl -> Orca.Rts.domain
+val domain :
+  ?checker:Faults.Invariants.t ->
+  ?policy:Panda.Seq_policy.t ->
+  t ->
+  impl ->
+  Orca.Rts.domain
 (** Builds the Orca domain over the cluster: [backends] plus the
     runtime-system overhead. *)
 

@@ -1011,7 +1011,8 @@ let pp_fault_row fmt r =
 
 let load_impls = [ Cluster.Kernel; Cluster.User; Cluster.User_optimized ]
 
-let load_cell ?faults ?(checked = false) ?net ?client_ranks ~nodes ~impl cfg () =
+let load_cell ?faults ?(checked = false) ?net ?client_ranks
+    ?(policy = Panda.Seq_policy.Single) ~nodes ~impl cfg () =
   let cluster =
     Cluster.create ~extra_machine:(impl = Cluster.User_dedicated) ?net ~n:nodes ()
   in
@@ -1019,12 +1020,19 @@ let load_cell ?faults ?(checked = false) ?net ?client_ranks ~nodes ~impl cfg () 
    | Some spec ->
      ignore (Faults.Inject.install cluster.Cluster.eng cluster.Cluster.topo spec)
    | None -> ());
-  let checker = if checked then Some (Faults.Invariants.create ()) else None in
-  let backends = Cluster.backends ?checker cluster impl in
+  let shards = Panda.Seq_policy.shards policy in
+  let checker = if checked then Some (Faults.Invariants.create ~shards ()) else None in
+  let backends = Cluster.backends ?checker ~policy cluster impl in
+  (match faults with
+   | Some { Faults.Spec.seq_crash = Some at; _ } ->
+     ignore
+       (Sim.Engine.at cluster.Cluster.eng at (fun () ->
+            backends.(0).Orca.Backend.crash_sequencer ()))
+   | _ -> ());
   let seq_machine = Cluster.sequencer_machine cluster impl in
   let m =
     Load.Clients.run cfg ~eng:cluster.Cluster.eng ~backends
-      ~machines:cluster.Cluster.machines ~seq_machine ?client_ranks ()
+      ~machines:cluster.Cluster.machines ~seq_machine ?client_ranks ~shards ()
   in
   match checker with
   | Some c ->
@@ -1063,7 +1071,7 @@ let sequencer_senders = [ 1; 2; 4; 7 ]
 
 let sequencer_saturation ?pool ?faults ?checked ?net ?(nodes = 8)
     ?(senders = sequencer_senders) ?(clients_per_node = 2)
-    ?(config = Load.Clients.default) ?(impls = load_impls) () =
+    ?(config = Load.Clients.default) ?(impls = load_impls) ?policy () =
   let cfg =
     {
       config with
@@ -1080,7 +1088,8 @@ let sequencer_saturation ?pool ?faults ?checked ?net ?(nodes = 8)
             if s >= nodes then
               invalid_arg "Experiments.sequencer_saturation: senders >= nodes";
             let client_ranks = List.init s (fun i -> i + 1) in
-            load_cell ?faults ?checked ?net ~client_ranks ~nodes ~impl cfg ())
+            load_cell ?faults ?checked ?net ?policy ~client_ranks ~nodes ~impl
+              cfg ())
           senders)
       impls
   in
@@ -1098,6 +1107,63 @@ let pp_saturation_row fmt (s, m) =
     m.Load.Metrics.label s m.Load.Metrics.achieved m.Load.Metrics.p50_ms
     m.Load.Metrics.p99_ms
     (100. *. m.Load.Metrics.seq_util)
+    (if m.Load.Metrics.violations = 0 then ""
+     else Printf.sprintf "  %d VIOLATIONS" m.Load.Metrics.violations)
+
+(* The tentpole sweep: the same closed-loop sender grid, but varying the
+   protocol family around the user-space sequencer instead of the stack.
+   Every policy runs the identical workload, so the capacity curves are
+   before/after comparable point by point — [Single] is the 725 msg/s
+   wall, each other policy is one engineering answer to it. *)
+let sequencer_policies = Panda.Seq_policy.sweep
+
+let sequencer_policy_sweep ?pool ?faults ?checked ?net ?(nodes = 8)
+    ?(senders = sequencer_senders) ?(clients_per_node = 2)
+    ?(config = Load.Clients.default) ?(impl = Cluster.User)
+    ?(policies = sequencer_policies) () =
+  let cfg =
+    {
+      config with
+      Load.Clients.op = Load.Clients.Group;
+      arrival = Load.Arrival.Closed 0;
+      clients_per_node;
+    }
+  in
+  let cells =
+    List.concat_map
+      (fun policy ->
+        List.map
+          (fun s () ->
+            if s >= nodes then
+              invalid_arg "Experiments.sequencer_policy_sweep: senders >= nodes";
+            let client_ranks = List.init s (fun i -> i + 1) in
+            load_cell ?faults ?checked ?net ~policy ~client_ranks ~nodes ~impl
+              cfg ())
+          senders)
+      policies
+  in
+  let results = run_cells ?pool cells in
+  let ns = List.length senders in
+  List.mapi
+    (fun i policy ->
+      let points = List.filteri (fun j _ -> j / ns = i) results in
+      (policy, List.combine senders points))
+    policies
+
+let pp_policy_row fmt (policy, (s, m)) =
+  let shard_note =
+    if Array.length m.Load.Metrics.per_shard > 1 then
+      Printf.sprintf "  shards=[%s]"
+        (String.concat ";"
+           (Array.to_list (Array.map string_of_int m.Load.Metrics.per_shard)))
+    else ""
+  in
+  Format.fprintf fmt
+    "%-10s senders=%-2d  %8.1f msg/s  p50 %7.3f ms  p99 %7.3f ms  seq %5.1f%%%s%s"
+    (Panda.Seq_policy.to_string policy)
+    s m.Load.Metrics.achieved m.Load.Metrics.p50_ms m.Load.Metrics.p99_ms
+    (100. *. m.Load.Metrics.seq_util)
+    shard_note
     (if m.Load.Metrics.violations = 0 then ""
      else Printf.sprintf "  %d VIOLATIONS" m.Load.Metrics.violations)
 

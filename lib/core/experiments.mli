@@ -183,6 +183,7 @@ val sequencer_saturation :
   ?clients_per_node:int ->
   ?config:Load.Clients.config ->
   ?impls:Cluster.impl list ->
+  ?policy:Panda.Seq_policy.t ->
   unit ->
   (Cluster.impl * (int * Load.Metrics.t) list) list
 (** Sequencer-bottleneck experiment: closed-loop zero-think group senders
@@ -190,9 +191,42 @@ val sequencer_saturation :
     8-node cluster, 2 clients each); rank 0 hosts the sequencer and never
     sends.  Achieved ordered messages/s plateaus at the sequencer's
     capacity — the user-space sequencer saturates first, the kernel's
-    last. *)
+    last.  [policy] (default [Single]) runs every cell under that
+    sequencer capacity policy (the kernel stack accepts [Single] and
+    [Batching] only). *)
 
 val pp_saturation_row : Format.formatter -> int * Load.Metrics.t -> unit
+
+val sequencer_policies : Panda.Seq_policy.t list
+(** The default policy sweep: [Single] plus one representative of each
+    capacity mechanism ({!Panda.Seq_policy.sweep}). *)
+
+val sequencer_policy_sweep :
+  ?pool:Exec.Pool.t ->
+  ?faults:Faults.Spec.t ->
+  ?checked:bool ->
+  ?net:Params.net_profile ->
+  ?nodes:int ->
+  ?senders:int list ->
+  ?clients_per_node:int ->
+  ?config:Load.Clients.config ->
+  ?impl:Cluster.impl ->
+  ?policies:Panda.Seq_policy.t list ->
+  unit ->
+  (Panda.Seq_policy.t * (int * Load.Metrics.t) list) list
+(** The same closed-loop sender grid as {!sequencer_saturation}, but
+    varying the sequencer capacity policy over one stack (default
+    [User]).  Every policy runs the identical workload, so the capacity
+    curves are before/after comparable point by point: [Single] is the
+    paper's ~725 msg/s wall, the others are the protocol-family answers
+    to it (batching, rotation, sharding, failover standby).  With
+    [?faults] carrying a [seq_crash] instant, each cell also exercises
+    mid-run sequencer failover. *)
+
+val pp_policy_row :
+  Format.formatter -> Panda.Seq_policy.t * (int * Load.Metrics.t) -> unit
+(** One row of the policy × senders capacity table (sharded rows append
+    the per-shard completion split). *)
 
 (** {1 One-sided crossover (the fourth stack across network eras)} *)
 

@@ -50,6 +50,8 @@ let amoeba_group =
     copy_byte = Sim.Time.ns 50;
     deliver_fixed = Sim.Time.us 250;
     seq_process = Sim.Time.us 150;
+    seq_batch_max = 1;
+    seq_order_item = Sim.Time.us 40;
     call_depth = 2;
     bb_threshold = 1460;
     retrans_timeout = Sim.Time.ms 200;

@@ -68,7 +68,8 @@ type outcome = {
   o_violations : string list;
 }
 
-let run ?faults ?(checked = false) ?net ?lanes ~impl ~procs app =
+let run ?faults ?(checked = false) ?net ?lanes
+    ?(sequencer = Panda.Seq_policy.Single) ~impl ~procs app =
   (* The dedicated-sequencer variant sacrifices one of the P processors to
      the sequencer: P-1 Orca workers (the paper's 15 workers at P=16). *)
   let workers =
@@ -84,8 +85,21 @@ let run ?faults ?(checked = false) ?net ?lanes ~impl ~procs app =
     | Some spec -> Some (Faults.Inject.install cluster.Cluster.eng cluster.Cluster.topo spec)
     | None -> None
   in
-  let checker = if checked then Some (Faults.Invariants.create ()) else None in
-  let dom = Cluster.domain ?checker cluster impl in
+  let checker =
+    if checked then
+      Some (Faults.Invariants.create ~shards:(Panda.Seq_policy.shards sequencer) ())
+    else None
+  in
+  let backends = Cluster.backends ?checker ~policy:sequencer cluster impl in
+  (* A scheduled sequencer crash is a fault like any other: driven by the
+     spec, visible to the app only as recovery latency. *)
+  (match faults with
+   | Some { Faults.Spec.seq_crash = Some at; _ } ->
+     ignore
+       (Sim.Engine.at cluster.Cluster.eng at (fun () ->
+            backends.(0).Orca.Backend.crash_sequencer ()))
+   | _ -> ());
+  let dom = Orca.Rts.create_domain ~rts_overhead:Params.rts_overhead backends in
   let body, result = app.app_make dom in
   let finish = ref Sim.Time.zero in
   for rank = 0 to workers - 1 do
@@ -142,17 +156,17 @@ let run ?faults ?(checked = false) ?net ?lanes ~impl ~procs app =
 
 let prepare app = ignore (Lazy.force app.app_reference)
 
-let run_cell ?faults ?checked ?net ?lanes (impl, procs, app) =
-  run ?faults ?checked ?net ?lanes ~impl ~procs app
+let run_cell ?faults ?checked ?net ?lanes ?sequencer (impl, procs, app) =
+  run ?faults ?checked ?net ?lanes ?sequencer ~impl ~procs app
 
-let run_many ?pool ?faults ?checked ?net ?lanes cells =
+let run_many ?pool ?faults ?checked ?net ?lanes ?sequencer cells =
   match pool with
-  | None -> List.map (run_cell ?faults ?checked ?net ?lanes) cells
+  | None -> List.map (run_cell ?faults ?checked ?net ?lanes ?sequencer) cells
   | Some p ->
     (* Force every sequential reference before fanning out: [Lazy.force]
        from two domains at once is a race. *)
     List.iter (fun (_, _, app) -> prepare app) cells;
-    Exec.Pool.map_list p (run_cell ?faults ?checked ?net ?lanes) cells
+    Exec.Pool.map_list p (run_cell ?faults ?checked ?net ?lanes ?sequencer) cells
 
 let pp_stats fmt s =
   Format.fprintf fmt

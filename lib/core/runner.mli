@@ -45,18 +45,21 @@ val run :
   ?checked:bool ->
   ?net:Params.net_profile ->
   ?lanes:bool ->
+  ?sequencer:Panda.Seq_policy.t ->
   impl:Cluster.impl ->
   procs:int ->
   app ->
   outcome
 (** [?faults] installs the fault schedule on the cluster's network before
-    the run; [?checked] (default false) wraps the backends in the
-    {!Faults.Invariants} conformance checkers and reports violations in
-    [o_violations]; [?net] (default {!Params.net10m}) picks the network
-    era the cluster is built on; [?lanes] (default
-    {!Cluster.default_lanes}) shards multi-segment clusters into
-    conservative engine lanes, with each rank's worker fiber spawned in
-    its machine's lane. *)
+    the run (its [seq_crash] instant, if any, is scheduled against the
+    backend's sequencer); [?checked] (default false) wraps the backends in
+    the {!Faults.Invariants} conformance checkers — sized to the policy's
+    shard count — and reports violations in [o_violations]; [?net]
+    (default {!Params.net10m}) picks the network era the cluster is built
+    on; [?lanes] (default {!Cluster.default_lanes}) shards multi-segment
+    clusters into conservative engine lanes, with each rank's worker fiber
+    spawned in its machine's lane; [?sequencer] (default [Single]) selects
+    the sequencer capacity policy the group stack runs. *)
 
 val prepare : app -> unit
 (** Forces the app's sequential reference result.  Must be called (in one
@@ -70,6 +73,7 @@ val run_many :
   ?checked:bool ->
   ?net:Params.net_profile ->
   ?lanes:bool ->
+  ?sequencer:Panda.Seq_policy.t ->
   (Cluster.impl * int * app) list ->
   outcome list
 (** Runs each (impl, procs, app) cell as an independent simulation ([?faults]

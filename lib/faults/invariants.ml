@@ -5,7 +5,7 @@
 type Sim.Payload.t +=
   | Req of { id : int; size : int; inner : Sim.Payload.t }
   | Rep of { id : int; size : int; inner : Sim.Payload.t }
-  | Bcast of { origin : int; seq : int; size : int; inner : Sim.Payload.t }
+  | Bcast of { origin : int; seq : int; key : int; size : int; inner : Sim.Payload.t }
 
 let max_kept = 64
 
@@ -16,11 +16,13 @@ type t = {
   outstanding : (int, unit) Hashtbl.t;  (* issued, reply not yet returned *)
   served : (int, unit) Hashtbl.t;  (* request ids a handler has run for *)
   mutable handled : int;
-  (* Group delivery: the common reference sequence, fixed by whichever
-     member delivers position k first. *)
-  log : (int, int * int) Hashtbl.t;  (* position -> (origin, seq) *)
-  mutable log_len : int;
-  pos : (int, int ref) Hashtbl.t;  (* member rank -> next position *)
+  (* Group delivery: one common reference sequence per ordering shard,
+     each fixed by whichever member delivers its position k first.  With
+     [shards = 1] (the default) this is the classic single total order. *)
+  shards : int;
+  log : (int * int, int * int) Hashtbl.t;  (* (shard, position) -> (origin, seq) *)
+  log_len : int array;  (* per-shard reference length *)
+  pos : (int * int, int ref) Hashtbl.t;  (* (shard, member rank) -> next position *)
   sent : (int, int ref) Hashtbl.t;  (* origin rank -> broadcasts sent *)
   (* One-sided ops, keyed (initiator address, op id). *)
   os_outstanding : (Flip.Address.t * int, unit) Hashtbl.t;
@@ -28,7 +30,8 @@ type t = {
   mutable os_checked : int;  (* target executions observed *)
 }
 
-let create () =
+let create ?(shards = 1) () =
+  if shards < 1 then invalid_arg "Invariants.create: shards must be >= 1";
   {
     viol_rev = [];
     n_viol = 0;
@@ -36,8 +39,9 @@ let create () =
     outstanding = Hashtbl.create 64;
     served = Hashtbl.create 1024;
     handled = 0;
+    shards;
     log = Hashtbl.create 1024;
-    log_len = 0;
+    log_len = Array.make shards 0;
     pos = Hashtbl.create 16;
     sent = Hashtbl.create 16;
     os_outstanding = Hashtbl.create 64;
@@ -60,19 +64,25 @@ let counter tbl key =
     Hashtbl.replace tbl key r;
     r
 
-let check_order c ~member ~origin ~seq =
-  let k = counter c.pos member in
-  (if !k < c.log_len then begin
-     let o, s = Hashtbl.find c.log !k in
+let check_order c ~member ~shard ~origin ~seq =
+  let k = counter c.pos (shard, member) in
+  (if !k < c.log_len.(shard) then begin
+     let o, s = Hashtbl.find c.log (shard, !k) in
      if o <> origin || s <> seq then
-       violate c
-         "group: member %d delivery #%d is (origin %d, seq %d) but member \
-          order fixed (origin %d, seq %d)"
-         member !k origin seq o s
+       if c.shards = 1 then
+         violate c
+           "group: member %d delivery #%d is (origin %d, seq %d) but member \
+            order fixed (origin %d, seq %d)"
+           member !k origin seq o s
+       else
+         violate c
+           "group: member %d shard %d delivery #%d is (origin %d, seq %d) but \
+            member order fixed (origin %d, seq %d)"
+           member shard !k origin seq o s
    end
    else begin
-     Hashtbl.replace c.log c.log_len (origin, seq);
-     c.log_len <- c.log_len + 1
+     Hashtbl.replace c.log (shard, c.log_len.(shard)) (origin, seq);
+     c.log_len.(shard) <- c.log_len.(shard) + 1
    end);
   incr k
 
@@ -81,16 +91,16 @@ let wrap_backend c (b : Orca.Backend.t) =
   {
     b with
     Orca.Backend.broadcast =
-      (fun ~nonblocking ~size payload ->
+      (fun ~nonblocking ?(key = 0) ~size payload ->
         let seq = counter c.sent rank in
-        let tagged = Bcast { origin = rank; seq = !seq; size; inner = payload } in
+        let tagged = Bcast { origin = rank; seq = !seq; key; size; inner = payload } in
         incr seq;
-        b.Orca.Backend.broadcast ~nonblocking ~size tagged);
+        b.Orca.Backend.broadcast ~nonblocking ~key ~size tagged);
     set_deliver =
       (fun f ->
         b.Orca.Backend.set_deliver (fun ~sender ~size payload ->
             match payload with
-            | Bcast { origin; seq; size = sz; inner } ->
+            | Bcast { origin; seq; key; size = sz; inner } ->
               if sender <> origin then
                 violate c "group: member %d got (origin %d, seq %d) attributed to sender %d"
                   rank origin seq sender;
@@ -98,7 +108,8 @@ let wrap_backend c (b : Orca.Backend.t) =
                 violate c
                   "group: member %d got (origin %d, seq %d) with size %d, sent as %d"
                   rank origin seq size sz;
-              check_order c ~member:rank ~origin ~seq;
+              let shard = Panda.Seq_policy.shard_of_key ~shards:c.shards key in
+              check_order c ~member:rank ~shard ~origin ~seq;
               f ~sender ~size inner
             | other ->
               violate c "group: member %d delivered an untagged payload" rank;
@@ -153,7 +164,10 @@ let wrap_backend c (b : Orca.Backend.t) =
 
 let wrap_backends c backends =
   Array.iter
-    (fun b -> ignore (counter c.pos b.Orca.Backend.rank))
+    (fun b ->
+      for shard = 0 to c.shards - 1 do
+        ignore (counter c.pos (shard, b.Orca.Backend.rank))
+      done)
     backends;
   Array.map (wrap_backend c) backends
 
@@ -201,17 +215,22 @@ let finalize c =
         (Format.asprintf "%a" Flip.Address.pp a))
     c.os_outstanding;
   Hashtbl.iter
-    (fun member k ->
-      if !k <> c.log_len then
-        violate c "group: member %d delivered %d of the %d ordered broadcasts"
-          member !k c.log_len)
+    (fun (shard, member) k ->
+      if !k <> c.log_len.(shard) then
+        if c.shards = 1 then
+          violate c "group: member %d delivered %d of the %d ordered broadcasts"
+            member !k c.log_len.(shard)
+        else
+          violate c
+            "group: member %d delivered %d of shard %d's %d ordered broadcasts"
+            member !k shard c.log_len.(shard))
     c.pos;
-  (* Every sent broadcast must appear in the common sequence, each origin's
-     seqs contiguous from 0 — a message ordered twice or never delivered
-     anywhere both surface here. *)
+  (* Every sent broadcast must appear in exactly one shard's reference
+     sequence, each origin's seqs contiguous from 0 — a message ordered
+     twice or never delivered anywhere both surface here. *)
   let seen = Hashtbl.create 64 in
   Hashtbl.iter
-    (fun _pos (origin, seq) ->
+    (fun _spos (origin, seq) ->
       let spot = (origin, seq) in
       if Hashtbl.mem seen spot then
         violate c "group: (origin %d, seq %d) appears twice in the sequence"
@@ -231,14 +250,15 @@ let violations c = List.rev c.viol_rev
 let n_violations c = c.n_viol
 let ok c = c.n_viol = 0
 let rpcs_checked c = c.handled
-let broadcasts_checked c = c.log_len
+let broadcasts_checked c = Array.fold_left ( + ) 0 c.log_len
 let onesided_checked c = c.os_checked
 
 let pp fmt c =
   if ok c then
-    Format.fprintf fmt "ok (%d rpcs, %d broadcasts checked)" c.handled c.log_len
+    Format.fprintf fmt "ok (%d rpcs, %d broadcasts checked)" c.handled
+      (broadcasts_checked c)
   else begin
     Format.fprintf fmt "%d violations (%d rpcs, %d broadcasts checked)" c.n_viol
-      c.handled c.log_len;
+      c.handled (broadcasts_checked c);
     List.iter (fun v -> Format.fprintf fmt "@,  %s" v) (violations c)
   end

@@ -20,7 +20,11 @@
       same delivery sequence (the first member to deliver its k-th message
       fixes the reference; every other member's k-th delivery must match),
       senders are attributed correctly, and per-origin sequence numbers
-      never skip.
+      never skip.  Under a sharded sequencer policy the checker maintains
+      one reference sequence {e per ordering shard} (create with [~shards]
+      matching the group): delivery order must be identical across members
+      within each shard, and every broadcast must land in exactly one
+      shard's sequence.
 
     {!finalize} (after the simulation drains) adds the completeness half:
     every issued RPC completed, every broadcast was delivered, and every
@@ -31,7 +35,11 @@
 
 type t
 
-val create : unit -> t
+val create : ?shards:int -> unit -> t
+(** [shards] (default 1) is the number of independent ordering domains:
+    broadcasts are assigned to reference sequences by
+    [Panda.Seq_policy.shard_of_key] over the key the sender passed.  Must
+    match the group's {!Panda.Group.shard_count}. *)
 
 val wrap_backends : t -> Orca.Backend.t array -> Orca.Backend.t array
 (** Interposes the checkers on every backend.  The wrapped array is a

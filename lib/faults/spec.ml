@@ -11,6 +11,7 @@ type t = {
   burst_len : int;
   parts : window list;
   sw_parts : window list;
+  seq_crash : Sim.Time.t option;
 }
 
 let none =
@@ -25,6 +26,7 @@ let none =
     burst_len = 0;
     parts = [];
     sw_parts = [];
+    seq_crash = None;
   }
 
 let loss ?(seed = 1) p = { none with seed; loss = p }
@@ -32,7 +34,7 @@ let loss ?(seed = 1) p = { none with seed; loss = p }
 let is_null t =
   t.loss = 0. && t.dup = 0. && t.corrupt = 0. && t.reorder = 0.
   && (t.burst_p = 0. || t.burst_len = 0)
-  && t.parts = [] && t.sw_parts = []
+  && t.parts = [] && t.sw_parts = [] && t.seq_crash = None
 
 (* --- parsing --- *)
 
@@ -99,6 +101,9 @@ let item t s =
     | "swpart" ->
       let* w = window key v in
       Ok { t with sw_parts = t.sw_parts @ [ w ] }
+    | "seqcrash" ->
+      let* at = sec_span key v in
+      Ok { t with seq_crash = Some at }
     | _ -> Error (Printf.sprintf "unknown fault key %S" key))
 
 let parse s =
@@ -133,6 +138,9 @@ let to_string t =
   in
   List.iter (win "part") t.parts;
   List.iter (win "swpart") t.sw_parts;
+  (match t.seq_crash with
+   | Some at -> add "seqcrash=%s" (fl (Sim.Time.to_sec at))
+   | None -> ());
   Buffer.contents b
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)

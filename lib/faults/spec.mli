@@ -17,6 +17,9 @@
                       (repeatable; every segment drops all frames in the window)
     swpart=T+D        switch partition window: the switch forwards nothing,
                       segments stay internally connected (repeatable)
+    seqcrash=T        crash the group sequencer at T seconds (the runner
+                      schedules {!Panda.Group.crash_sequencer}; requires a
+                      crash-recoverable sequencer policy)
     v}
 
     Example: [seed=42,loss=0.01,dup=0.005,burst=0.001x8,part=0.5+0.2]. *)
@@ -34,6 +37,7 @@ type t = {
   burst_len : int;  (** frames killed once a burst starts *)
   parts : window list;  (** segment blackout windows *)
   sw_parts : window list;  (** switch partition windows *)
+  seq_crash : Sim.Time.t option;  (** sequencer crash instant, if any *)
 }
 
 val none : t

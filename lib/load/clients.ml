@@ -162,6 +162,7 @@ let run_core cfg ~eng ~machines ~label ~op_name ?seq_machine ~server
     seq_util;
     ledger_cpu_ms = float_of_int (Obs.Recorder.cpu_ns recorder) /. 1e6;
     violations = 0;
+    per_shard = [||];
   }
 
 let resolve_ranks ~n ~server = function
@@ -169,9 +170,10 @@ let resolve_ranks ~n ~server = function
   | None -> List.filter (fun r -> r <> server) (List.init n Fun.id)
 
 let run cfg ~eng ~backends ~machines ?seq_machine ?(server = 0) ?client_ranks
-    ?recorder () =
+    ?recorder ?(shards = 1) () =
   let n = Array.length backends in
   if n < 2 then invalid_arg "Clients.run: need at least two ranks";
+  if shards < 1 then invalid_arg "Clients.run: shards must be >= 1";
   let client_ranks = resolve_ranks ~n ~server client_ranks in
   if client_ranks = [] then invalid_arg "Clients.run: no client ranks";
   (* Echo server and group sink; installing on every rank is harmless and
@@ -182,17 +184,38 @@ let run cfg ~eng ~backends ~machines ?seq_machine ?(server = 0) ?client_ranks
           reply ~size:cfg.reply_size Sim.Payload.Empty);
       b.Orca.Backend.set_deliver (fun ~sender:_ ~size:_ _ -> ()))
     backends;
+  (* Group sends carry a counter-based ordering key — not an RNG draw, so
+     the event stream (and every pinned single-shard result) is untouched
+     — and the window's completions are attributed to the key's shard. *)
+  let next_key = ref 0 in
+  let shard_done = Array.make shards 0 in
+  let t0 = Sim.Engine.now eng in
+  let w_start = t0 + cfg.warmup in
+  let w_end = w_start + cfg.window in
   let op rank rng =
     let size = Mix.pick cfg.mix rng in
     let b = backends.(rank) in
     match cfg.op with
     | Rpc -> ignore (b.Orca.Backend.rpc ~dst:server ~size Sim.Payload.Empty)
-    | Group -> b.Orca.Backend.broadcast ~nonblocking:false ~size Sim.Payload.Empty
+    | Group ->
+      let key = !next_key in
+      incr next_key;
+      b.Orca.Backend.broadcast ~nonblocking:false ~key ~size Sim.Payload.Empty;
+      let fin = Sim.Engine.now eng in
+      if fin >= w_start && fin < w_end then begin
+        let sh = Panda.Seq_policy.shard_of_key ~shards key in
+        shard_done.(sh) <- shard_done.(sh) + 1
+      end
   in
-  run_core cfg ~eng ~machines
-    ~label:backends.(0).Orca.Backend.label
-    ~op_name:(op_label cfg.op) ?seq_machine ~server ~client_ranks ?recorder ~op
-    ()
+  let m =
+    run_core cfg ~eng ~machines
+      ~label:backends.(0).Orca.Backend.label
+      ~op_name:(op_label cfg.op) ?seq_machine ~server ~client_ranks ?recorder ~op
+      ()
+  in
+  match cfg.op with
+  | Group -> { m with Metrics.per_shard = shard_done }
+  | Rpc -> m
 
 let run_custom cfg ~eng ~machines ~label ~op_name ?seq_machine ?(server = 0)
     ?client_ranks ?recorder ~op () =

@@ -39,6 +39,7 @@ val run :
   ?server:int ->
   ?client_ranks:int list ->
   ?recorder:Obs.Recorder.t ->
+  ?shards:int ->
   unit ->
   Metrics.t
 (** [machines.(i)] must host [backends.(i)].  [server] (default 0) is
@@ -49,7 +50,12 @@ val run :
     measurement window, so callers can read the layer × cause ledger
     cells afterwards.  Runs the engine to completion;
     [Metrics.violations] is always 0 here (checked-mode callers fill it
-    in after finalizing their checker). *)
+    in after finalizing their checker).
+
+    Group sends carry a deterministic counter-based ordering key, so a
+    sharded backend spreads them across its sequencers; [shards]
+    (default 1) sizes [Metrics.per_shard], the per-shard completion
+    counts — pass the group's shard count. *)
 
 val run_custom :
   config ->

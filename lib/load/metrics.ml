@@ -16,6 +16,7 @@ type t = {
   seq_util : float;
   ledger_cpu_ms : float;
   violations : int;
+  per_shard : int array;
 }
 
 let saturated ?(frac = 0.95) t = t.achieved < frac *. t.offered

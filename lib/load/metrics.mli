@@ -31,6 +31,11 @@ type t = {
       (** total CPU ns charged to the Obs ledger over the window, in ms
           (sums every machine; equals the busy-time deltas) *)
   violations : int;  (** conformance violations in checked mode, else 0 *)
+  per_shard : int array;
+      (** group traffic only: completions inside the window per ordering
+          shard, indexed by shard — [[||]] for RPC/custom runs.  Sums to
+          [completed]; the spread shows how evenly the key hash balances
+          ordering load across sharded sequencers. *)
 }
 
 val saturated : ?frac:float -> t -> bool

@@ -5,7 +5,7 @@ module Sync = Machine.Sync
 type t = {
   rank : int;
   machine : Machine.Mach.t;
-  broadcast : nonblocking:bool -> size:int -> Sim.Payload.t -> unit;
+  broadcast : nonblocking:bool -> ?key:int -> size:int -> Sim.Payload.t -> unit;
   set_deliver : (sender:int -> size:int -> Sim.Payload.t -> unit) -> unit;
   rpc : dst:int -> size:int -> Sim.Payload.t -> int * Sim.Payload.t;
   set_rpc_handler :
@@ -18,6 +18,7 @@ type t = {
   supports_async_reply : bool;
   supports_nonblocking_broadcast : bool;
   retransmissions : unit -> int;
+  crash_sequencer : unit -> unit;
   label : string;
 }
 
@@ -87,9 +88,11 @@ let kernel_stack ?(rpc_config = Amoeba.Rpc.default_config)
         rank = i;
         machine = mach;
         broadcast =
-          (fun ~nonblocking ~size payload ->
+          (fun ~nonblocking ?key:_ ~size payload ->
             (* Amoeba's kernel protocol has no nonblocking variant; adding
-               one would require kernel modifications (paper, §6). *)
+               one would require kernel modifications (paper, §6).  The
+               kernel sequencer is likewise unsharded, so ordering keys
+               carry no information here. *)
             ignore nonblocking;
             Amoeba.Group.send members.(i) ~size payload);
         set_deliver = (fun f -> deliver := f);
@@ -101,13 +104,18 @@ let kernel_stack ?(rpc_config = Amoeba.Rpc.default_config)
           (fun () ->
             Amoeba.Rpc.retransmissions rpcs.(i)
             + if i = 0 then Amoeba.Group.retransmissions grp else 0);
+        crash_sequencer =
+          (fun () ->
+            invalid_arg
+              "kernel backend: sequencer crash recovery is not modeled \
+               (Amoeba's reset protocol is out of scope)");
         label = "kernel";
       })
 
 let user_stack ?label:label_override ?(sys_config = Panda.System_layer.default_config)
     ?(rpc_config = Panda.Rpc.default_config)
-    ?(group_config = Panda.Group.default_config) flips ?(sequencer = 0)
-    ?dedicated_sequencer () =
+    ?(group_config = Panda.Group.default_config) ?(policy = Panda.Seq_policy.Single)
+    flips ?(sequencer = 0) ?dedicated_sequencer () =
   let n = Array.length flips in
   let sys =
     Array.mapi
@@ -126,16 +134,19 @@ let user_stack ?label:label_override ?(sys_config = Panda.System_layer.default_c
     | None -> (Panda.Group.On_member sequencer, "user")
   in
   let label = Option.value label_override ~default:label in
-  let grp, members = Panda.Group.create_static ~config:group_config ~name:"orca" ~sequencer:placement sys in
+  let grp, members =
+    Panda.Group.create_static ~config:group_config ~policy ~name:"orca"
+      ~sequencer:placement sys
+  in
   Array.init n (fun i ->
       let mach = Panda.System_layer.machine sys.(i) in
       {
         rank = i;
         machine = mach;
         broadcast =
-          (fun ~nonblocking ~size payload ->
-            if nonblocking then Panda.Group.send_nonblocking members.(i) ~size payload
-            else Panda.Group.send members.(i) ~size payload);
+          (fun ~nonblocking ?(key = 0) ~size payload ->
+            if nonblocking then Panda.Group.send_nonblocking ~key members.(i) ~size payload
+            else Panda.Group.send ~key members.(i) ~size payload);
         set_deliver =
           (fun f ->
             Panda.Group.set_handler members.(i) (fun ~sender ~size payload ->
@@ -156,5 +167,7 @@ let user_stack ?label:label_override ?(sys_config = Panda.System_layer.default_c
           (fun () ->
             Panda.Rpc.retransmissions rpcs.(i)
             + if i = 0 then Panda.Group.retransmissions grp else 0);
+        crash_sequencer =
+          (fun () -> if i = 0 then Panda.Group.crash_sequencer grp);
         label;
       })

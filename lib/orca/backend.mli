@@ -18,9 +18,12 @@
 type t = {
   rank : int;
   machine : Machine.Mach.t;
-  broadcast : nonblocking:bool -> size:int -> Sim.Payload.t -> unit;
+  broadcast : nonblocking:bool -> ?key:int -> size:int -> Sim.Payload.t -> unit;
       (** totally-ordered broadcast to all ranks (including self); when
-          [nonblocking] is unsupported the call degrades to blocking *)
+          [nonblocking] is unsupported the call degrades to blocking.
+          [key] (default 0) picks the ordering shard under a sharded
+          sequencer policy ({!Panda.Seq_policy.Sharded}); other policies —
+          and the kernel stack — ignore it *)
   set_deliver : (sender:int -> size:int -> Sim.Payload.t -> unit) -> unit;
       (** handler for ordered deliveries; runs in a daemon-thread context *)
   rpc : dst:int -> size:int -> Sim.Payload.t -> int * Sim.Payload.t;
@@ -42,6 +45,11 @@ type t = {
           summing over all ranks gives the stack total (the group
           protocol's counter is carried by rank 0 alone, since the
           sequencer's retransmissions belong to no one rank) *)
+  crash_sequencer : unit -> unit;
+      (** kills the group sequencer mid-run so failover can be observed
+          (only meaningful on rank 0, a no-op elsewhere; user stack only).
+          @raise Invalid_argument on the kernel stack or under the
+          [Single] policy — neither models sequencer recovery *)
   label : string;
 }
 
@@ -60,6 +68,7 @@ val user_stack :
   ?sys_config:Panda.System_layer.config ->
   ?rpc_config:Panda.Rpc.config ->
   ?group_config:Panda.Group.config ->
+  ?policy:Panda.Seq_policy.t ->
   Flip.Flip_iface.t array ->
   ?sequencer:int ->
   ?dedicated_sequencer:Flip.Flip_iface.t ->
@@ -68,4 +77,6 @@ val user_stack :
 (** User-space Panda stack.  With [dedicated_sequencer], the sequencer
     thread runs alone on that extra machine instead of on rank
     [sequencer].  [label] overrides the backend label (default "user" /
-    "user-dedicated"), e.g. "optimized" for the optimized-config stack. *)
+    "user-dedicated"), e.g. "optimized" for the optimized-config stack.
+    [policy] (default [Single], the paper's exact protocol) selects the
+    sequencer capacity policy — see {!Panda.Seq_policy.t}. *)

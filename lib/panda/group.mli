@@ -14,7 +14,16 @@
 
     [send] blocks until the sender's own message comes back in the total
     order; {!send_nonblocking} is the paper's proposed extension (§6) for
-    write-operations whose semantics allow it. *)
+    write-operations whose semantics allow it.
+
+    The sequencer is also the system's hardest scaling wall (~725 msg/s
+    with its CPU pinned), so the group accepts a {!Seq_policy.t} choosing
+    the protocol family around it: sequence-number batching with
+    piggybacked acks, a rotating ordering token, sharded sequencers
+    (gap-free total order {e per shard}, keyed by the sender's [?key]),
+    and crash failover in which a standby sequencer rebuilds ordering
+    state from the members' bounded history buffers.  The default
+    [Single] policy is byte-for-byte the paper's protocol. *)
 
 type config = {
   header_bytes : int;  (** data-message header (40 in the paper) *)
@@ -38,7 +47,22 @@ type sequencer_placement =
   | Dedicated of System_layer.t
       (** a machine sacrificed to run only the sequencer *)
 
-(** Wire messages, exposed for tests and failure injection. *)
+(** An ordered message as it sits in history buffers and batched
+    announcements. *)
+type entry = {
+  e_seq : int;
+  e_sender : int;
+  e_local : int;
+  e_size : int;
+  e_user : Sim.Payload.t;
+}
+
+(** Wire messages, exposed for tests and failure injection.  Non-default
+    policies add: {!Gordb} (a batched sequence-number range with the
+    history-trim watermark piggybacked), {!Gtok} (the rotating ordering
+    token), {!Gdead}/{!Ghist_req}/{!Ghist_rsp} (crash failover), and
+    {!Gshard} (the shard discriminator wrapped around every payload of a
+    sharded group — single-core groups stay unwrapped). *)
 type Sim.Payload.t +=
   | Gpb of { sender : int; local : int; size : int; user : Sim.Payload.t }
   | Gbb of { sender : int; local : int; size : int; user : Sim.Payload.t }
@@ -47,36 +71,74 @@ type Sim.Payload.t +=
   | Gret of { g_member : int; g_from : int }
   | Gstat_req of { gsr_next : int }
   | Gstat_rsp of { g_member : int; g_delivered : int }
+  | Gordb of { gb_entries : entry list; gb_lo : int }
+  | Gtok of { tk_holder : int; tk_gen : int }
+  | Gdead of { gd_from : int }
+  | Ghist_req of { hq_epoch : int }
+  | Ghist_rsp of { hr_member : int; hr_delivered : int; hr_entries : entry list }
+  | Gshard of { sh_core : int; sh_inner : Sim.Payload.t }
 
 exception Group_failure of string
 
 val create_static :
   ?config:config ->
+  ?policy:Seq_policy.t ->
   name:string ->
   sequencer:sequencer_placement ->
   System_layer.t array ->
   t * member array
 (** One member per Panda instance.  Membership is static in the Panda
     stack (the paper's experiments never change it mid-run; the kernel
-    stack additionally implements Amoeba's dynamic join/leave). *)
+    stack additionally implements Amoeba's dynamic join/leave).
+
+    [policy] defaults to [Seq_policy.Single], which is exactly the
+    original protocol.  Under [Sharded n], shard [k]'s sequencer is
+    placed on member [(i + k) mod members] (spreading ordering CPU), and
+    each shard orders independently: delivery order is total {e within}
+    a shard only.  Under any crash-recoverable policy, the successor
+    (the member after the sequencer's) hosts a pre-wired standby. *)
 
 val config : t -> config
+val policy : t -> Seq_policy.t
+
+val shard_count : t -> int
+(** Number of independent ordering domains (1 unless sharded). *)
+
 val member_index : member -> int
 val member_count : t -> int
 
 val set_handler : member -> (sender:int -> size:int -> Sim.Payload.t -> unit) -> unit
 (** Installs the delivery upcall; runs in the member's system-layer daemon
-    thread, in total order. *)
+    thread, in per-shard total order. *)
 
-val send : member -> size:int -> Sim.Payload.t -> unit
-(** Blocking broadcast.  @raise Group_failure after [max_retries]. *)
+val send : ?key:int -> member -> size:int -> Sim.Payload.t -> unit
+(** Blocking broadcast.  [key] (default 0) picks the ordering shard via
+    {!Seq_policy.shard_of_key}; it is ignored unless the group is
+    sharded.  @raise Group_failure after [max_retries]. *)
 
-val send_nonblocking : member -> size:int -> Sim.Payload.t -> unit
-(** Fire-and-forget broadcast (still totally ordered and reliable); the
-    paper's §6 extension.  The calling thread does not wait for the
-    sequencer round trip. *)
+val send_nonblocking : ?key:int -> member -> size:int -> Sim.Payload.t -> unit
+(** Fire-and-forget broadcast (still reliable and per-shard totally
+    ordered); the paper's §6 extension.  The calling thread does not wait
+    for the sequencer round trip. *)
+
+val crash_sequencer : t -> unit
+(** Kills the (primary) sequencer thread mid-run: it stops processing
+    and its pending queue is lost.  Members detect the silence through
+    their retransmission timers and trigger recovery — history-buffer
+    rebuild on the standby, or a token reclaim under rotation.  Sharded
+    groups crash shard 0's sequencer.
+    @raise Invalid_argument under the [Single] policy (no recovery). *)
+
+val sequencer_epoch : t -> int
+(** 0 while the primary orders; 1 once a standby has taken over. *)
 
 val delivered_seq : member -> int
+(** Total messages delivered at this member across all shards, minus 1
+    (the highest delivered sequence number when there is one shard). *)
+
+val delivered_in_shard : member -> shard:int -> int
+(** Highest sequence number delivered at this member in one shard. *)
+
 val messages_ordered : t -> int
 val retransmissions : t -> int
 val history_length : t -> int

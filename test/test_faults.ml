@@ -74,6 +74,7 @@ let spec_of_seed s =
     burst_len = (if bursty then 1 + Rng.int rng 16 else 0);
     parts = windows (Rng.int rng 3);
     sw_parts = windows (Rng.int rng 2);
+    seq_crash = (if Rng.bool rng then Some (Time.ms (1 + Rng.int rng 5000)) else None);
   }
 
 let prop_spec_roundtrip =

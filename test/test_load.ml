@@ -115,6 +115,7 @@ let synth offered achieved =
     seq_util = 0.;
     ledger_cpu_ms = 0.;
     violations = 0;
+    per_shard = [||];
   }
 
 let test_knee_detection () =
