@@ -577,6 +577,111 @@ let print_onesided ?pool ?faults ?(quick = false) () =
   then Printf.printf "WARNING: DHT coherence or invariant violations!\n"
   else Printf.printf "(all cells: zero coherence and invariant violations)\n"
 
+(* The cluster-scale artifact: the sharded Zipf-routed service on
+   multi-segment pools swept to its saturation knee, plus the
+   ledger-driven migration A/B.  Quick mode is the CI smoke: the 64-node
+   grid and the A/B only; full mode adds the 256-node ramp. *)
+let cluster_json : string option ref = ref None
+
+let print_cluster ?pool ?faults ?(quick = false) ~net () =
+  hr "Cluster scale: sharded Zipf service on multi-segment pools";
+  let checked = faults <> None in
+  let stacks =
+    [
+      Core.Cluster.Rpc_stack Core.Cluster.Kernel;
+      Core.Cluster.Rpc_stack Core.Cluster.User_optimized;
+      Core.Cluster.One_sided;
+    ]
+  in
+  let combos =
+    (64, [ 4000. ])
+    :: (if quick then [] else [ (256, [ 1000.; 2000.; 4000. ]) ])
+  in
+  let sweeps =
+    List.map
+      (fun (nodes, rates) ->
+        Core.Experiments.cluster_sweep ?pool ?faults ~checked ~net ~lanes:true
+          ~nodes:[ nodes ] ~stacks ~rates ())
+      combos
+    |> List.concat
+  in
+  List.iter
+    (fun ((n, stack, skew), cells, knee) ->
+      Format.printf "  -- %d nodes  %s  %s@." n
+        (Core.Cluster.stack_label stack)
+        (Load.Keys.skew_label skew);
+      List.iter (fun c -> Format.printf "  %a@." Core.Experiments.pp_ccell c) cells;
+      Format.printf "     knee: %a@." Core.Experiments.pp_knee knee)
+    sweeps;
+  hr "Cluster scale: ledger-driven migration vs static placement";
+  let static, rebal =
+    Core.Experiments.cluster_migration_ab ?pool ?faults ~checked ~net
+      ~lanes:true ()
+  in
+  Format.printf "  static     %a@." Core.Experiments.pp_ccell static;
+  Format.printf "  rebalanced %a@." Core.Experiments.pp_ccell rebal;
+  let ach c = c.Core.Experiments.cc_metrics.Load.Metrics.achieved in
+  let delta = 100. *. (ach rebal -. ach static) /. ach static in
+  Format.printf "  migration delta: %+.1f%% (%d migrations)@." delta
+    rebal.Core.Experiments.cc_migrations;
+  let viol c =
+    c.Core.Experiments.cc_service_viol
+    + c.Core.Experiments.cc_metrics.Load.Metrics.violations
+  in
+  let cell_json c =
+    Printf.sprintf
+      "{\"nodes\": %d, \"stack\": \"%s\", \"skew\": \"%s\", \"offered\": %.1f, \
+       \"achieved\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"server_max\": \
+       %.4f, \"wire_max\": %.4f, \"cross_frac\": %.4f, \"switch_fps\": %.0f, \
+       \"gets\": %d, \"puts\": %d, \"migrations\": %d, \"violations\": %d}"
+      c.Core.Experiments.cc_nodes
+      (json_escape (Core.Cluster.stack_label c.Core.Experiments.cc_stack))
+      (json_escape (Load.Keys.skew_label c.Core.Experiments.cc_skew))
+      c.Core.Experiments.cc_metrics.Load.Metrics.offered (ach c)
+      c.Core.Experiments.cc_metrics.Load.Metrics.p50_ms
+      c.Core.Experiments.cc_metrics.Load.Metrics.p99_ms
+      c.Core.Experiments.cc_server_max c.Core.Experiments.cc_wire_max
+      c.Core.Experiments.cc_cross_frac c.Core.Experiments.cc_switch_fps
+      c.Core.Experiments.cc_gets c.Core.Experiments.cc_puts
+      c.Core.Experiments.cc_migrations (viol c)
+  in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n    \"sweeps\": [\n";
+  List.iteri
+    (fun i ((n, stack, skew), cells, knee) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "      {\"nodes\": %d, \"stack\": \"%s\", \"skew\": \"%s\", \
+            \"knee\": %s, \"points\": [%s]}%s\n"
+           n
+           (json_escape (Core.Cluster.stack_label stack))
+           (json_escape (Load.Keys.skew_label skew))
+           (match knee with
+            | Load.Sweep.Knee k -> Printf.sprintf "%.1f" k
+            | Load.Sweep.Unsaturated -> "\"unsaturated\""
+            | Load.Sweep.Saturated -> "null")
+           (String.concat ", " (List.map cell_json cells))
+           (if i = List.length sweeps - 1 then "" else ",")))
+    sweeps;
+  Buffer.add_string b
+    (Printf.sprintf
+       "    ],\n\
+       \    \"migration_ab\": {\"static\": %s, \"rebalanced\": %s, \
+        \"delta_pct\": %.1f, \"migration_wins\": %b}\n\
+       \  }"
+       (cell_json static) (cell_json rebal) delta
+       (ach rebal > ach static));
+  cluster_json := Some (Buffer.contents b);
+  let total =
+    List.fold_left
+      (fun acc (_, cells, _) ->
+        List.fold_left (fun acc c -> acc + viol c) acc cells)
+      (viol static + viol rebal)
+      sweeps
+  in
+  if total > 0 then Printf.printf "WARNING: %d service conformance violations!\n" total
+  else Printf.printf "(all cells: zero service conformance violations)\n"
+
 let print_ablations ?pool () =
   hr "Ablation: dedicated sequencer for LEQ [s]";
   List.iter
@@ -649,6 +754,10 @@ let write_json ~jobs ~net file =
   (match !onesided_json with
    | Some section ->
      Buffer.add_string b (Printf.sprintf "  \"onesided\": %s,\n" section)
+   | None -> ());
+  (match !cluster_json with
+   | Some section ->
+     Buffer.add_string b (Printf.sprintf "  \"cluster\": %s,\n" section)
    | None -> ());
   (match !engine_json with
    | Some section ->
@@ -842,7 +951,9 @@ let rec strip_profile = function
 
 (* `--lanes` anywhere on the command line shards every multi-segment
    cluster into conservative per-segment engine lanes (see DESIGN.md);
-   results are bit-identical with and without it. *)
+   laned results are bit-identical at every -j, and match the unlaned
+   engine except for the tie-break order of same-instant cross-segment
+   arrivals (the cluster artifact pins its goldens with lanes on). *)
 let rec strip_lanes = function
   | [] -> (false, [])
   | "--lanes" :: rest ->
@@ -938,6 +1049,11 @@ let () =
       (if quick then "onesided-quick" else "onesided")
       (fun () ->
         with_pool (fun ?pool () -> print_onesided ?pool ?faults ~quick ()));
+  if wants "cluster" then
+    timed
+      (if quick then "cluster-quick" else "cluster")
+      (fun () ->
+        with_pool (fun ?pool () -> print_cluster ?pool ?faults ~quick ~net ()));
   if wants "ablation" then timed "ablation" (fun () -> with_pool print_ablations);
   if wants "engine" then
     timed

@@ -99,8 +99,11 @@ let lanes_arg =
           "Shard each multi-segment cluster (more than one Ethernet \
            segment, i.e. more than 8 machines) into conservative \
            per-segment engine lanes with deterministic cross-lane merge. \
-           Results are bit-identical with and without this flag; \
-           single-segment clusters always use the plain sequential \
+           Laned runs are reproducible and bit-identical at every $(b,-j); \
+           they also match the unlaned engine exactly unless the workload \
+           produces same-instant cross-segment arrivals (heavy cluster \
+           cells), where only the deterministic tie-break order differs. \
+           Single-segment clusters always use the plain sequential \
            engine.")
 
 let jobs_arg =
@@ -597,6 +600,191 @@ let crossover_cmd =
       $ dht_clients_arg $ dht_window_arg $ dht_warmup_arg $ dht_seed_arg
       $ faults_arg $ checked_flag $ lanes_arg $ jobs_arg)
 
+(* --- cluster scale --- *)
+
+let skew_conv =
+  let parse s =
+    match Load.Keys.skew_of_string s with
+    | Some k -> Ok k
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown skew %S (expected uniform | zipf:THETA)" s))
+  in
+  Arg.conv (parse, fun fmt k -> Format.pp_print_string fmt (Load.Keys.skew_label k))
+
+let cluster_cmd =
+  let nodes_arg =
+    Arg.(
+      value
+      & opt (list int) Core.Experiments.cluster_nodes
+      & info [ "nodes" ] ~docv:"N,..."
+          ~doc:
+            "Pool sizes to sweep, machines (multi-segment: 8 per Ethernet \
+             segment behind the switch).  64-512 are the intended scales.")
+  in
+  let stacks_arg =
+    Arg.(
+      value
+      & opt (some (list stack_conv)) None
+      & info [ "stacks" ] ~docv:"STACK,..."
+          ~doc:"Stacks to sweep (default kernel,user,optimized,onesided)")
+  in
+  let skews_arg =
+    Arg.(
+      value
+      & opt (list skew_conv) Core.Experiments.cluster_skews
+      & info [ "skews" ] ~docv:"SKEW,..."
+          ~doc:
+            "Key popularity skews: $(b,uniform) or $(b,zipf:THETA) \
+             (default uniform,zipf:0.99)")
+  in
+  let rates_arg =
+    Arg.(
+      value
+      & opt (some (list float)) None
+      & info [ "rates" ] ~docv:"R,..."
+          ~doc:"Open-loop offered-load ramp, aggregate ops/s (default 2000,4000,8000)")
+  in
+  let shards_arg =
+    Arg.(value & opt int 32 & info [ "shards" ] ~doc:"Shards in the key space")
+  in
+  let replicas_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "replicas" ]
+          ~doc:"Copies per shard (primary + backups; one-sided runs force 1)")
+  in
+  let window_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "window" ] ~doc:"Measurement window, simulated seconds (default 0.4)")
+  in
+  let rebalance_arg =
+    Arg.(
+      value & flag
+      & info [ "rebalance" ]
+          ~doc:
+            "Run the ledger-driven rebalancer: a controller samples every \
+             server's CPU busy-time ledger and migrates shards off \
+             saturated machines mid-run.")
+  in
+  let force_arg =
+    Arg.(
+      value
+      & opt (list float) []
+      & info [ "force-migrate" ] ~docv:"T,..."
+          ~doc:
+            "Simulated seconds at which the rebalancer must issue a \
+             migration regardless of its saturation gates (implies \
+             $(b,--rebalance)).")
+  in
+  let ab_arg =
+    Arg.(
+      value & flag
+      & info [ "migration-ab" ]
+          ~doc:
+            "Instead of the rate sweep, run the placement A/B: the \
+             identical skewed closed-loop workload with and without the \
+             rebalancer, reporting the achieved-throughput delta \
+             attributable to object migration.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Master seed of the client RNG streams")
+  in
+  let run nodes stacks skews rates shards replicas window seed rebalance forced
+      ab net faults checked lanes jobs =
+    Core.Cluster.set_default_lanes lanes;
+    let rebalance =
+      if (not rebalance) && forced = [] then None
+      else
+        Some
+          {
+            Core.Experiments.cluster_ab_rebalance with
+            Shard.Rebalancer.rb_forced =
+              List.map (fun t -> Sim.Time.us_f (t *. 1e6)) forced;
+          }
+    in
+    let violations = ref 0 in
+    let count c =
+      violations :=
+        !violations + c.Core.Experiments.cc_service_viol
+        + c.Core.Experiments.cc_metrics.Load.Metrics.violations
+    in
+    if ab then begin
+      let config =
+        match window with
+        | None -> { Core.Experiments.cluster_ab_config with Load.Clients.seed }
+        | Some w ->
+          {
+            Core.Experiments.cluster_ab_config with
+            Load.Clients.window = Sim.Time.us_f (w *. 1e6);
+            seed;
+          }
+      in
+      let nodes = List.nth_opt nodes 0 in
+      let stack = Option.bind stacks (fun s -> List.nth_opt s 0) in
+      let skew = List.nth_opt skews 0 in
+      let static, rebal =
+        with_pool jobs (fun ?pool () ->
+            Core.Experiments.cluster_migration_ab ?pool ?faults ~checked ~net
+              ~lanes ~shards ~replicas ?rebalance ?nodes ?stack ?skew ~config ())
+      in
+      count static;
+      count rebal;
+      Format.printf "static     %a@." Core.Experiments.pp_ccell static;
+      Format.printf "rebalanced %a@." Core.Experiments.pp_ccell rebal;
+      let a = static.Core.Experiments.cc_metrics.Load.Metrics.achieved
+      and b = rebal.Core.Experiments.cc_metrics.Load.Metrics.achieved in
+      Format.printf "migration delta: %+.1f%% (%d migrations)@."
+        (100. *. (b -. a) /. a)
+        rebal.Core.Experiments.cc_migrations
+    end
+    else begin
+      let config =
+        match window with
+        | None -> { Core.Experiments.cluster_default_config with Load.Clients.seed }
+        | Some w ->
+          {
+            Core.Experiments.cluster_default_config with
+            Load.Clients.window = Sim.Time.us_f (w *. 1e6);
+            seed;
+          }
+      in
+      List.iter
+        (fun ((n, stack, skew), cells, knee) ->
+          Format.printf "-- %d nodes  %s  %s@." n
+            (Core.Cluster.stack_label stack)
+            (Load.Keys.skew_label skew);
+          List.iter
+            (fun c ->
+              count c;
+              Format.printf "%a@." Core.Experiments.pp_ccell c)
+            cells;
+          Format.printf "   knee: %a@.@." Core.Experiments.pp_knee knee)
+        (with_pool jobs (fun ?pool () ->
+             Core.Experiments.cluster_sweep ?pool ?faults ~checked ~net ~lanes
+               ~shards ~replicas ?rebalance ~nodes ?stacks ~skews ?rates
+               ~config ()))
+    end;
+    if !violations > 0 then begin
+      Printf.eprintf "cluster: %d conformance violations\n" !violations;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Cluster-scale sharded service: 64-512 node multi-segment pools \
+          under a Zipf-routed get/put workload, swept to the saturation \
+          knee, with optional ledger-driven shard migration \
+          ($(b,--rebalance), $(b,--force-migrate)) and the placement A/B \
+          ($(b,--migration-ab))")
+    Term.(
+      const run $ nodes_arg $ stacks_arg $ skews_arg $ rates_arg $ shards_arg
+      $ replicas_arg $ window_arg $ seed_arg $ rebalance_arg $ force_arg
+      $ ab_arg $ profile_arg $ faults_arg $ checked_flag $ lanes_arg $ jobs_arg)
+
 let default =
   Term.(ret (const (`Help (`Pager, None))))
 
@@ -618,6 +806,7 @@ let () =
             load_sweep_cmd;
             dht_cmd;
             crossover_cmd;
+            cluster_cmd;
             table_cmd "table1" "Regenerate Table 1 (latencies)"
               Term.(const table1 $ profile_arg $ jobs_arg);
             table_cmd "breakdown" "Regenerate the Sec. 4 overhead breakdowns"

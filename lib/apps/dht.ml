@@ -74,28 +74,10 @@ let check_block t ~key (b : int array) ~off =
   done;
   if not !ok then t.n_viol <- t.n_viol + 1
 
-let zipf_cdf ~keys ~theta =
-  let w = Array.init keys (fun i -> (float_of_int (i + 1)) ** -.theta) in
-  let total = Array.fold_left ( +. ) 0. w in
-  let cdf = Array.make keys 0. in
-  let acc = ref 0. in
-  Array.iteri
-    (fun i x ->
-      acc := !acc +. (x /. total);
-      cdf.(i) <- !acc)
-    w;
-  cdf.(keys - 1) <- 1.;
-  cdf
-
-let draw_key t rng =
-  let u = Sim.Rng.float rng 1. in
-  let cdf = t.zipf_cdf in
-  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if cdf.(mid) < u then lo := mid + 1 else hi := mid
-  done;
-  !lo
+(* The shared Zipf key source; one RNG float per draw, so every pinned
+   result is untouched by the extraction into [Load.Keys]. *)
+let zipf_cdf = Workload.zipf_cdf
+let draw_key t rng = Workload.zipf_draw t.zipf_cdf rng
 
 let make_store p =
   let store = Array.make (p.dh_keys * slot_words p) 0 in

@@ -76,6 +76,23 @@ let create ?(extra_machine = false) ?(net = Params.net10m) ?lanes ~n () =
 let net t = t.net
 let machine_lane t i = Net.Topology.machine_lane t.topo i
 
+(* Ranks are placed on segments of eight in order, so segment s owns ranks
+   [8s, 8s+8). *)
+let per_segment = 8
+let n_segments t = (Array.length t.machines + per_segment - 1) / per_segment
+
+let server_ranks ?(per_segment_servers = 1) t =
+  let n = Array.length t.machines in
+  if per_segment_servers < 1 then
+    invalid_arg "Cluster.server_ranks: need at least one server per segment";
+  List.concat
+    (List.init (n_segments t) (fun s ->
+         List.filter_map
+           (fun j ->
+             let r = (s * per_segment) + j in
+             if r < n then Some r else None)
+           (List.init per_segment_servers Fun.id)))
+
 (* Rnics are created lazily: [Address.fresh_point] draws from the engine's
    shared id sequence, so creating them eagerly would shift the addresses
    every existing (pinned) experiment sees. *)

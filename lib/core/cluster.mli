@@ -34,6 +34,16 @@ val machine_lane : t -> int -> int
     rank [i] must be spawned under [Sim.Engine.with_lane] on this lane so
     their event chains stay lane-local. *)
 
+val n_segments : t -> int
+(** Ethernet segments in the pool (ranks sit on segments of eight, in
+    order: segment [s] owns ranks [8s, 8s+8)). *)
+
+val server_ranks : ?per_segment_servers:int -> t -> int list
+(** Canonical server placement for cluster-scale sharded services: the
+    first [per_segment_servers] (default 1) ranks of every segment, in
+    rank order — servers spread across segments so inter-segment links
+    and the switch, not one wire, carry the service traffic. *)
+
 val rnics : t -> Onesided.Rnic.t array
 (** One one-sided Rnic per rank, created on first use (lazily, so the
     engine's address sequence is untouched for clusters that never go

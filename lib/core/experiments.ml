@@ -1458,3 +1458,293 @@ let ablation_continuations ?pool ?(procs = 16) () =
       ("user (continuations), s", u.Runner.o_seconds);
     ]
   | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Cluster scale: 64-512-node multi-segment pools running the sharded
+   key/value service over any stack, with Zipf key routing and
+   ledger-driven object migration.  One cell = one fresh cluster: a
+   server on the first rank of every segment, the last non-server rank
+   reserved for the rebalancing controller (reserved in every cell, so
+   static and rebalanced runs drive the identical client population),
+   everything else a client. *)
+
+type ccell = {
+  cc_nodes : int;
+  cc_stack : Cluster.stack;
+  cc_skew : Load.Keys.skew;
+  cc_metrics : Load.Metrics.t;
+  cc_wire_max : float;  (** busiest segment utilization over the window *)
+  cc_wire_mean : float;
+  cc_cross_frac : float;
+      (** inter-segment share: switch-forwarded frames over all frames
+          carried during the window *)
+  cc_switch_fps : float;  (** switch forwarding rate over the window, frames/s *)
+  cc_server_max : float;  (** busiest server machine over the window *)
+  cc_server_mean : float;
+  cc_gets : int;
+  cc_puts : int;
+  cc_dedup_hits : int;
+  cc_relays : int;
+  cc_migrations : int;
+  cc_moves : int;  (** rebalancer decisions (of which forced: see stats) *)
+  cc_service_viol : int;  (** service conformance: torn blocks, lost/dup puts *)
+}
+
+let cluster_controller_rank cluster =
+  let servers = Cluster.server_ranks cluster in
+  let n = Array.length cluster.Cluster.machines in
+  let rec last r = if List.mem r servers then last (r - 1) else r in
+  last (n - 1)
+
+let cluster_default_config =
+  {
+    Load.Clients.default with
+    Load.Clients.clients_per_node = 1;
+    warmup = Sim.Time.ms 100;
+    window = Sim.Time.ms 400;
+  }
+
+let cluster_cell ?faults ?(checked = false) ?net ?lanes ?(shards = 32)
+    ?(replicas = 1) ?(service_params = Shard.Service.default_params) ?rebalance
+    ~nodes ~stack ~skew cfg () =
+  let cluster = Cluster.create ?net ?lanes ~n:nodes () in
+  let eng = cluster.Cluster.eng in
+  install_faults ?faults eng cluster.Cluster.topo;
+  let checker = if checked then Some (Faults.Invariants.create ()) else None in
+  (* The one-sided service has no server threads to hand shards between,
+     so it runs unreplicated and statically placed. *)
+  let replicas = match stack with Cluster.One_sided -> 1 | _ -> replicas in
+  let p =
+    {
+      service_params with
+      Shard.Service.sv_shards = shards;
+      sv_replicas = replicas;
+      sv_skew = skew;
+    }
+  in
+  let server_ranks = Array.of_list (Cluster.server_ranks cluster) in
+  let router = Shard.Router.create ~shards ~replicas ~servers:server_ranks in
+  let lane_of = Cluster.machine_lane cluster in
+  let controller = cluster_controller_rank cluster in
+  let client_ranks =
+    List.filter
+      (fun r -> r <> controller && not (Array.mem r server_ranks))
+      (List.init nodes Fun.id)
+  in
+  (* Window-edge snapshots of the wire, switch and server-machine ledgers
+     (read-only, so their order within the instant is immaterial). *)
+  let segs = cluster.Cluster.topo.Net.Topology.segments in
+  let nseg = Array.length segs in
+  let wire0 = Array.make nseg 0 and wire1 = Array.make nseg 0 in
+  let carried0 = ref 0 and carried1 = ref 0 in
+  let fwd0 = ref 0 and fwd1 = ref 0 in
+  let nsrv = Array.length server_ranks in
+  let srv0 = Array.make nsrv 0 and srv1 = Array.make nsrv 0 in
+  let snapshot wire carried fwd srv () =
+    Array.iteri (fun i s -> wire.(i) <- Net.Segment.busy_time s) segs;
+    carried :=
+      Array.fold_left (fun acc s -> acc + Net.Segment.frames_carried s) 0 segs;
+    (match cluster.Cluster.topo.Net.Topology.switch with
+     | Some sw -> fwd := Net.Switch.frames_forwarded sw
+     | None -> fwd := 0);
+    Array.iteri
+      (fun i rank ->
+        srv.(i) <-
+          Machine.Cpu.busy_time
+            (Machine.Mach.cpu cluster.Cluster.machines.(rank)))
+      server_ranks
+  in
+  let t0 = Sim.Engine.now eng in
+  ignore
+    (Sim.Engine.at eng
+       (t0 + cfg.Load.Clients.warmup)
+       (snapshot wire0 carried0 fwd0 srv0));
+  ignore
+    (Sim.Engine.at eng
+       (t0 + cfg.Load.Clients.warmup + cfg.Load.Clients.window)
+       (snapshot wire1 carried1 fwd1 srv1));
+  let run_load service =
+    Load.Clients.run_custom cfg ~eng ~machines:cluster.Cluster.machines
+      ~label:(Cluster.stack_label stack) ~op_name:"shard" ~lane_of
+      ~server:server_ranks.(0) ~client_ranks
+      ~op:(fun rank rng -> Shard.Service.client_op service ~rank rng)
+      ()
+  in
+  let service, stats_opt =
+    match stack with
+    | Cluster.Rpc_stack impl ->
+      let backends = Cluster.backends ?checker cluster impl in
+      let service =
+        Shard.Service.create_rpc ~params:p ~backends ~router ~lane_of ()
+      in
+      let stats =
+        match rebalance with
+        | None -> None
+        | Some config ->
+          Some
+            (Shard.Rebalancer.spawn service
+               ~machines:cluster.Cluster.machines ~via:controller
+               ~until:(t0 + cfg.Load.Clients.warmup + cfg.Load.Clients.window)
+               ~lane_of ~config ())
+      in
+      (service, stats)
+    | Cluster.One_sided ->
+      let rnics = Cluster.rnics cluster in
+      (match checker with
+       | Some c -> Faults.Invariants.attach_rnics c rnics
+       | None -> ());
+      (Shard.Service.create_onesided ~params:p ~rnics ~router (), None)
+  in
+  (match checker with
+   | Some c -> Shard.Service.register_checker service c
+   | None -> ());
+  let m = run_load service in
+  let violations =
+    match checker with
+    | Some c ->
+      Faults.Invariants.finalize c;
+      Faults.Invariants.n_violations c
+    | None -> 0
+  in
+  let m = { m with Load.Metrics.violations } in
+  let window_s = Sim.Time.to_sec cfg.Load.Clients.window in
+  let wire_max = ref 0. and wire_sum = ref 0. in
+  Array.iteri
+    (fun i _ ->
+      let u = Float.max 0. (Sim.Time.to_sec (wire1.(i) - wire0.(i)) /. window_s) in
+      wire_max := Float.max !wire_max u;
+      wire_sum := !wire_sum +. u)
+    segs;
+  let srv_max = ref 0. and srv_sum = ref 0. in
+  Array.iteri
+    (fun i _ ->
+      let u = Float.max 0. (Sim.Time.to_sec (srv1.(i) - srv0.(i)) /. window_s) in
+      srv_max := Float.max !srv_max u;
+      srv_sum := !srv_sum +. u)
+    server_ranks;
+  let carried = !carried1 - !carried0 and fwd = !fwd1 - !fwd0 in
+  {
+    cc_nodes = nodes;
+    cc_stack = stack;
+    cc_skew = skew;
+    cc_metrics = m;
+    cc_wire_max = !wire_max;
+    cc_wire_mean = !wire_sum /. float_of_int nseg;
+    cc_cross_frac = (if carried = 0 then 0. else float_of_int fwd /. float_of_int carried);
+    cc_switch_fps = float_of_int fwd /. window_s;
+    cc_server_max = !srv_max;
+    cc_server_mean = !srv_sum /. float_of_int nsrv;
+    cc_gets = Shard.Service.gets service;
+    cc_puts = Shard.Service.puts_acked service;
+    cc_dedup_hits = Shard.Service.dedup_hits service;
+    cc_relays = Shard.Service.relays service;
+    cc_migrations = Shard.Service.migrations service;
+    cc_moves = (match stats_opt with Some s -> s.Shard.Rebalancer.rs_moves | None -> 0);
+    cc_service_viol =
+      Shard.Service.violations service
+      + List.length (Shard.Service.check_at_rest service);
+  }
+
+let cluster_nodes = [ 64; 256 ]
+let cluster_skews = [ Load.Keys.Uniform; Load.Keys.Zipf 0.99 ]
+let cluster_stacks = Cluster.all_stacks
+let cluster_rates = [ 2000.; 4000.; 8000. ]
+
+(* The tentpole sweep: nodes x stack x skew, each combination ramped over
+   offered rates to its saturation knee.  Open-loop uniform arrivals so
+   the knee is against a configured offered load. *)
+let cluster_sweep ?pool ?faults ?checked ?net ?lanes ?shards ?replicas
+    ?service_params ?rebalance ?(nodes = cluster_nodes)
+    ?(stacks = cluster_stacks) ?(skews = cluster_skews)
+    ?(rates = cluster_rates) ?(config = cluster_default_config) () =
+  let combos =
+    List.concat_map
+      (fun n ->
+        List.concat_map
+          (fun stack -> List.map (fun skew -> (n, stack, skew)) skews)
+          stacks)
+      nodes
+  in
+  let cells =
+    List.concat_map
+      (fun (n, stack, skew) ->
+        List.map
+          (fun rate () ->
+            cluster_cell ?faults ?checked ?net ?lanes ?shards ?replicas
+              ?service_params ?rebalance ~nodes:n ~stack ~skew
+              { config with Load.Clients.rate }
+              ())
+          rates)
+      combos
+  in
+  let results = run_cells ?pool cells in
+  let nr = List.length rates in
+  List.mapi
+    (fun i combo ->
+      let points = List.filteri (fun j _ -> j / nr = i) results in
+      let curve = Load.Sweep.curve (List.map (fun c -> c.cc_metrics) points) in
+      (combo, points, Load.Sweep.knee curve))
+    combos
+
+(* The migration A/B: the identical skewed closed-loop workload twice —
+   static placement vs the ledger-driven rebalancer — so the achieved
+   difference is attributable to object migration alone.  The window is
+   long (1.5 s) and the rebalancer ticks fast (50 ms) so the moves land
+   early and the stabilized placement dominates the measurement. *)
+let cluster_ab_config =
+  {
+    cluster_default_config with
+    Load.Clients.arrival = Load.Arrival.Closed 0;
+    warmup = Sim.Time.ms 100;
+    window = Sim.Time.ms 1500;
+  }
+
+let cluster_ab_rebalance =
+  {
+    Shard.Rebalancer.default_config with
+    Shard.Rebalancer.rb_interval = Sim.Time.ms 50;
+  }
+
+let cluster_migration_ab ?pool ?faults ?checked ?net ?lanes ?shards ?replicas
+    ?service_params ?(rebalance = cluster_ab_rebalance) ?(nodes = 64)
+    ?(stack = Cluster.Rpc_stack Cluster.User_optimized)
+    ?(skew = Load.Keys.Zipf 1.2) ?(config = cluster_ab_config) () =
+  let cfg = { config with Load.Clients.arrival = Load.Arrival.Closed 0 } in
+  let cells =
+    [
+      (fun () ->
+        cluster_cell ?faults ?checked ?net ?lanes ?shards ?replicas
+          ?service_params ~nodes ~stack ~skew cfg ());
+      (fun () ->
+        cluster_cell ?faults ?checked ?net ?lanes ?shards ?replicas
+          ?service_params ~rebalance ~nodes ~stack ~skew cfg ());
+    ]
+  in
+  match run_cells ?pool cells with
+  | [ static_cell; rebalanced ] -> (static_cell, rebalanced)
+  | _ -> assert false
+
+let pp_ccell fmt c =
+  Format.fprintf fmt
+    "n=%-4d %-10s %-9s  %9.1f op/s  p50 %6.3f ms  p99 %7.3f ms  srv %5.1f%%/%5.1f%%  wire %5.1f%%  x-seg %4.1f%%  mig %d%s%s"
+    c.cc_nodes
+    (Cluster.stack_label c.cc_stack)
+    (Load.Keys.skew_label c.cc_skew)
+    c.cc_metrics.Load.Metrics.achieved c.cc_metrics.Load.Metrics.p50_ms
+    c.cc_metrics.Load.Metrics.p99_ms
+    (100. *. c.cc_server_max)
+    (100. *. c.cc_server_mean)
+    (100. *. c.cc_wire_max)
+    (100. *. c.cc_cross_frac)
+    c.cc_migrations
+    (if c.cc_dedup_hits = 0 then ""
+     else Printf.sprintf "  dedup %d relays %d" c.cc_dedup_hits c.cc_relays)
+    (if c.cc_service_viol + c.cc_metrics.Load.Metrics.violations = 0 then ""
+     else
+       Printf.sprintf "  %d VIOLATIONS"
+         (c.cc_service_viol + c.cc_metrics.Load.Metrics.violations))
+
+let pp_knee fmt = function
+  | Load.Sweep.Knee r -> Format.fprintf fmt "knee @ %.0f op/s" r
+  | Load.Sweep.Unsaturated -> Format.fprintf fmt "unsaturated"
+  | Load.Sweep.Saturated -> Format.fprintf fmt "saturated from the first point"

@@ -392,3 +392,117 @@ val ablation_continuations :
   ?pool:Exec.Pool.t -> ?procs:int -> unit -> (string * float) list
 (** RL with guarded operations: kernel (blocked server thread) vs user
     (continuations), runtimes in seconds. *)
+
+(** {1 Cluster scale (64-512 nodes): sharded service, Zipf routing,
+    ledger-driven migration} *)
+
+type ccell = {
+  cc_nodes : int;
+  cc_stack : Cluster.stack;
+  cc_skew : Load.Keys.skew;
+  cc_metrics : Load.Metrics.t;
+  cc_wire_max : float;  (** busiest segment utilization over the window *)
+  cc_wire_mean : float;
+  cc_cross_frac : float;
+      (** inter-segment share: switch-forwarded frames over all frames
+          carried during the window *)
+  cc_switch_fps : float;  (** switch forwarding rate, frames/s *)
+  cc_server_max : float;  (** busiest server machine over the window *)
+  cc_server_mean : float;
+  cc_gets : int;
+  cc_puts : int;
+  cc_dedup_hits : int;  (** at-most-once firing across handoffs *)
+  cc_relays : int;
+  cc_migrations : int;  (** completed shard handoffs *)
+  cc_moves : int;  (** rebalancer decisions taken *)
+  cc_service_viol : int;
+      (** service conformance violations (client-observed plus the
+          at-rest audit) — zero on a healthy run *)
+}
+
+val cluster_default_config : Load.Clients.config
+(** One client per node, 100 ms warmup, 400 ms window — sized so a
+    256-node cell stays tractable on one core. *)
+
+val cluster_cell :
+  ?faults:Faults.Spec.t ->
+  ?checked:bool ->
+  ?net:Params.net_profile ->
+  ?lanes:bool ->
+  ?shards:int ->
+  ?replicas:int ->
+  ?service_params:Shard.Service.params ->
+  ?rebalance:Shard.Rebalancer.config ->
+  nodes:int ->
+  stack:Cluster.stack ->
+  skew:Load.Keys.skew ->
+  Load.Clients.config ->
+  unit ->
+  ccell
+(** One measured operating point on a fresh [nodes]-machine pool: a
+    server on the first rank of every segment (shards default 32,
+    replicas 1), the last non-server rank reserved for the rebalancing
+    controller (whether or not [rebalance] is given, so A/B populations
+    match), every other rank a client.  One-sided runs force replicas
+    to 1 and never migrate.  With [checked], the conformance checkers
+    wrap the stack and the service's at-rest audit joins the checker's
+    finalize pass. *)
+
+val cluster_nodes : int list
+val cluster_skews : Load.Keys.skew list
+val cluster_stacks : Cluster.stack list
+val cluster_rates : float list
+
+val cluster_sweep :
+  ?pool:Exec.Pool.t ->
+  ?faults:Faults.Spec.t ->
+  ?checked:bool ->
+  ?net:Params.net_profile ->
+  ?lanes:bool ->
+  ?shards:int ->
+  ?replicas:int ->
+  ?service_params:Shard.Service.params ->
+  ?rebalance:Shard.Rebalancer.config ->
+  ?nodes:int list ->
+  ?stacks:Cluster.stack list ->
+  ?skews:Load.Keys.skew list ->
+  ?rates:float list ->
+  ?config:Load.Clients.config ->
+  unit ->
+  ((int * Cluster.stack * Load.Keys.skew) * ccell list * Load.Sweep.knee) list
+(** The tentpole sweep: every (nodes, stack, skew) combination ramped
+    over open-loop offered [rates] to its saturation knee.  Combinations
+    are returned in (nodes, stack, skew) input order, their rate points
+    ascending; cells fan out over [?pool] bit-identically. *)
+
+val cluster_ab_config : Load.Clients.config
+(** Closed-loop, 100 ms warmup, 1.5 s window — long enough that the
+    post-migration placement dominates the measurement. *)
+
+val cluster_ab_rebalance : Shard.Rebalancer.config
+(** {!Shard.Rebalancer.default_config} at a 50 ms tick, so moves land
+    early in the window. *)
+
+val cluster_migration_ab :
+  ?pool:Exec.Pool.t ->
+  ?faults:Faults.Spec.t ->
+  ?checked:bool ->
+  ?net:Params.net_profile ->
+  ?lanes:bool ->
+  ?shards:int ->
+  ?replicas:int ->
+  ?service_params:Shard.Service.params ->
+  ?rebalance:Shard.Rebalancer.config ->
+  ?nodes:int ->
+  ?stack:Cluster.stack ->
+  ?skew:Load.Keys.skew ->
+  ?config:Load.Clients.config ->
+  unit ->
+  ccell * ccell
+(** [(static, rebalanced)]: the identical skewed closed-loop workload
+    (default Zipf(1.2) on 64 nodes over the optimized stack) with and
+    without the ledger-driven rebalancer, so any achieved-throughput
+    difference is attributable to object migration alone. *)
+
+val pp_ccell : Format.formatter -> ccell -> unit
+val pp_knee : Format.formatter -> Load.Sweep.knee -> unit

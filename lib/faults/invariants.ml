@@ -28,6 +28,10 @@ type t = {
   os_outstanding : (Flip.Address.t * int, unit) Hashtbl.t;
   os_cas_done : (Flip.Address.t * int, unit) Hashtbl.t;
   mutable os_checked : int;  (* target executions observed *)
+  (* Service-level conformance hooks run by [finalize] after the drain —
+     e.g. the sharded service's exactly-once-across-migration audit.
+     Each returns the violations it found, already formatted. *)
+  mutable checks_rev : (unit -> string list) list;
 }
 
 let create ?(shards = 1) () =
@@ -47,7 +51,10 @@ let create ?(shards = 1) () =
     os_outstanding = Hashtbl.create 64;
     os_cas_done = Hashtbl.create 1024;
     os_checked = 0;
+    checks_rev = [];
   }
+
+let add_check c f = c.checks_rev <- f :: c.checks_rev
 
 let violate c fmt =
   Printf.ksprintf
@@ -244,7 +251,10 @@ let finalize c =
           violate c "group: broadcast (origin %d, seq %d) was sent but never delivered"
             origin seq
       done)
-    c.sent
+    c.sent;
+  List.iter
+    (fun f -> List.iter (fun msg -> violate c "%s" msg) (f ()))
+    (List.rev c.checks_rev)
 
 let violations c = List.rev c.viol_rev
 let n_violations c = c.n_viol

@@ -56,9 +56,16 @@ val attach_rnic : t -> Onesided.Rnic.t -> unit
 
 val attach_rnics : t -> Onesided.Rnic.t array -> unit
 
+val add_check : t -> (unit -> string list) -> unit
+(** Registers a service-level conformance check run by {!finalize} after
+    the drain, its returned messages counted as violations — how the
+    sharded service's exactly-once-across-migration audit joins the
+    checked-mode verdict.  Checks run in registration order. *)
+
 val finalize : t -> unit
-(** Runs the end-of-run completeness checks.  Call once, after
-    [Sim.Engine.run] has drained. *)
+(** Runs the end-of-run completeness checks (including every
+    {!add_check} hook).  Call once, after [Sim.Engine.run] has
+    drained. *)
 
 val violations : t -> string list
 (** First violations recorded (bounded), oldest first. *)

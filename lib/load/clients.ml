@@ -31,7 +31,7 @@ let op_label = function Rpc -> "rpc" | Group -> "group"
    [run_custom] (any op body, e.g. one-sided DHT ops).  The order of every
    RNG split and every scheduled event is load-bearing: existing pinned
    results depend on it bit-for-bit. *)
-let run_core cfg ~eng ~machines ~label ~op_name ?seq_machine ~server
+let run_core cfg ~eng ~machines ~label ~op_name ?seq_machine ?lane_of ~server
     ~client_ranks ?recorder ~op () =
   let n_clients = cfg.clients_per_node * List.length client_ranks in
   let per_client_rate = cfg.rate /. float_of_int n_clients in
@@ -78,11 +78,21 @@ let run_core cfg ~eng ~machines ~label ~op_name ?seq_machine ~server
       (fun rank -> List.init cfg.clients_per_node (fun k -> (rank, k)))
       client_ranks
   in
+  (* On a laned (multi-segment) engine every client fiber must be spawned
+     under its machine's lane so its whole event chain stays lane-local;
+     [lane_of] is the cluster's rank -> lane map.  A no-op — bit-identical
+     event order — for the unlaned single-segment clusters every pinned
+     result runs on. *)
+  let spawn_laned rank f =
+    match lane_of with
+    | None -> ignore (f ())
+    | Some lane -> Sim.Engine.with_lane eng (lane rank) (fun () -> ignore (f ()))
+  in
   List.iteri
     (fun ci (rank, k) ->
       let rng = Sim.Rng.split root in
       let do_op () = op rank rng in
-      ignore
+      spawn_laned rank (fun () ->
         (Machine.Thread.spawn machines.(rank)
            (Printf.sprintf "load.%d.%d" rank k)
            (fun () ->
@@ -117,7 +127,7 @@ let run_core cfg ~eng ~machines ~label ~op_name ?seq_machine ~server
                    loop ()
                  end
                in
-               loop ())))
+               loop ()))))
     clients;
   Sim.Engine.run eng;
   (* The run can drain before the w_end snapshot fires only if no client
@@ -217,11 +227,11 @@ let run cfg ~eng ~backends ~machines ?seq_machine ?(server = 0) ?client_ranks
   | Group -> { m with Metrics.per_shard = shard_done }
   | Rpc -> m
 
-let run_custom cfg ~eng ~machines ~label ~op_name ?seq_machine ?(server = 0)
-    ?client_ranks ?recorder ~op () =
+let run_custom cfg ~eng ~machines ~label ~op_name ?seq_machine ?lane_of
+    ?(server = 0) ?client_ranks ?recorder ~op () =
   let n = Array.length machines in
   if n < 2 then invalid_arg "Clients.run_custom: need at least two machines";
   let client_ranks = resolve_ranks ~n ~server client_ranks in
   if client_ranks = [] then invalid_arg "Clients.run_custom: no client ranks";
-  run_core cfg ~eng ~machines ~label ~op_name ?seq_machine ~server
+  run_core cfg ~eng ~machines ~label ~op_name ?seq_machine ?lane_of ~server
     ~client_ranks ?recorder ~op ()

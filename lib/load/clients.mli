@@ -64,6 +64,7 @@ val run_custom :
   label:string ->
   op_name:string ->
   ?seq_machine:Machine.Mach.t ->
+  ?lane_of:(int -> int) ->
   ?server:int ->
   ?client_ranks:int list ->
   ?recorder:Obs.Recorder.t ->
@@ -75,4 +76,9 @@ val run_custom :
     supplied: [op rank rng] must issue one blocking logical operation
     from the calling client thread (e.g. a one-sided DHT get/put).
     [config.op], [config.mix] and [config.reply_size] are ignored;
-    [label]/[op_name] fill the metric's identity fields. *)
+    [label]/[op_name] fill the metric's identity fields.
+
+    [lane_of] (rank -> engine lane, e.g. [Core.Cluster.machine_lane])
+    must be passed when the engine is laned — multi-segment clusters —
+    so each client fiber is spawned under its machine's lane; omitted,
+    spawns land in the caller's lane, which is only correct unlaned. *)

@@ -1,0 +1,51 @@
+type skew = Uniform | Zipf of float
+
+let skew_label = function
+  | Uniform -> "uniform"
+  | Zipf theta -> Printf.sprintf "zipf:%g" theta
+
+let skew_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "uniform" | "0" -> Some Uniform
+  | s when String.length s > 5 && String.sub s 0 5 = "zipf:" -> (
+    match float_of_string_opt (String.sub s 5 (String.length s - 5)) with
+    | Some th when th > 0. -> Some (Zipf th)
+    | _ -> None)
+  | s -> (
+    (* A bare number reads as a theta, with 0 meaning uniform. *)
+    match float_of_string_opt s with
+    | Some 0. -> Some Uniform
+    | Some th when th > 0. -> Some (Zipf th)
+    | _ -> None)
+
+let zipf_cdf ~keys ~theta =
+  let w = Array.init keys (fun i -> (float_of_int (i + 1)) ** -.theta) in
+  let total = Array.fold_left ( +. ) 0. w in
+  let cdf = Array.make keys 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i x ->
+      acc := !acc +. (x /. total);
+      cdf.(i) <- !acc)
+    w;
+  cdf.(keys - 1) <- 1.;
+  cdf
+
+let zipf_draw cdf rng =
+  let u = Sim.Rng.float rng 1. in
+  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let cdf skew ~keys =
+  match skew with Uniform -> None | Zipf theta -> Some (zipf_cdf ~keys ~theta)
+
+let draw ?cdf ~keys rng =
+  match cdf with
+  | None -> Sim.Rng.int rng keys
+  | Some cdf -> zipf_draw cdf rng
+
+let theta = function Uniform -> 0. | Zipf th -> th

@@ -23,6 +23,7 @@ type t = {
   mutable port_list : port list; (* reverse order of addition *)
   table : (int, int) Hashtbl.t; (* station -> port index *)
   mutable forwarded : int;
+  mutable fwd_bytes : int;
   mutable fault : (Frame.t -> bool) option;
   mutable dropped : int;
   mutable lanes : lane_cfg option;
@@ -36,6 +37,7 @@ let create eng ?(latency = Sim.Time.us 50) name =
     port_list = [];
     table = Hashtbl.create 64;
     forwarded = 0;
+    fwd_bytes = 0;
     fault = None;
     dropped = 0;
     lanes = None;
@@ -66,6 +68,7 @@ let forward_core t ~ingress ~egress frame =
   in
   if out_ports <> [] then begin
     t.forwarded <- t.forwarded + 1;
+    t.fwd_bytes <- t.fwd_bytes + frame.Frame.bytes;
     match t.lanes with
     | None ->
       ignore
@@ -106,5 +109,6 @@ let set_lanes t ~self ~port_lane ~ingress ~egress =
 
 let ports t = List.length t.port_list
 let frames_forwarded t = t.forwarded
+let bytes_forwarded t = t.fwd_bytes
 let set_fault t f = t.fault <- f
 let frames_dropped t = t.dropped

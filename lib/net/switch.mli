@@ -30,6 +30,11 @@ val set_lanes :
 val ports : t -> int
 val frames_forwarded : t -> int
 
+val bytes_forwarded : t -> int
+(** Total frame bytes the switch has put on egress segments — the
+    inter-segment traffic share, for utilization attribution when the
+    switch rather than any single wire is the contended resource. *)
+
 val set_fault : t -> (Frame.t -> bool) option -> unit
 (** When the hook returns [true] the switch silently discards the frame
     after full reception instead of forwarding it — the building block for

@@ -1,0 +1,145 @@
+type config = {
+  rb_interval : Sim.Time.span;
+  rb_hi : float;
+  rb_margin : float;
+  rb_max_moves : int;
+  rb_forced : Sim.Time.t list;
+}
+
+let default_config =
+  {
+    rb_interval = Sim.Time.ms 100;
+    rb_hi = 0.55;
+    rb_margin = 0.15;
+    rb_max_moves = 8;
+    rb_forced = [];
+  }
+
+type stats = {
+  mutable rs_ticks : int;
+  mutable rs_moves : int;
+  mutable rs_forced : int;
+}
+
+(* All tie-breaks resolve to the lowest index so a tick's decision is a
+   pure function of the sampled ledgers. *)
+let arg_max a =
+  let best = ref 0 in
+  Array.iteri (fun i v -> if v > a.(!best) then best := i) a;
+  !best
+
+let arg_min a =
+  let best = ref 0 in
+  Array.iteri (fun i v -> if v < a.(!best) then best := i) a;
+  !best
+
+let busy machines rank =
+  Machine.Cpu.busy_time (Machine.Mach.cpu machines.(rank))
+
+(* One placement decision from this tick's ledger deltas: source is the
+   busiest server, destination the idlest.  The object moved is the
+   source-owned shard minimizing the post-move maximum of the pair,
+   estimating each shard's utilization contribution as the source's
+   utilization split by heat share — naively shipping the hottest shard
+   would only relocate a one-hot-key hotspot and bounce it between
+   servers forever.  [forced] overrides the saturation and improvement
+   gates (the knob tests use to make a migration happen on demand). *)
+let pick_move service ~utils ~heat ~forced ~cfg =
+  let router = Service.router service in
+  let src = arg_max utils in
+  let dst = arg_min utils in
+  if src = dst then None
+  else if
+    (not forced)
+    && (utils.(src) < cfg.rb_hi || utils.(dst) > utils.(src) -. cfg.rb_margin)
+  then None
+  else begin
+    let heat_src = ref 0 in
+    for s = 0 to Router.shards router - 1 do
+      if Router.owner_index router s = src then heat_src := !heat_src + heat.(s)
+    done;
+    let best = ref None in
+    for s = Router.shards router - 1 downto 0 do
+      if Router.owner_index router s = src then begin
+        let c =
+          if !heat_src = 0 then 0.
+          else utils.(src) *. float_of_int heat.(s) /. float_of_int !heat_src
+        in
+        let post = Float.max (utils.(src) -. c) (utils.(dst) +. c) in
+        match !best with
+        | Some (p, _) when p <= post -> ()
+        | _ -> best := Some (post, s)
+      end
+    done;
+    match !best with
+    | None -> None
+    | Some (post, s) ->
+      if forced || post < utils.(src) then Some (s, (Router.servers router).(dst))
+      else None
+  end
+
+let run service ~machines ~via ~until ?(config = default_config) stats =
+  let router = Service.router service in
+  let server_ranks = Router.servers router in
+  let ns = Array.length server_ranks in
+  let prev_busy = Array.map (fun rank -> busy machines rank) server_ranks in
+  let prev_ops = Service.shard_ops service in
+  let eng = Machine.Mach.engine machines.(via) in
+  let forced = ref config.rb_forced in
+  let rec loop () =
+    Machine.Thread.sleep config.rb_interval;
+    let now = Sim.Engine.now eng in
+    if now < until then begin
+      stats.rs_ticks <- stats.rs_ticks + 1;
+      (* The ledger read: CPU busy time is exactly what Obs accounts, so
+         window deltas over it are the per-machine load signal. *)
+      let utils = Array.make ns 0. in
+      Array.iteri
+        (fun i rank ->
+          let b = busy machines rank in
+          utils.(i) <-
+            Sim.Time.to_us (b - prev_busy.(i))
+            /. Sim.Time.to_us config.rb_interval;
+          prev_busy.(i) <- b)
+        server_ranks;
+      let ops = Service.shard_ops service in
+      let heat = Array.mapi (fun s o -> o - prev_ops.(s)) ops in
+      Array.blit ops 0 prev_ops 0 Array.(length ops);
+      (* A due forced time is consumed only when a move can actually be
+         issued — never while a handoff is still in flight, else the
+         forced move is silently lost to the race. *)
+      let can_move = not (Service.migration_in_flight service) in
+      let force_now =
+        match !forced with
+        | t :: rest when t <= now && can_move ->
+          forced := rest;
+          true
+        | _ -> false
+      in
+      if can_move && (force_now || stats.rs_moves < config.rb_max_moves) then begin
+        match pick_move service ~utils ~heat ~forced:force_now ~cfg:config with
+        | None -> ()
+        | Some (shard, to_rank) ->
+          if Service.migrate service ~via ~shard ~to_rank then begin
+            stats.rs_moves <- stats.rs_moves + 1;
+            if force_now then stats.rs_forced <- stats.rs_forced + 1
+          end
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+let spawn service ~machines ~via ~until ?lane_of ?config () =
+  let stats = { rs_ticks = 0; rs_moves = 0; rs_forced = 0 } in
+  let spawn_thread () =
+    ignore
+      (Machine.Thread.spawn machines.(via) "rebalancer" (fun () ->
+           run service ~machines ~via ~until ?config stats))
+  in
+  (match lane_of with
+  | None -> spawn_thread ()
+  | Some lane ->
+    Sim.Engine.with_lane (Machine.Mach.engine machines.(via)) (lane via)
+      spawn_thread);
+  stats

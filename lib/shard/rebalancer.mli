@@ -1,0 +1,51 @@
+(** Ledger-driven shard placement: a controller thread samples every
+    server's CPU busy-time ledger ({!Machine.Cpu.busy_time}) on a fixed
+    interval, converts window deltas to utilizations, and when a server
+    saturates moves its hottest shard — by per-shard op-count heat — to
+    the idlest server through {!Service.migrate}.  Decisions are a pure
+    function of the sampled ledgers (ties break to the lowest index), so
+    rebalanced runs stay deterministic and lane-stable. *)
+
+type config = {
+  rb_interval : Sim.Time.span;  (** sampling window *)
+  rb_hi : float;  (** source utilization gate *)
+  rb_margin : float;  (** required src-dst utilization gap *)
+  rb_max_moves : int;  (** cap on threshold-triggered moves *)
+  rb_forced : Sim.Time.t list;
+      (** ascending times at which one move is forced regardless of the
+          gates (beyond [rb_max_moves] if need be) — how tests and smoke
+          runs make a migration happen on demand *)
+}
+
+val default_config : config
+(** 100 ms windows, move when a server passes 55% with a 15-point gap to
+    the destination, at most 8 threshold moves, nothing forced. *)
+
+type stats = {
+  mutable rs_ticks : int;
+  mutable rs_moves : int;
+  mutable rs_forced : int;  (** of [rs_moves], how many were forced *)
+}
+
+val run :
+  Service.t ->
+  machines:Machine.Mach.t array ->
+  via:int ->
+  until:Sim.Time.t ->
+  ?config:config ->
+  stats ->
+  unit
+(** The controller loop body; call from a thread on [machines.(via)].
+    Returns once a tick lands at or past [until]. *)
+
+val spawn :
+  Service.t ->
+  machines:Machine.Mach.t array ->
+  via:int ->
+  until:Sim.Time.t ->
+  ?lane_of:(int -> int) ->
+  ?config:config ->
+  unit ->
+  stats
+(** Spawns the controller on [machines.(via)] (under [lane_of via] when
+    the engine is laned) and returns its live stats record. *)

@@ -1,0 +1,93 @@
+(* Pure consistent-hash routing: the only mutable state is the epoched
+   owner table, and the only mutation is [migrate].  Everything else is a
+   function of (shards, servers, owner), so the QCheck model test can
+   replay any migration history against this module directly. *)
+
+let shard_of_key ~shards key = Panda.Seq_policy.shard_of_key ~shards key
+
+type t = {
+  shards : int;
+  replicas : int;
+  servers : int array;
+  owner : int array;  (* shard -> index into [servers] *)
+  epochs : int array;  (* shard -> migration epoch, 0 at creation *)
+}
+
+let create ~shards ~replicas ~servers =
+  let ns = Array.length servers in
+  if shards < 1 then invalid_arg "Router.create: shards must be >= 1";
+  if ns < 1 then invalid_arg "Router.create: need at least one server";
+  if replicas < 1 || replicas > ns then
+    invalid_arg "Router.create: replicas must be in [1, servers]";
+  let seen = Hashtbl.create ns in
+  Array.iter
+    (fun r ->
+      if Hashtbl.mem seen r then invalid_arg "Router.create: duplicate server";
+      Hashtbl.replace seen r ())
+    servers;
+  {
+    shards;
+    replicas;
+    servers = Array.copy servers;
+    owner = Array.init shards (fun s -> s mod ns);
+    epochs = Array.make shards 0;
+  }
+
+let shards t = t.shards
+let replicas t = t.replicas
+let n_servers t = Array.length t.servers
+let servers t = Array.copy t.servers
+let key_shard t key = shard_of_key ~shards:t.shards key
+let epoch t shard = t.epochs.(shard)
+let owner_index t shard = t.owner.(shard)
+let owner_rank t shard = t.servers.(t.owner.(shard))
+let owner_of_key t key = owner_rank t (key_shard t key)
+
+(* The replica set is a pure function of (owner, R): the owner plus the
+   next R-1 servers around the ring, primary first.  Members are distinct
+   because R <= number of servers. *)
+let replica_indices t shard =
+  let ns = Array.length t.servers in
+  List.init t.replicas (fun i -> (t.owner.(shard) + i) mod ns)
+
+let replica_ranks t shard =
+  List.map (fun i -> t.servers.(i)) (replica_indices t shard)
+
+let server_index t ~rank =
+  let found = ref None in
+  Array.iteri (fun i r -> if r = rank then found := Some i) t.servers;
+  !found
+
+let migrate t ~shard ~to_index =
+  if to_index < 0 || to_index >= Array.length t.servers then
+    invalid_arg "Router.migrate: bad server index";
+  if to_index = t.owner.(shard) then None
+  else begin
+    t.owner.(shard) <- to_index;
+    t.epochs.(shard) <- t.epochs.(shard) + 1;
+    Some t.epochs.(shard)
+  end
+
+let assignment t = Array.copy t.owner
+
+(* Per-shard key enumeration, used by services to lay out shard-local
+   state: [keys_of_shard ~shards ~keys] lists every key of each shard in
+   ascending order; [locate ~shards ~keys] maps a key to (shard, local
+   index) in O(1) after O(keys) setup. *)
+let keys_of_shard ~shards ~keys =
+  let buckets = Array.make shards [] in
+  for key = keys - 1 downto 0 do
+    let s = shard_of_key ~shards key in
+    buckets.(s) <- key :: buckets.(s)
+  done;
+  Array.map Array.of_list buckets
+
+let locate ~shards ~keys =
+  let of_key = Array.make keys (0, 0) in
+  let next = Array.make shards 0 in
+  for key = 0 to keys - 1 do
+    let s = shard_of_key ~shards key in
+    of_key.(key) <- (s, next.(s));
+    next.(s) <- next.(s) + 1
+  done;
+  fun key -> of_key.(key)

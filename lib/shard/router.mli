@@ -1,0 +1,56 @@
+(** Consistent-hash key routing with epoched ownership.
+
+    Keys hash to shards with the same Fibonacci multiplicative hash the
+    sharded sequencer uses ({!Panda.Seq_policy.shard_of_key}), shards map
+    to an owner server through a mutable assignment table, and every
+    migration bumps the shard's epoch.  A [Moved] reply carrying
+    [(shard, owner, epoch)] lets a stale client overwrite its cached
+    route iff the epoch is strictly newer — so for any fixed epoch every
+    key has exactly one owner, the property the model test pins. *)
+
+val shard_of_key : shards:int -> int -> int
+(** The Fibonacci hash, re-exported. *)
+
+type t
+
+val create : shards:int -> replicas:int -> servers:int array -> t
+(** Initial placement is round-robin: shard [s] on server [s mod n].
+    [servers] are the ranks hosting the service, primary ring order.
+    @raise Invalid_argument on duplicate servers or [replicas] outside
+    [1, Array.length servers]. *)
+
+val shards : t -> int
+val replicas : t -> int
+val n_servers : t -> int
+val servers : t -> int array
+
+val key_shard : t -> int -> int
+val epoch : t -> int -> int
+(** Current epoch of a shard; 0 until first migrated. *)
+
+val owner_index : t -> int -> int
+(** Owner of a shard, as an index into [servers]. *)
+
+val owner_rank : t -> int -> int
+val owner_of_key : t -> int -> int
+
+val replica_indices : t -> int -> int list
+(** The R-way replica set of a shard — owner plus the next R-1 servers
+    around the ring, primary first, all distinct. *)
+
+val replica_ranks : t -> int -> int list
+
+val server_index : t -> rank:int -> int option
+
+val migrate : t -> shard:int -> to_index:int -> int option
+(** Moves a shard to another server, returning the shard's new epoch —
+    [None] if [to_index] already owns it (no epoch is burned). *)
+
+val assignment : t -> int array
+(** Snapshot of the owner table (server indices), for audits. *)
+
+val keys_of_shard : shards:int -> keys:int -> int array array
+(** Every key of each shard, ascending. *)
+
+val locate : shards:int -> keys:int -> int -> int * int
+(** [locate ~shards ~keys] precomputes key -> (shard, local slot). *)

@@ -1,0 +1,116 @@
+(** A sharded, optionally replicated key/value service served over any of
+    the four communication stacks, with ledger-driven object migration.
+
+    Keys route to shards through {!Router}'s consistent hash; shards live
+    on primaries (plus R-1 ring successors when replicated), and each
+    server answers only for shards it currently owns — anything else gets
+    a [Moved] redirect carrying the shard's epoch, which clients apply
+    iff strictly newer than their cached route.
+
+    {b Handler discipline.}  Every RPC handler replies inline — never
+    parks — because the kernel stack's 8-thread server pool would
+    otherwise admit cross-server deadlock cycles (A's pool waiting on
+    replies B must produce and vice versa).  Work that needs to block
+    (replica propagation, handoff state transfer) is queued to a
+    per-server worker thread instead, as fire-and-forget jobs.
+
+    {b Migration handoff} keeps at-most-once semantics without blocking:
+    the old primary freezes the shard, parks put requests that arrive
+    before its snapshot as {e relays}, then ships (versions, dedup rids,
+    relays) to every member of the new replica set.  Installation merges
+    by per-slot version max (async propagation may have raced ahead),
+    unions the rid set, and applies relays exactly once in recorded
+    order; the clients' retries then hit the dedup table.  The old
+    primary keeps a forwarding entry forever, so any stale route reaches
+    the shard's ownership chain in one [Moved] hop per epoch. *)
+
+type params = {
+  sv_keys : int;
+  sv_value_words : int;  (** data words per value (a tag word rides along) *)
+  sv_shards : int;
+  sv_replicas : int;  (** R-way: primary + R-1 ring successors *)
+  sv_read_pct : int;  (** get percentage of the op mix, 0..100 *)
+  sv_skew : Load.Keys.skew;
+  sv_store_fixed : Sim.Time.span;  (** server CPU per op *)
+  sv_store_word : Sim.Time.span;  (** server CPU per data word touched *)
+  sv_backoff : Sim.Time.span;  (** client sleep before retrying a [Moved] *)
+}
+
+val default_params : params
+(** 4096 keys x 16 value words in 16 shards, unreplicated, 90% reads,
+    Zipf(0.99). *)
+
+type t
+
+val create_rpc :
+  params:params ->
+  backends:Orca.Backend.t array ->
+  router:Router.t ->
+  ?lane_of:(int -> int) ->
+  unit ->
+  t
+(** Installs handlers and spawns the worker thread on every server rank
+    of [router].  [lane_of] must be {!Core.Cluster.machine_lane} when the
+    engine is laned, so workers' event chains stay lane-local.
+    @raise Invalid_argument if [router]'s shard count disagrees with
+    [params]. *)
+
+val create_onesided :
+  params:params -> rnics:Onesided.Rnic.t array -> router:Router.t -> unit -> t
+(** The one-sided variant: each server registers a region holding its
+    shards' slots ([version; block] per key), gets read the version then
+    the block, puts claim the next version with [cas] then write the
+    block.  No server threads exist, so placement is static —
+    {!migrate} always returns [false].
+    @raise Invalid_argument when [params] asks for replication. *)
+
+val params : t -> params
+val router : t -> Router.t
+
+val client_op : t -> rank:int -> Sim.Rng.t -> unit
+(** One client operation from [rank]: draws get-vs-put then a key (one
+    RNG draw each, Zipf or uniform), performs it against the cached
+    route, and chases [Moved] redirects — with [sv_backoff] between
+    attempts — until served.  Must run on rank's machine thread. *)
+
+val migrate : t -> via:int -> shard:int -> to_rank:int -> bool
+(** Starts a ledger-driven handoff of [shard] to [to_rank], sending the
+    freeze RPC through rank [via]'s backend (the calling thread must be
+    on [via]'s machine).  Returns [false] — and does nothing — for the
+    one-sided service, an unknown [to_rank], a shard already migrating,
+    or a no-op move. *)
+
+val migration_in_flight : t -> bool
+
+(** Counters (clients + servers, cumulative). *)
+
+val ops : t -> int
+val gets : t -> int
+val puts_acked : t -> int
+
+val dedup_hits : t -> int
+(** Retried puts answered from the dedup table instead of re-executing —
+    the at-most-once mechanism observably firing across handoffs. *)
+
+val relays : t -> int
+(** Puts parked during a freeze window and applied at install. *)
+
+val migrations : t -> int
+(** Completed handoffs (transfer installed at every member). *)
+
+val violations : t -> int
+(** Client- or server-observed protocol violations: torn blocks, wrong
+    keys in replies, unexpected payloads.  Zero on a healthy run. *)
+
+val shard_ops : t -> int array
+(** Per-shard op counts — the rebalancer's heat signal.  A copy. *)
+
+val check_at_rest : t -> string list
+(** Full conformance audit once the run has drained: every shard's owner
+    holds an unfrozen primary copy, replica members agree with it, all
+    blocks match their version pattern, and the number of applied
+    versions equals the number of acked puts (exactly-once end to end).
+    Returns human-readable violations, empty when clean. *)
+
+val register_checker : t -> Faults.Invariants.t -> unit
+(** Hooks {!check_at_rest} into the checker's finalize pass. *)

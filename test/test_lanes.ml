@@ -40,6 +40,32 @@ let test_plan_collapses () =
   check_bool "1 ns switch: no window, no plan" true
     (Sim.Lanes.plan ~n_machines:12 ~per_segment:8 ~switch_latency:1 = None)
 
+(* Cluster-scale plans: 8-segment (64-machine) and 64-segment (512-machine)
+   pools must shard into one lane per segment plus the switch lane, with
+   every rank mapped to its segment's lane. *)
+let test_plan_many_segments () =
+  List.iter
+    (fun n ->
+      let segs = n / 8 in
+      match Sim.Lanes.plan ~n_machines:n ~per_segment:8 ~switch_latency:100 with
+      | None -> Alcotest.failf "%d machines must shard" n
+      | Some p ->
+        check_int
+          (Printf.sprintf "%d machines: %d segments + switch" n segs)
+          (segs + 1) p.Sim.Lanes.n_lanes;
+        check_int "switch lane is last" segs p.Sim.Lanes.switch_lane;
+        check_int "lookahead = min hop" 50 p.Sim.Lanes.lookahead;
+        check_int "every rank mapped" n (Array.length p.Sim.Lanes.machine_lane);
+        Array.iteri
+          (fun rank lane ->
+            check_int (Printf.sprintf "rank %d lane" rank) (rank / 8) lane)
+          p.Sim.Lanes.machine_lane;
+        Alcotest.(check (array int))
+          "segment lanes enumerate segments"
+          (Array.init segs (fun s -> s))
+          p.Sim.Lanes.segment_lane)
+    [ 64; 512 ]
+
 (* ------------------------------------------------------------------ *)
 (* The laned engine itself *)
 
@@ -165,6 +191,24 @@ let test_cluster_lane_shape () =
   check_int "single segment stays sequential" 1
     (Sim.Engine.n_lanes c1.Core.Cluster.eng)
 
+(* A 512-node pool: 64 segments + switch, every rank's lane equal to its
+   segment, and the canonical server placement spread one per segment. *)
+let test_cluster_512_lane_assignment () =
+  let c = Core.Cluster.create ~lanes:true ~n:512 () in
+  check_int "64 segments" 64 (Core.Cluster.n_segments c);
+  check_int "65 lanes" 65 (Sim.Engine.n_lanes c.Core.Cluster.eng);
+  for rank = 0 to 511 do
+    check_int
+      (Printf.sprintf "rank %d on its segment's lane" rank)
+      (rank / 8)
+      (Core.Cluster.machine_lane c rank)
+  done;
+  let servers = Core.Cluster.server_ranks c in
+  check_int "one server per segment" 64 (List.length servers);
+  List.iteri
+    (fun s rank -> check_int "server leads its segment" (s * 8) rank)
+    servers
+
 let () =
   Alcotest.run "lanes"
     [
@@ -173,6 +217,8 @@ let () =
           Alcotest.test_case "two segments" `Quick test_plan_two_segments;
           Alcotest.test_case "odd latency split" `Quick test_plan_odd_latency;
           Alcotest.test_case "collapses" `Quick test_plan_collapses;
+          Alcotest.test_case "8 and 64 segment pools" `Quick
+            test_plan_many_segments;
         ] );
       ( "engine",
         [
@@ -184,6 +230,8 @@ let () =
       ( "cluster",
         [
           Alcotest.test_case "lane shape" `Quick test_cluster_lane_shape;
+          Alcotest.test_case "512-node lane assignment" `Quick
+            test_cluster_512_lane_assignment;
           Alcotest.test_case "laned run repeatable" `Quick
             test_laned_cluster_repeatable;
           Alcotest.test_case "single segment collapse" `Quick
