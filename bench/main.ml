@@ -682,6 +682,110 @@ let print_cluster ?pool ?faults ?(quick = false) ~net () =
   if total > 0 then Printf.printf "WARNING: %d service conformance violations!\n" total
   else Printf.printf "(all cells: zero service conformance violations)\n"
 
+(* The scenario artifact: loss x load tail amplification, a short
+   checked soak with a mid-run sequencer crash, and the calibration
+   round-trip (fitted net constants must equal the pinned era
+   bit-exactly).  Quick mode shrinks the grid to the CI smoke. *)
+let scenario_json : string option ref = ref None
+
+let print_scenario ?pool ?(quick = false) ~net () =
+  hr "Scenario: tail amplification under frame loss";
+  let impls =
+    if quick then [ Core.Cluster.User ] else Core.Experiments.load_impls
+  in
+  let losses = if quick then [ 0.01 ] else Core.Experiments.tail_losses in
+  let rates = if quick then [ 200. ] else [ 200.; 800. ] in
+  let window = Sim.Time.us_f (if quick then 0.5e6 else 1e6) in
+  let cells =
+    Core.Experiments.tail_grid ?pool ~net
+      ~config:{ Load.Clients.default with Load.Clients.window }
+      ~losses ~rates ~impls ()
+  in
+  List.iter (fun c -> Format.printf "  %a@." Core.Experiments.pp_tail_cell c) cells;
+  hr "Scenario: checked soak (diurnal ramp, 1% loss, sequencer crash)";
+  let soak =
+    Scenario.Soak.run
+      {
+        Scenario.Soak.default with
+        Scenario.Soak.sk_rate = 300.;
+        sk_windows = (if quick then 4 else 8);
+        sk_policy = Panda.Seq_policy.Failover;
+        sk_op = Load.Clients.Group;
+        sk_net = Some net;
+        sk_faults =
+          Some (Result.get_ok (Faults.Spec.parse "seed=5,loss=0.01,seqcrash=0.4"));
+      }
+  in
+  Format.printf "  %a@." Scenario.Soak.pp_report soak;
+  hr "Scenario: cost-profile calibration round-trip";
+  let calib_exact, calib_ref, calib_fit =
+    match Scenario.Calibrate.fit (Scenario.Calibrate.measure ~net ()) with
+    | Error e ->
+      Printf.printf "  fit FAILED: %s\n" e;
+      (false, 0., 0.)
+    | Ok fitted ->
+      let exact =
+        fitted.Core.Params.np_segment = net.Core.Params.np_segment
+        && fitted.Core.Params.np_nic = net.Core.Params.np_nic
+        && fitted.Core.Params.np_switch = net.Core.Params.np_switch
+      in
+      let ref_ms, fit_ms = Scenario.Calibrate.verify ~reference:net fitted in
+      Printf.printf "  %s: constants %s, user null RPC %.3f ms vs %.3f ms\n"
+        net.Core.Params.np_name
+        (if exact then "recovered bit-exactly" else "MISMATCH")
+        ref_ms fit_ms;
+      (exact, ref_ms, fit_ms)
+  in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n    \"tail_grid\": [\n";
+  List.iteri
+    (fun i c ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "      {\"impl\": \"%s\", \"loss\": %.4f, \"rate\": %.0f, \
+            \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"p999_ms\": %.3f, \"amp99\": \
+            %.2f, \"amp999\": %.2f, \"violations\": %d}%s\n"
+           (json_escape (Core.Cluster.impl_label c.Core.Experiments.tc_impl))
+           c.Core.Experiments.tc_loss c.Core.Experiments.tc_rate
+           c.Core.Experiments.tc_metrics.Load.Metrics.p50_ms
+           c.Core.Experiments.tc_metrics.Load.Metrics.p99_ms
+           c.Core.Experiments.tc_metrics.Load.Metrics.p999_ms
+           c.Core.Experiments.tc_amp99 c.Core.Experiments.tc_amp999
+           c.Core.Experiments.tc_metrics.Load.Metrics.violations
+           (if i = List.length cells - 1 then "" else ",")))
+    cells;
+  Buffer.add_string b "    ],\n    \"soak\": {\"windows\": [\n";
+  let ws = soak.Scenario.Soak.r_windows in
+  List.iteri
+    (fun i w ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "      {\"offered\": %.1f, \"achieved\": %.1f, \"p99_ms\": %.3f, \
+            \"retrans\": %d, \"kills\": %d}%s\n"
+           w.Scenario.Soak.w_offered w.Scenario.Soak.w_achieved
+           w.Scenario.Soak.w_p99_ms w.Scenario.Soak.w_retrans
+           w.Scenario.Soak.w_kills
+           (if i = List.length ws - 1 then "" else ",")))
+    ws;
+  Buffer.add_string b
+    (Printf.sprintf
+       "    ], \"issued\": %d, \"completed\": %d, \"p999_ms\": %.3f, \
+        \"seq_crashed\": %b, \"violations\": %d},\n"
+       soak.Scenario.Soak.r_issued soak.Scenario.Soak.r_completed
+       soak.Scenario.Soak.r_p999_ms soak.Scenario.Soak.r_seq_crashed
+       soak.Scenario.Soak.r_violations);
+  Buffer.add_string b
+    (Printf.sprintf
+       "    \"calibration\": {\"era\": \"%s\", \"exact\": %b, \
+        \"reference_ms\": %.6f, \"fitted_ms\": %.6f}\n  }"
+       (json_escape net.Core.Params.np_name)
+       calib_exact calib_ref calib_fit);
+  scenario_json := Some (Buffer.contents b);
+  if soak.Scenario.Soak.r_violations > 0 then
+    Printf.printf "WARNING: %d soak conformance violations!\n"
+      soak.Scenario.Soak.r_violations
+  else Printf.printf "(soak: zero conformance violations)\n"
+
 let print_ablations ?pool () =
   hr "Ablation: dedicated sequencer for LEQ [s]";
   List.iter
@@ -762,6 +866,10 @@ let write_json ~jobs ~net file =
   (match !engine_json with
    | Some section ->
      Buffer.add_string b (Printf.sprintf "  \"engine\": %s,\n" section)
+   | None -> ());
+  (match !scenario_json with
+   | Some section ->
+     Buffer.add_string b (Printf.sprintf "  \"scenario\": %s,\n" section)
    | None -> ());
   Buffer.add_string b "  \"artifacts\": [\n";
   let rows = List.rev !timings in
@@ -1054,6 +1162,11 @@ let () =
       (if quick then "cluster-quick" else "cluster")
       (fun () ->
         with_pool (fun ?pool () -> print_cluster ?pool ?faults ~quick ~net ()));
+  if wants "scenario" then
+    timed
+      (if quick then "scenario-quick" else "scenario")
+      (fun () ->
+        with_pool (fun ?pool () -> print_scenario ?pool ~quick ~net ()));
   if wants "ablation" then timed "ablation" (fun () -> with_pool print_ablations);
   if wants "engine" then
     timed

@@ -26,10 +26,15 @@ let profile_conv =
   let parse s =
     match Core.Params.net_profile_of_string s with
     | Some p -> Ok p
+    | None when Sys.file_exists s -> (
+      match Core.Params.net_profile_load s with
+      | Ok p -> Ok p
+      | Error e -> Error (`Msg (Printf.sprintf "profile file %s: %s" s e)))
     | None ->
       Error
         (`Msg
-           (Printf.sprintf "unknown network profile %S (expected %s)" s
+           (Printf.sprintf
+              "unknown network profile %S (expected %s, or a profile file)" s
               (String.concat " | "
                  (List.map
                     (fun p -> p.Core.Params.np_name)
@@ -46,8 +51,9 @@ let profile_arg =
         ~doc:
           "Network era the cluster is built on: $(b,net10m) (the paper's \
            10 Mbit/s Ethernet, the default), $(b,net100m), $(b,net1g) or \
-           $(b,net10g).  Machine and protocol costs stay at their 1995 \
-           values; only wire, switch and NIC constants change.")
+           $(b,net10g) — or the path of a profile file written by \
+           $(b,calibrate --out).  Machine and protocol costs stay at their \
+           1995 values; only wire, switch and NIC constants change.")
 
 let size_arg = Arg.(value & opt int 0 & info [ "size" ] ~doc:"Message payload bytes")
 
@@ -122,6 +128,52 @@ let jobs_arg =
 let with_pool jobs f =
   if jobs <= 1 then f ?pool:None ()
   else Exec.Pool.with_pool ~jobs (fun p -> f ?pool:(Some p) ())
+
+(* CSV dumps for --out: one row per measured operating point, optionally
+   prefixed by extra key columns (e.g. the tail grid's loss rate). *)
+let metrics_csv_columns =
+  [
+    "label"; "op"; "offered"; "achieved"; "issued"; "completed"; "p50_ms";
+    "p95_ms"; "p99_ms"; "p999_ms"; "mean_ms"; "max_ms"; "client_util";
+    "server_util"; "seq_util"; "violations";
+  ]
+
+let metrics_csv_row (m : Load.Metrics.t) =
+  [
+    m.label; m.op;
+    Printf.sprintf "%.3f" m.offered;
+    Printf.sprintf "%.3f" m.achieved;
+    string_of_int m.issued;
+    string_of_int m.completed;
+    Printf.sprintf "%.6f" m.p50_ms;
+    Printf.sprintf "%.6f" m.p95_ms;
+    Printf.sprintf "%.6f" m.p99_ms;
+    Printf.sprintf "%.6f" m.p999_ms;
+    Printf.sprintf "%.6f" m.mean_ms;
+    Printf.sprintf "%.6f" m.max_ms;
+    Printf.sprintf "%.6f" m.client_util;
+    Printf.sprintf "%.6f" m.server_util;
+    Printf.sprintf "%.6f" m.seq_util;
+    string_of_int m.violations;
+  ]
+
+let write_csv path ~extra_columns rows =
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (String.concat "," (extra_columns @ metrics_csv_columns));
+      output_char oc '\n';
+      List.iter
+        (fun (extra, m) ->
+          output_string oc (String.concat "," (extra @ metrics_csv_row m));
+          output_char oc '\n')
+        rows);
+  Printf.printf "wrote %s (%d rows)\n" path (List.length rows)
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:"Also dump every measured operating point to $(docv) as CSV")
 
 (* --- latency --- *)
 
@@ -311,7 +363,11 @@ let load_sweep_cmd =
     Arg.(
       value & opt arrival_conv Load.Arrival.Uniform
       & info [ "arrival" ] ~docv:"PROC"
-          ~doc:"Arrival process: $(b,uniform), $(b,poisson) or $(b,closed=US) (think time, us)")
+          ~doc:
+            "Arrival process: $(b,uniform), $(b,poisson), $(b,closed=US) \
+             (think time, us), $(b,ramp:S)[$(b,/FLOOR)] (diurnal \
+             raised-cosine, period S seconds) or $(b,replay:FILE)[$(b,@SCALE)] \
+             (trace replay; see the $(b,replay) command)")
   in
   let mix_arg =
     let mix_conv =
@@ -358,7 +414,7 @@ let load_sweep_cmd =
              violations are printed and make the run exit nonzero.")
   in
   let run impls rates nodes clients op arrival mix window warmup seed sequencer
-      net faults checked lanes jobs =
+      net faults checked out lanes jobs =
     Core.Cluster.set_default_lanes lanes;
     let config =
       {
@@ -376,6 +432,8 @@ let load_sweep_cmd =
       match nodes with Some n -> n | None -> if sequencer <> None then 8 else 4
     in
     let violations = ref 0 in
+    let csv_rows = ref [] in
+    let note_metrics ?(extra = []) m = csv_rows := (extra, m) :: !csv_rows in
     (match sequencer with
      | Some [ Panda.Seq_policy.Single ] | Some [] ->
        (* The classic three-stack saturation comparison, all under the
@@ -383,8 +441,9 @@ let load_sweep_cmd =
        List.iter
          (fun (_, rows) ->
            List.iter
-             (fun ((_, m) as row) ->
+             (fun ((s, m) as row) ->
                violations := !violations + m.Load.Metrics.violations;
+               note_metrics ~extra:[ string_of_int s ] m;
                Format.printf "%a@." Core.Experiments.pp_saturation_row row)
              rows;
            Format.printf "@.")
@@ -400,8 +459,11 @@ let load_sweep_cmd =
        List.iter
          (fun (policy, rows) ->
            List.iter
-             (fun ((_, m) as row) ->
+             (fun ((s, m) as row) ->
                violations := !violations + m.Load.Metrics.violations;
+               note_metrics
+                 ~extra:[ Panda.Seq_policy.to_string policy; string_of_int s ]
+                 m;
                Format.printf "%a@." Core.Experiments.pp_policy_row (policy, row))
              rows;
            Format.printf "@.")
@@ -412,12 +474,24 @@ let load_sweep_cmd =
        List.iter
          (fun (_, curve) ->
            List.iter
-             (fun m -> violations := !violations + m.Load.Metrics.violations)
+             (fun m ->
+               violations := !violations + m.Load.Metrics.violations;
+               note_metrics m)
              curve.Load.Sweep.c_points;
            Format.printf "%a@.@." Load.Sweep.pp_curve curve)
          (with_pool jobs (fun ?pool () ->
               Core.Experiments.load_sweep ?pool ?faults ~checked ~net ~nodes
                 ~config ?rates ?impls ())));
+    (match out with
+     | Some path ->
+       let extra_columns =
+         match sequencer with
+         | None -> []
+         | Some [ Panda.Seq_policy.Single ] | Some [] -> [ "senders" ]
+         | Some _ -> [ "policy"; "senders" ]
+       in
+       write_csv path ~extra_columns (List.rev !csv_rows)
+     | None -> ());
     if !violations > 0 then exit 1
   in
   Cmd.v
@@ -429,7 +503,346 @@ let load_sweep_cmd =
     Term.(
       const run $ impls_arg $ rates_arg $ nodes_arg $ clients_arg $ op_arg
       $ arrival_arg $ mix_arg $ window_arg $ warmup_arg $ seed_arg $ seq_arg
-      $ profile_arg $ faults_arg $ checked_arg $ lanes_arg $ jobs_arg)
+      $ profile_arg $ faults_arg $ checked_arg $ out_arg $ lanes_arg $ jobs_arg)
+
+(* --- scenario: replay / tail-grid / soak / calibrate --- *)
+
+let mix_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Load.Mix.parse s) in
+  Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (Load.Mix.to_string m))
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Master seed for all RNG streams")
+
+let replay_cmd =
+  let gen_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "gen" ] ~docv:"FILE"
+          ~doc:
+            "Synthesize a trace (diurnal ramp x bursts over a Poisson base) \
+             and write it to $(docv) instead of, or before, replaying")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Replay $(docv) against a cluster; with $(b,--gen FILE) and no \
+             $(b,--trace), the generated trace is replayed directly")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 400.
+      & info [ "rate" ] ~doc:"Peak aggregate arrival rate for synthesis, ops/s")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 2.
+      & info [ "duration" ] ~doc:"Synthesized trace length, seconds")
+  in
+  let period_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "period" ]
+          ~doc:"Diurnal cycle of the synthesized ramp, seconds (default: the whole duration)")
+  in
+  let floor_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "floor" ] ~doc:"Trough rate as a fraction of the peak, in (0, 1]")
+  in
+  let burst_arg =
+    Arg.(
+      value & opt float 3.
+      & info [ "burst-mult" ] ~doc:"Rate multiplier inside periodic burst windows")
+  in
+  let scale_arg =
+    Arg.(
+      value & opt float 1.
+      & info [ "scale" ]
+          ~doc:
+            "Time-scale the replayed trace: $(docv) < 1 compresses it \
+             (higher offered load), > 1 stretches it"
+        ~docv:"F")
+  in
+  let mix_arg =
+    Arg.(
+      value & opt mix_conv (Load.Mix.single 0)
+      & info [ "mix" ] ~docv:"SIZExW,..."
+          ~doc:"Request-size mix drawn during synthesis, e.g. $(b,64x9,8192x1)")
+  in
+  let nodes_arg =
+    Arg.(value & opt int 4 & info [ "nodes" ] ~doc:"Cluster size in machines")
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int Load.Clients.default.Load.Clients.clients_per_node
+      & info [ "clients" ] ~doc:"Client threads per client node")
+  in
+  let checked_arg =
+    Arg.(
+      value & flag
+      & info [ "checked" ]
+          ~doc:"Interpose the protocol-conformance checkers; violations exit nonzero")
+  in
+  let run gen trace rate duration period floor burst_mult scale mix impl nodes
+      clients checked seed net faults lanes =
+    Core.Cluster.set_default_lanes lanes;
+    (match gen with
+     | Some path ->
+       let duration = Sim.Time.us_f (duration *. 1e6) in
+       let period = Option.map (fun s -> Sim.Time.us_f (s *. 1e6)) period in
+       let t =
+         Load.Trace.synthesize ?period ~floor ~burst_mult ~mix ~rate ~duration
+           ~seed ()
+       in
+       Load.Trace.save path t;
+       Printf.printf "wrote %s: %d requests over %.3f s (peak %.0f/s, floor %.2f)\n"
+         path (Load.Trace.length t)
+         (Sim.Time.to_sec (Load.Trace.duration t))
+         rate floor
+     | None -> ());
+    let replay_path =
+      match (trace, gen) with Some p, _ -> Some p | None, g -> g
+    in
+    match replay_path with
+    | None ->
+      if gen = None then (
+        prerr_endline "replay: nothing to do (need --gen and/or --trace)";
+        exit 2)
+    | Some path ->
+      let tr =
+        match Load.Trace.load path with
+        | Ok t -> Load.Trace.scale scale t
+        | Error e ->
+          prerr_endline ("replay: " ^ e);
+          exit 2
+      in
+      (* The window covers the whole scaled trace plus drain slack, so
+         every entry is measured; warmup 0 keeps trace offset = schedule. *)
+      let cfg =
+        {
+          Load.Clients.default with
+          Load.Clients.arrival =
+            Load.Arrival.Replay { rp_path = path; rp_scale = scale };
+          clients_per_node = clients;
+          warmup = 0;
+          window = Load.Trace.duration tr + Sim.Time.ms 500;
+          seed;
+        }
+      in
+      let m = Core.Experiments.load_cell ?faults ~checked ~net ~nodes ~impl cfg () in
+      Format.printf "%a@.%a@." Load.Metrics.pp_header () Load.Metrics.pp m;
+      if m.Load.Metrics.violations > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Synthesize and/or replay a timestamped request trace against a \
+          cluster: entries are dealt round-robin to the client population \
+          and latency is measured from each request's scheduled trace time")
+    Term.(
+      const run $ gen_arg $ trace_arg $ rate_arg $ duration_arg $ period_arg
+      $ floor_arg $ burst_arg $ scale_arg $ mix_arg $ impl_arg $ nodes_arg
+      $ clients_arg $ checked_arg $ seed_arg $ profile_arg $ faults_arg
+      $ lanes_arg)
+
+let tail_grid_cmd =
+  let impls_arg =
+    Arg.(
+      value
+      & opt (some (list impl_conv)) None
+      & info [ "impls" ] ~docv:"IMPL,..."
+          ~doc:"Stacks to grid (default kernel,user,optimized)")
+  in
+  let losses_arg =
+    Arg.(
+      value
+      & opt (some (list float)) None
+      & info [ "losses" ] ~docv:"P,..."
+          ~doc:
+            "Frame-loss probabilities (default 0,0.001,0.01,0.03); a 0 \
+             baseline column is added if omitted")
+  in
+  let rates_arg =
+    Arg.(
+      value
+      & opt (some (list float)) None
+      & info [ "rates" ] ~docv:"R,..."
+          ~doc:"Offered loads in aggregate ops/s (default 200,800)")
+  in
+  let nodes_arg =
+    Arg.(value & opt int 4 & info [ "nodes" ] ~doc:"Cluster size in machines")
+  in
+  let window_arg =
+    Arg.(
+      value & opt float 1.
+      & info [ "window" ] ~doc:"Measurement window, simulated seconds")
+  in
+  let run impls losses rates nodes window seed net out lanes jobs =
+    Core.Cluster.set_default_lanes lanes;
+    let config =
+      {
+        Load.Clients.default with
+        Load.Clients.window = Sim.Time.us_f (window *. 1e6);
+        seed;
+      }
+    in
+    let cells =
+      with_pool jobs (fun ?pool () ->
+          Core.Experiments.tail_grid ?pool ~net ~nodes ~config ?losses ?rates
+            ?impls ())
+    in
+    List.iter (fun c -> Format.printf "%a@." Core.Experiments.pp_tail_cell c) cells;
+    match out with
+    | Some path ->
+      write_csv path ~extra_columns:[ "loss" ]
+        (List.map
+           (fun c ->
+             ( [ Printf.sprintf "%.6f" c.Core.Experiments.tc_loss ],
+               c.Core.Experiments.tc_metrics ))
+           cells)
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "tail-grid"
+       ~doc:
+         "Sweep frame-loss rate x offered load per stack and report \
+          p99/p99.9 tail amplification over the loss-free baseline — the \
+          cost of the 200 ms retransmission timeout under loss")
+    Term.(
+      const run $ impls_arg $ losses_arg $ rates_arg $ nodes_arg $ window_arg
+      $ seed_arg $ profile_arg $ out_arg $ lanes_arg $ jobs_arg)
+
+let soak_cmd =
+  let nodes_arg =
+    Arg.(value & opt int 4 & info [ "nodes" ] ~doc:"Cluster size in machines")
+  in
+  let op_arg =
+    Arg.(
+      value
+      & opt (enum [ ("rpc", Load.Clients.Rpc); ("group", Load.Clients.Group) ])
+          Load.Clients.Rpc
+      & info [ "op" ] ~doc:"Operation under load: $(b,rpc) or $(b,group)")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float Scenario.Soak.default.Scenario.Soak.sk_rate
+      & info [ "rate" ] ~doc:"Peak aggregate arrival rate, ops/s")
+  in
+  let period_arg =
+    Arg.(
+      value & opt float 2.
+      & info [ "period" ] ~doc:"Diurnal cycle length, seconds")
+  in
+  let floor_arg =
+    Arg.(
+      value & opt float Scenario.Soak.default.Scenario.Soak.sk_floor
+      & info [ "floor" ] ~doc:"Trough rate as a fraction of the peak, in (0, 1]")
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int Scenario.Soak.default.Scenario.Soak.sk_clients_per_node
+      & info [ "clients" ] ~doc:"Client threads per client node")
+  in
+  let window_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "window" ] ~doc:"Length of one report window, seconds")
+  in
+  let windows_arg =
+    Arg.(
+      value & opt int Scenario.Soak.default.Scenario.Soak.sk_windows
+      & info [ "windows" ] ~doc:"Number of consecutive report windows")
+  in
+  let mix_arg =
+    Arg.(
+      value & opt mix_conv (Load.Mix.single 0)
+      & info [ "mix" ] ~docv:"SIZExW,..." ~doc:"Weighted request-size mix")
+  in
+  let run impl nodes policy op rate period floor clients window windows mix
+      seed net faults lanes =
+    Core.Cluster.set_default_lanes lanes;
+    let report =
+      Scenario.Soak.run
+        {
+          Scenario.Soak.sk_impl = impl;
+          sk_nodes = nodes;
+          sk_policy = policy;
+          sk_op = op;
+          sk_mix = mix;
+          sk_rate = rate;
+          sk_period = Sim.Time.us_f (period *. 1e6);
+          sk_floor = floor;
+          sk_clients_per_node = clients;
+          sk_warmup = Scenario.Soak.default.Scenario.Soak.sk_warmup;
+          sk_window = Sim.Time.us_f (window *. 1e6);
+          sk_windows = windows;
+          sk_faults = faults;
+          sk_net = Some net;
+          sk_seed = seed;
+        }
+    in
+    Format.printf "%a@." Scenario.Soak.pp_report report;
+    if report.Scenario.Soak.r_violations > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Long-horizon soak: diurnal load, optional fault churn and mid-run \
+          sequencer crash, conformance checkers always on, one timeline row \
+          per window; nonzero exit on any invariant violation")
+    Term.(
+      const run $ impl_arg $ nodes_arg $ policy_arg $ op_arg $ rate_arg
+      $ period_arg $ floor_arg $ clients_arg $ window_arg $ windows_arg
+      $ mix_arg $ seed_arg $ profile_arg $ faults_arg $ lanes_arg)
+
+let calibrate_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the fitted profile to $(docv) (readable by $(b,--profile))")
+  in
+  let name_arg =
+    Arg.(
+      value & opt string "fitted"
+      & info [ "name" ] ~doc:"The fitted profile's $(b,name) field")
+  in
+  let run net name out =
+    let m = Scenario.Calibrate.measure ~net () in
+    Format.printf "%a" Scenario.Calibrate.pp m;
+    match Scenario.Calibrate.fit ~name m with
+    | Error e ->
+      Format.printf "fit FAILED: %s@." e;
+      exit 1
+    | Ok fitted ->
+      Format.printf "fitted constants:@.%s"
+        (Core.Params.net_profile_to_string fitted);
+      let ref_ms, fit_ms = Scenario.Calibrate.verify ~reference:net fitted in
+      Format.printf "verify: user null RPC %.3f ms (reference) vs %.3f ms (fitted)%s@."
+        ref_ms fit_ms
+        (if ref_ms = fit_ms then " — exact" else " — MISMATCH");
+      (match out with
+       | Some path ->
+         Core.Params.net_profile_save path fitted;
+         Printf.printf "wrote %s\n" path
+       | None -> ());
+      if ref_ms <> fit_ms then exit 1
+  in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:
+         "Recover a network cost profile from probe simulations alone \
+          (wire-busy, receive-interrupt and switch round-trip observables, \
+          exact integer fits) and verify it reproduces the reference \
+          latency; $(b,--out) saves a profile file for $(b,--profile)")
+    Term.(const run $ profile_arg $ name_arg $ out_arg)
 
 (* --- tables --- *)
 
@@ -804,6 +1217,10 @@ let () =
             app_cmd;
             fault_sweep_cmd;
             load_sweep_cmd;
+            replay_cmd;
+            tail_grid_cmd;
+            soak_cmd;
+            calibrate_cmd;
             dht_cmd;
             crossover_cmd;
             cluster_cmd;

@@ -1063,6 +1063,84 @@ let load_sweep ?pool ?faults ?checked ?net ?(nodes = 4)
       (impl, Load.Sweep.curve points))
     impls
 
+(* ------------------------------------------------------------------ *)
+(* Loss x load tail grids.  The protocols' 200 ms retransmission timeout
+   is invisible in means — a 1% frame-loss rate barely moves the average
+   null-RPC time — but it owns the tail: every lost request or reply
+   parks its caller for the full timeout, so p99/p99.9 jump by two to
+   three orders of magnitude.  The grid quantifies that as an
+   amplification factor against the loss-free baseline at the same
+   (stack, offered load) point, one independent cell per coordinate. *)
+
+type tail_cell = {
+  tc_impl : Cluster.impl;
+  tc_loss : float;
+  tc_rate : float;
+  tc_metrics : Load.Metrics.t;
+  tc_amp99 : float;
+  tc_amp999 : float;
+}
+
+let tail_losses = [ 0.; 0.001; 0.01; 0.03 ]
+
+let tail_grid ?pool ?net ?(nodes = 4) ?(config = Load.Clients.default)
+    ?(losses = tail_losses) ?(rates = [ 200.; 800. ]) ?(impls = load_impls) () =
+  (* The amplification baseline is the loss-free cell, so make sure the
+     grid contains one even when the caller's list omits it. *)
+  let losses =
+    if List.exists (fun l -> l = 0.) losses then losses else 0. :: losses
+  in
+  List.iter
+    (fun l ->
+      if not (Float.is_finite l) || l < 0. || l >= 1. then
+        invalid_arg "Experiments.tail_grid: loss must be in [0, 1)")
+    losses;
+  let coords =
+    List.concat_map
+      (fun impl ->
+        List.concat_map (fun loss -> List.map (fun rate -> (impl, loss, rate)) rates)
+          losses)
+      impls
+  in
+  let cells =
+    List.map
+      (fun (impl, loss, rate) () ->
+        let faults = if loss > 0. then Some (Faults.Spec.loss loss) else None in
+        load_cell ?faults ?net ~nodes ~impl
+          { config with Load.Clients.rate }
+          ())
+      coords
+  in
+  let results = run_cells ?pool cells in
+  let grid = List.combine coords results in
+  let baseline impl rate =
+    match
+      List.find_opt (fun ((i, l, r), _) -> i = impl && l = 0. && r = rate) grid
+    with
+    | Some (_, m) -> m
+    | None -> assert false
+  in
+  List.map
+    (fun ((impl, loss, rate), m) ->
+      let b = baseline impl rate in
+      let amp bp p = if bp > 0. then p /. bp else Float.nan in
+      {
+        tc_impl = impl;
+        tc_loss = loss;
+        tc_rate = rate;
+        tc_metrics = m;
+        tc_amp99 = amp b.Load.Metrics.p99_ms m.Load.Metrics.p99_ms;
+        tc_amp999 = amp b.Load.Metrics.p999_ms m.Load.Metrics.p999_ms;
+      })
+    grid
+
+let pp_tail_cell fmt c =
+  Format.fprintf fmt
+    "%-10s loss=%5.2f%%  rate=%6.0f/s  p50 %7.3f  p99 %8.3f  p99.9 %8.3f ms  amp99 %6.1fx  amp99.9 %6.1fx"
+    (Cluster.impl_label c.tc_impl) (100. *. c.tc_loss) c.tc_rate
+    c.tc_metrics.Load.Metrics.p50_ms c.tc_metrics.Load.Metrics.p99_ms
+    c.tc_metrics.Load.Metrics.p999_ms c.tc_amp99 c.tc_amp999
+
 (* The load-side complement of the paper's §4.3 sequencer accounting:
    closed-loop group senders with zero think time, scaled until the
    sequencer is the bottleneck.  Rank 0 hosts the sequencer and never

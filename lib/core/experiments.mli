@@ -153,6 +153,23 @@ val load_rates : float list
 val load_impls : Cluster.impl list
 (** The three stacks compared throughout: kernel, user, optimized. *)
 
+val load_cell :
+  ?faults:Faults.Spec.t ->
+  ?checked:bool ->
+  ?net:Params.net_profile ->
+  ?client_ranks:int list ->
+  ?policy:Panda.Seq_policy.t ->
+  nodes:int ->
+  impl:Cluster.impl ->
+  Load.Clients.config ->
+  unit ->
+  Load.Metrics.t
+(** One independent operating point: a fresh [nodes]-machine cluster
+    running [config]'s client population against the rank-0 echo server,
+    with optional fault schedule (including its [seqcrash]) and
+    conformance checkers.  The unit of fan-out for every sweep below,
+    and the direct way to run a single cell — e.g. a trace replay. *)
+
 val load_sweep :
   ?pool:Exec.Pool.t ->
   ?faults:Faults.Spec.t ->
@@ -170,6 +187,39 @@ val load_sweep :
     RPCs, uniform arrivals) against the rank-0 echo server.  [config]'s
     [rate] is overridden by each ramp point.  With [?checked] each cell
     runs under the conformance checkers and reports violations. *)
+
+type tail_cell = {
+  tc_impl : Cluster.impl;
+  tc_loss : float;  (** i.i.d. frame loss probability for this cell *)
+  tc_rate : float;  (** offered load, ops/s aggregate *)
+  tc_metrics : Load.Metrics.t;
+  tc_amp99 : float;  (** p99 / loss-free p99 at the same (impl, rate) *)
+  tc_amp999 : float;  (** p99.9 amplification, same baseline *)
+}
+
+val tail_losses : float list
+(** Default loss grid: 0 (baseline), 0.1%, 1%, 3%. *)
+
+val tail_grid :
+  ?pool:Exec.Pool.t ->
+  ?net:Params.net_profile ->
+  ?nodes:int ->
+  ?config:Load.Clients.config ->
+  ?losses:float list ->
+  ?rates:float list ->
+  ?impls:Cluster.impl list ->
+  unit ->
+  tail_cell list
+(** Loss x load tail grid: one independent {!load_cell} per
+    (stack, loss, rate) coordinate, in that canonical nesting order, each
+    under an i.i.d. frame-loss schedule.  A zero-loss column is added if
+    [losses] omits it, and every cell's p99/p99.9 is reported as an
+    amplification factor over the loss-free cell at the same
+    (stack, rate) — the signature of the 200 ms retransmission timeout
+    owning the tail.  Deterministic and pool-safe: results are identical
+    with and without [?pool]. *)
+
+val pp_tail_cell : Format.formatter -> tail_cell -> unit
 
 val sequencer_senders : int list
 

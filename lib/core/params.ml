@@ -212,3 +212,83 @@ let net_profiles = [ net10m; net100m; net1g; net10g ]
 
 let net_profile_of_string s =
   List.find_opt (fun p -> String.equal p.np_name s) net_profiles
+
+(* Profile files: one "key value" pair per line, integers in
+   nanoseconds/bytes, so a fitted profile survives a round-trip through
+   disk bit-exactly.  The format is deliberately dumb — calibration
+   (lib/scenario) writes these, the [--profile] flag reads them. *)
+
+let net_profile_to_string p =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "# amoeba-repro net profile v1\n";
+  Printf.bprintf b "name %s\n" p.np_name;
+  Printf.bprintf b "label %s\n" p.np_label;
+  Printf.bprintf b "byte_time_ns %d\n" p.np_segment.Net.Segment.byte_time;
+  Printf.bprintf b "framing_bytes %d\n" p.np_segment.Net.Segment.framing_bytes;
+  Printf.bprintf b "min_payload %d\n" p.np_segment.Net.Segment.min_payload;
+  Printf.bprintf b "nic_rx_base_ns %d\n" p.np_nic.Net.Nic.rx_base;
+  Printf.bprintf b "nic_rx_byte_ns %d\n" p.np_nic.Net.Nic.rx_byte;
+  Printf.bprintf b "nic_rx_mcast_extra_ns %d\n" p.np_nic.Net.Nic.rx_mcast_extra;
+  Printf.bprintf b "switch_ns %d\n" p.np_switch;
+  Buffer.contents b
+
+let net_profile_parse s =
+  let tbl = Hashtbl.create 16 in
+  let err = ref None in
+  String.split_on_char '\n' s
+  |> List.iteri (fun i line ->
+         let line = String.trim line in
+         if line <> "" && line.[0] <> '#' && !err = None then
+           match String.index_opt line ' ' with
+           | None -> err := Some (Printf.sprintf "line %d: no value" (i + 1))
+           | Some sp ->
+             let k = String.sub line 0 sp in
+             let v = String.trim (String.sub line sp (String.length line - sp)) in
+             if Hashtbl.mem tbl k then
+               err := Some (Printf.sprintf "line %d: duplicate key %s" (i + 1) k)
+             else Hashtbl.add tbl k v);
+  match !err with
+  | Some e -> Error e
+  | None ->
+    let str k =
+      match Hashtbl.find_opt tbl k with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "missing key %s" k)
+    in
+    let int k =
+      match str k with
+      | Error _ as e -> e
+      | Ok v -> (
+        match int_of_string_opt v with
+        | Some n when n >= 0 -> Ok n
+        | _ -> Error (Printf.sprintf "key %s: bad integer %S" k v))
+    in
+    let ( let* ) = Result.bind in
+    let* np_name = str "name" in
+    let* np_label = str "label" in
+    let* byte_time = int "byte_time_ns" in
+    let* framing_bytes = int "framing_bytes" in
+    let* min_payload = int "min_payload" in
+    let* rx_base = int "nic_rx_base_ns" in
+    let* rx_byte = int "nic_rx_byte_ns" in
+    let* rx_mcast_extra = int "nic_rx_mcast_extra_ns" in
+    let* np_switch = int "switch_ns" in
+    if byte_time < 1 then Error "byte_time_ns must be positive"
+    else
+      Ok
+        {
+          np_name;
+          np_label;
+          np_segment = { Net.Segment.byte_time; framing_bytes; min_payload };
+          np_nic = { Net.Nic.rx_base; rx_byte; rx_mcast_extra };
+          np_switch;
+        }
+
+let net_profile_load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> net_profile_parse s
+  | exception Sys_error e -> Error e
+
+let net_profile_save path p =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (net_profile_to_string p))

@@ -67,3 +67,18 @@ val net_profiles : net_profile list
 
 val net_profile_of_string : string -> net_profile option
 (** Inverse of [np_name]: [net_profile_of_string p.np_name = Some p]. *)
+
+val net_profile_to_string : net_profile -> string
+(** Profile-file text: a [# amoeba-repro net profile v1] header then one
+    [key value] pair per line (integers in ns/bytes), e.g.
+    [byte_time_ns 800].  Round-trips through {!net_profile_parse}
+    bit-exactly. *)
+
+val net_profile_parse : string -> (net_profile, string) result
+(** Inverse of {!net_profile_to_string}; rejects missing/duplicate keys,
+    malformed or negative integers, and a zero byte time. *)
+
+val net_profile_load : string -> (net_profile, string) result
+val net_profile_save : string -> net_profile -> unit
+(** File forms of parse/print, for [--profile FILE] and the calibration
+    harness's [--out]. *)

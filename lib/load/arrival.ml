@@ -1,40 +1,121 @@
-type t = Uniform | Poisson | Closed of Sim.Time.span
+type ramp = { rp_period : Sim.Time.span; rp_floor : float }
+type replay = { rp_path : string; rp_scale : float }
+
+type t =
+  | Uniform
+  | Poisson
+  | Closed of Sim.Time.span
+  | Ramp of ramp
+  | Replay of replay
 
 let is_closed = function Closed _ -> true | _ -> false
+let is_replay = function Replay _ -> true | _ -> false
 
-let gap t ~rate rng =
+(* Instantaneous diurnal multiplier: raised cosine between the floor and 1
+   over the ramp period, phase-locked to absolute simulation time so every
+   client sees the same shape. *)
+let ramp_mult { rp_period; rp_floor } ~now =
+  let phase = float_of_int (now mod rp_period) /. float_of_int rp_period in
+  rp_floor
+  +. ((1. -. rp_floor) *. 0.5 *. (1. -. cos (2. *. Float.pi *. phase)))
+
+let exp_gap ~mean_ns rng =
+  (* Inverse-transform exponential draw; 1 - u is in (0, 1], so the log is
+     finite and the gap non-negative. *)
+  let u = Sim.Rng.float rng 1. in
+  int_of_float (-.mean_ns *. log (1. -. u))
+
+let gap t ~rate ~now rng =
   match t with
   | Closed think -> think
-  | Uniform | Poisson ->
+  | Replay _ ->
+    invalid_arg "Arrival.gap: Replay arrivals are driven by their trace"
+  | Uniform | Poisson | Ramp _ ->
     if not (Float.is_finite rate) || rate <= 0. then
       invalid_arg (Printf.sprintf "Arrival.gap: rate = %g not positive" rate);
     let mean_ns = 1e9 /. rate in
     (match t with
      | Uniform -> int_of_float mean_ns
-     | Poisson ->
-       (* Inverse-transform exponential draw; 1 - u is in (0, 1], so the
-          log is finite and the gap non-negative. *)
-       let u = Sim.Rng.float rng 1. in
-       int_of_float (-.mean_ns *. log (1. -. u))
-     | Closed _ -> assert false)
+     | Poisson -> exp_gap ~mean_ns rng
+     | Ramp r ->
+       (* Non-homogeneous Poisson approximated by an exponential gap at
+          the instantaneous rate; [rate] is the peak (mult = 1) rate. *)
+       exp_gap ~mean_ns:(mean_ns /. ramp_mult r ~now) rng
+     | Closed _ | Replay _ -> assert false)
+
+let float_of_string_pos v =
+  match float_of_string_opt v with
+  | Some f when Float.is_finite f && f > 0. -> Some f
+  | _ -> None
+
+let parse_ramp v =
+  let period_floor =
+    match String.index_opt v '/' with
+    | None -> Some (v, 0.1)
+    | Some i ->
+      let f = String.sub v (i + 1) (String.length v - i - 1) in
+      (match float_of_string_pos f with
+       | Some fl when fl <= 1. -> Some (String.sub v 0 i, fl)
+       | _ -> None)
+  in
+  match period_floor with
+  | None -> Error (Printf.sprintf "invalid ramp floor in %S (0 < floor <= 1)" v)
+  | Some (p, rp_floor) ->
+    (match float_of_string_pos p with
+     | Some s ->
+       Ok (Ramp { rp_period = Sim.Time.us_f (s *. 1e6); rp_floor })
+     | None -> Error (Printf.sprintf "invalid ramp period %S (seconds)" v))
+
+let parse_replay v =
+  if v = "" then Error "replay: empty trace path"
+  else
+    (* The scale suffix is the last '@' whose tail parses as a number, so
+       paths containing '@' still work unscaled. *)
+    match String.rindex_opt v '@' with
+    | Some i
+      when float_of_string_pos (String.sub v (i + 1) (String.length v - i - 1))
+           <> None ->
+      let rp_scale =
+        Option.get
+          (float_of_string_pos (String.sub v (i + 1) (String.length v - i - 1)))
+      in
+      Ok (Replay { rp_path = String.sub v 0 i; rp_scale })
+    | _ -> Ok (Replay { rp_path = v; rp_scale = 1. })
 
 let parse s =
-  match String.lowercase_ascii (String.trim s) with
+  let s = String.trim s in
+  let lower = String.lowercase_ascii s in
+  match lower with
   | "uniform" -> Ok Uniform
   | "poisson" -> Ok Poisson
-  | s ->
-    (match String.index_opt s '=' with
-     | Some i when String.sub s 0 i = "closed" ->
-       let v = String.sub s (i + 1) (String.length s - i - 1) in
-       (match float_of_string_opt v with
-        | Some us when Float.is_finite us && us >= 0. ->
-          Ok (Closed (Sim.Time.us_f us))
-        | _ -> Error (Printf.sprintf "invalid think time %S (microseconds)" v))
+  | _ ->
+    let after i = String.sub s (i + 1) (String.length s - i - 1) in
+    (match String.index_opt s ':' with
+     | Some i when String.lowercase_ascii (String.sub s 0 i) = "ramp" ->
+       parse_ramp (after i)
+     | Some i when String.lowercase_ascii (String.sub s 0 i) = "replay" ->
+       parse_replay (after i)
      | _ ->
-       Error
-         (Printf.sprintf "unknown arrival process %S (uniform|poisson|closed=US)" s))
+       (match String.index_opt s '=' with
+        | Some i when String.lowercase_ascii (String.sub s 0 i) = "closed" ->
+          let v = after i in
+          (match float_of_string_opt v with
+           | Some us when Float.is_finite us && us >= 0. ->
+             Ok (Closed (Sim.Time.us_f us))
+           | _ -> Error (Printf.sprintf "invalid think time %S (microseconds)" v))
+        | _ ->
+          Error
+            (Printf.sprintf
+               "unknown arrival process %S \
+                (uniform|poisson|closed=US|ramp:S[/FLOOR]|replay:FILE[@SCALE])"
+               s)))
 
 let to_string = function
   | Uniform -> "uniform"
   | Poisson -> "poisson"
   | Closed think -> Printf.sprintf "closed=%g" (Sim.Time.to_us think)
+  | Ramp { rp_period; rp_floor } ->
+    Printf.sprintf "ramp:%.12g/%.12g" (Sim.Time.to_sec rp_period) rp_floor
+  | Replay { rp_path; rp_scale } ->
+    if rp_scale = 1. then Printf.sprintf "replay:%s" rp_path
+    else Printf.sprintf "replay:%s@%.12g" rp_path rp_scale

@@ -1,32 +1,61 @@
 (** Arrival processes for load generation.
 
-    Open-loop processes ([Uniform], [Poisson]) issue requests at a
-    configured offered rate regardless of how fast the system responds —
-    a client that finds itself behind schedule issues back-to-back until
-    it catches up, so latency measured from the {e scheduled} arrival
-    time includes the backlog (no coordinated omission).  [Closed] models
-    interactive clients: each waits for its previous request to complete,
-    thinks, then issues the next; offered load equals achieved load by
-    construction. *)
+    Open-loop processes ([Uniform], [Poisson], [Ramp]) issue requests at
+    a configured offered rate regardless of how fast the system responds
+    — a client that finds itself behind schedule issues back-to-back
+    until it catches up, so latency measured from the {e scheduled}
+    arrival time includes the backlog (no coordinated omission).
+    [Closed] models interactive clients: each waits for its previous
+    request to complete, thinks, then issues the next; offered load
+    equals achieved load by construction.  [Ramp] is an open-loop
+    diurnal shape: the instantaneous rate follows a raised cosine
+    between [floor × rate] and the peak [rate].  [Replay] issues the
+    arrivals recorded in a {!Load.Trace} file instead of drawing gaps —
+    the configured rate is ignored and the trace's timestamps are the
+    schedule. *)
+
+type ramp = {
+  rp_period : Sim.Time.span;  (** one full diurnal cycle *)
+  rp_floor : float;  (** trough rate as a fraction of peak, in (0, 1] *)
+}
+
+type replay = {
+  rp_path : string;  (** trace file ({!Load.Trace} text format) *)
+  rp_scale : float;  (** time-scale factor applied on load (>0); [< 1]
+                         compresses the trace (higher offered load) *)
+}
 
 type t =
   | Uniform  (** deterministic, evenly spaced arrivals *)
   | Poisson  (** exponential inter-arrival gaps via {!Sim.Rng} *)
   | Closed of Sim.Time.span
       (** closed loop: think time between completion and next request *)
+  | Ramp of ramp  (** diurnal raised-cosine rate modulation *)
+  | Replay of replay  (** timestamped trace replay *)
 
 val is_closed : t -> bool
+val is_replay : t -> bool
 
-val gap : t -> rate:float -> Sim.Rng.t -> Sim.Time.span
-(** [gap t ~rate rng] draws the next inter-arrival gap for one client
-    issuing [rate] requests per second ([Uniform] consumes no
-    randomness; [Closed] returns its think time).
+val ramp_mult : ramp -> now:Sim.Time.t -> float
+(** The diurnal multiplier at absolute time [now], in [floor, 1]. *)
+
+val gap : t -> rate:float -> now:Sim.Time.t -> Sim.Rng.t -> Sim.Time.span
+(** [gap t ~rate ~now rng] draws the next inter-arrival gap for one
+    client issuing [rate] requests per second ([Uniform] consumes no
+    randomness; [Closed] returns its think time; [Ramp] draws an
+    exponential gap at the instantaneous rate for absolute time [now]).
     @raise Invalid_argument on a non-positive [rate] for an open-loop
-    process. *)
+    process, or for [Replay], whose arrivals come from the trace, not
+    from gap draws. *)
 
 val parse : string -> (t, string) result
-(** ["uniform"], ["poisson"], or ["closed=US"] (think time in
-    microseconds, e.g. ["closed=500"]). *)
+(** ["uniform"], ["poisson"], ["closed=US"] (think time in microseconds,
+    e.g. ["closed=500"]), ["ramp:S"] or ["ramp:S/FLOOR"] (period in
+    seconds, floor defaulting to 0.1), ["replay:FILE"] or
+    ["replay:FILE\@SCALE"].  The replay scale suffix is the last ['@']
+    whose tail parses as a positive number, so paths containing ['@']
+    still work unscaled. *)
 
 val to_string : t -> string
-(** Canonical form; [parse (to_string t)] round-trips. *)
+(** Canonical form; [parse (to_string t)] round-trips (for [Replay],
+    provided the path does not itself end in ['@'] + number). *)

@@ -31,8 +31,23 @@ let op_label = function Rpc -> "rpc" | Group -> "group"
    [run_custom] (any op body, e.g. one-sided DHT ops).  The order of every
    RNG split and every scheduled event is load-bearing: existing pinned
    results depend on it bit-for-bit. *)
-let run_core cfg ~eng ~machines ~label ~op_name ?seq_machine ?lane_of ~server
-    ~client_ranks ?recorder ~op () =
+let run_core cfg ~eng ~machines ~label ~op_name ?seq_machine ?lane_of ?trace
+    ~server ~client_ranks ?recorder ~op () =
+  (* Replay runs off a trace: the explicit override if given, else the file
+     named by a [Replay] arrival (loaded once, time-scaled).  [trace]
+     stays [None] on every other path, which therefore executes exactly
+     the pre-replay code. *)
+  let trace =
+    match trace with
+    | Some _ as t -> t
+    | None ->
+      (match cfg.arrival with
+       | Arrival.Replay { rp_path; rp_scale } ->
+         (match Trace.load rp_path with
+          | Ok tr -> Some (if rp_scale = 1. then tr else Trace.scale rp_scale tr)
+          | Error e -> failwith ("Clients: " ^ e))
+       | _ -> None)
+  in
   let n_clients = cfg.clients_per_node * List.length client_ranks in
   let per_client_rate = cfg.rate /. float_of_int n_clients in
   let t0 = Sim.Engine.now eng in
@@ -91,43 +106,68 @@ let run_core cfg ~eng ~machines ~label ~op_name ?seq_machine ?lane_of ~server
   List.iteri
     (fun ci (rank, k) ->
       let rng = Sim.Rng.split root in
-      let do_op () = op rank rng in
+      let do_op size = op rank rng size in
       spawn_laned rank (fun () ->
         (Machine.Thread.spawn machines.(rank)
            (Printf.sprintf "load.%d.%d" rank k)
            (fun () ->
-             match cfg.arrival with
-             | Arrival.Closed think ->
-               let rec loop () =
-                 let sched = Sim.Engine.now eng in
-                 if sched < w_end then begin
-                   do_op ();
-                   note ~sched ~fin:(Sim.Engine.now eng);
-                   if think > 0 then Machine.Thread.sleep think;
-                   loop ()
+             match trace with
+             | Some tr ->
+               (* Trace replay: entries are dealt round-robin across the
+                  client population; each request's schedule is its trace
+                  time, so a client behind schedule issues back-to-back
+                  and the latency it reports includes the backlog —
+                  exactly the open-loop no-coordinated-omission rule. *)
+               let len = Array.length tr in
+               let rec loop j =
+                 if j < len then begin
+                   let e = tr.(j) in
+                   let sched = t0 + e.Trace.at in
+                   if sched < w_end then begin
+                     let now = Sim.Engine.now eng in
+                     if now < sched then Machine.Thread.sleep (sched - now);
+                     do_op (Some e.Trace.size);
+                     note ~sched ~fin:(Sim.Engine.now eng);
+                     loop (j + n_clients)
+                   end
                  end
                in
-               loop ()
-             | _ ->
-               (* Stagger client start times evenly across one mean gap so
-                  deterministic arrivals don't land in lockstep bursts. *)
-               let offset =
-                 int_of_float (mean_gap_ns *. float_of_int ci /. float_of_int n_clients)
-               in
-               let t_next = ref (t0 + offset) in
-               let rec loop () =
-                 let now = Sim.Engine.now eng in
-                 if !t_next < w_end && now < w_end then begin
-                   if now < !t_next then Machine.Thread.sleep (!t_next - now);
-                   let sched = !t_next in
-                   t_next :=
-                     sched + Arrival.gap cfg.arrival ~rate:per_client_rate rng;
-                   do_op ();
-                   note ~sched ~fin:(Sim.Engine.now eng);
-                   loop ()
-                 end
-               in
-               loop ()))))
+               loop ci
+             | None ->
+               (match cfg.arrival with
+                | Arrival.Closed think ->
+                  let rec loop () =
+                    let sched = Sim.Engine.now eng in
+                    if sched < w_end then begin
+                      do_op None;
+                      note ~sched ~fin:(Sim.Engine.now eng);
+                      if think > 0 then Machine.Thread.sleep think;
+                      loop ()
+                    end
+                  in
+                  loop ()
+                | _ ->
+                  (* Stagger client start times evenly across one mean gap so
+                     deterministic arrivals don't land in lockstep bursts. *)
+                  let offset =
+                    int_of_float (mean_gap_ns *. float_of_int ci /. float_of_int n_clients)
+                  in
+                  let t_next = ref (t0 + offset) in
+                  let rec loop () =
+                    let now = Sim.Engine.now eng in
+                    if !t_next < w_end && now < w_end then begin
+                      if now < !t_next then Machine.Thread.sleep (!t_next - now);
+                      let sched = !t_next in
+                      t_next :=
+                        sched
+                        + Arrival.gap cfg.arrival ~rate:per_client_rate
+                            ~now:sched rng;
+                      do_op None;
+                      note ~sched ~fin:(Sim.Engine.now eng);
+                      loop ()
+                    end
+                  in
+                  loop ())))))
     clients;
   Sim.Engine.run eng;
   (* The run can drain before the w_end snapshot fires only if no client
@@ -152,7 +192,16 @@ let run_core cfg ~eng ~machines ~label ~op_name ?seq_machine ?lane_of ~server
     | None -> server_util
   in
   let achieved = float_of_int !completed /. window_s in
-  let offered = if Arrival.is_closed cfg.arrival then achieved else cfg.rate in
+  (* Replay and ramp arrivals have no single configured rate: the offered
+     load is what was actually scheduled inside the window. *)
+  let offered =
+    if trace <> None then float_of_int !issued /. window_s
+    else
+      match cfg.arrival with
+      | Arrival.Closed _ -> achieved
+      | Arrival.Ramp _ -> float_of_int !issued /. window_s
+      | _ -> cfg.rate
+  in
   let lat p = Sim.Stats.percentile stats "lat_ms" p in
   {
     Metrics.label;
@@ -164,6 +213,7 @@ let run_core cfg ~eng ~machines ~label ~op_name ?seq_machine ?lane_of ~server
     p50_ms = lat 50.;
     p95_ms = lat 95.;
     p99_ms = lat 99.;
+    p999_ms = lat 99.9;
     mean_ms = Sim.Stats.mean stats "lat_ms";
     max_ms = (if Sim.Stats.count stats "lat_ms" = 0 then 0. else Sim.Stats.max_value stats "lat_ms");
     client_util;
@@ -180,7 +230,7 @@ let resolve_ranks ~n ~server = function
   | None -> List.filter (fun r -> r <> server) (List.init n Fun.id)
 
 let run cfg ~eng ~backends ~machines ?seq_machine ?(server = 0) ?client_ranks
-    ?recorder ?(shards = 1) () =
+    ?recorder ?(shards = 1) ?trace () =
   let n = Array.length backends in
   if n < 2 then invalid_arg "Clients.run: need at least two ranks";
   if shards < 1 then invalid_arg "Clients.run: shards must be >= 1";
@@ -202,8 +252,10 @@ let run cfg ~eng ~backends ~machines ?seq_machine ?(server = 0) ?client_ranks
   let t0 = Sim.Engine.now eng in
   let w_start = t0 + cfg.warmup in
   let w_end = w_start + cfg.window in
-  let op rank rng =
-    let size = Mix.pick cfg.mix rng in
+  let op rank rng size =
+    (* Replayed requests carry their trace size; everything else draws from
+       the mix with exactly the pre-replay stream. *)
+    let size = match size with Some s -> s | None -> Mix.pick cfg.mix rng in
     let b = backends.(rank) in
     match cfg.op with
     | Rpc -> ignore (b.Orca.Backend.rpc ~dst:server ~size Sim.Payload.Empty)
@@ -220,18 +272,20 @@ let run cfg ~eng ~backends ~machines ?seq_machine ?(server = 0) ?client_ranks
   let m =
     run_core cfg ~eng ~machines
       ~label:backends.(0).Orca.Backend.label
-      ~op_name:(op_label cfg.op) ?seq_machine ~server ~client_ranks ?recorder ~op
-      ()
+      ~op_name:(op_label cfg.op) ?seq_machine ?trace ~server ~client_ranks
+      ?recorder ~op ()
   in
   match cfg.op with
   | Group -> { m with Metrics.per_shard = shard_done }
   | Rpc -> m
 
-let run_custom cfg ~eng ~machines ~label ~op_name ?seq_machine ?lane_of
+let run_custom cfg ~eng ~machines ~label ~op_name ?seq_machine ?lane_of ?trace
     ?(server = 0) ?client_ranks ?recorder ~op () =
   let n = Array.length machines in
   if n < 2 then invalid_arg "Clients.run_custom: need at least two machines";
   let client_ranks = resolve_ranks ~n ~server client_ranks in
   if client_ranks = [] then invalid_arg "Clients.run_custom: no client ranks";
-  run_core cfg ~eng ~machines ~label ~op_name ?seq_machine ?lane_of ~server
-    ~client_ranks ?recorder ~op ()
+  run_core cfg ~eng ~machines ~label ~op_name ?seq_machine ?lane_of ?trace
+    ~server ~client_ranks ?recorder
+    ~op:(fun rank rng _size -> op rank rng)
+    ()

@@ -40,6 +40,7 @@ val run :
   ?client_ranks:int list ->
   ?recorder:Obs.Recorder.t ->
   ?shards:int ->
+  ?trace:Trace.t ->
   unit ->
   Metrics.t
 (** [machines.(i)] must host [backends.(i)].  [server] (default 0) is
@@ -55,7 +56,16 @@ val run :
     Group sends carry a deterministic counter-based ordering key, so a
     sharded backend spreads them across its sequencers; [shards]
     (default 1) sizes [Metrics.per_shard], the per-shard completion
-    counts — pass the group's shard count. *)
+    counts — pass the group's shard count.
+
+    When [config.arrival] is {!Arrival.Replay} the named trace file is
+    loaded (and time-scaled) once, and its entries — schedule and
+    request size both — are dealt round-robin across the client
+    population; latency is measured from each entry's scheduled time.
+    [trace] passes an in-memory trace instead, forcing replay without
+    touching the filesystem (the arrival process is then ignored).
+    [Metrics.offered] for replay/ramp runs is the rate actually
+    scheduled inside the window. *)
 
 val run_custom :
   config ->
@@ -65,6 +75,7 @@ val run_custom :
   op_name:string ->
   ?seq_machine:Machine.Mach.t ->
   ?lane_of:(int -> int) ->
+  ?trace:Trace.t ->
   ?server:int ->
   ?client_ranks:int list ->
   ?recorder:Obs.Recorder.t ->
@@ -72,11 +83,13 @@ val run_custom :
   unit ->
   Metrics.t
 (** Same measurement machinery as {!run} — identical arrival processes,
-    RNG splitting, window snapshots — but the operation body is caller
-    supplied: [op rank rng] must issue one blocking logical operation
-    from the calling client thread (e.g. a one-sided DHT get/put).
-    [config.op], [config.mix] and [config.reply_size] are ignored;
-    [label]/[op_name] fill the metric's identity fields.
+    RNG splitting, window snapshots, trace replay — but the operation
+    body is caller supplied: [op rank rng] must issue one blocking
+    logical operation from the calling client thread (e.g. a one-sided
+    DHT get/put).  [config.op], [config.mix] and [config.reply_size]
+    are ignored; [label]/[op_name] fill the metric's identity fields.
+    Replayed traces drive the schedule only — the per-entry sizes are
+    not surfaced to [op], which issues whatever it models.
 
     [lane_of] (rank -> engine lane, e.g. [Core.Cluster.machine_lane])
     must be passed when the engine is laned — multi-segment clusters —

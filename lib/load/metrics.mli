@@ -13,6 +13,7 @@ type t = {
   p50_ms : float;
   p95_ms : float;
   p99_ms : float;
+  p999_ms : float;
   mean_ms : float;
   max_ms : float;
       (** latency is completion minus {e scheduled} arrival, so open-loop

@@ -1,0 +1,134 @@
+type entry = { at : Sim.Time.t; size : int }
+type t = entry array
+
+let validate entries =
+  Array.iteri
+    (fun i e ->
+      if e.at < 0 then invalid_arg "Trace: negative arrival offset";
+      if e.size < 0 then invalid_arg "Trace: negative request size";
+      if i > 0 && e.at < entries.(i - 1).at then
+        invalid_arg "Trace: arrivals not sorted")
+    entries;
+  entries
+
+let of_entries l = validate (Array.of_list l)
+let length = Array.length
+let duration t = if Array.length t = 0 then 0 else t.(Array.length t - 1).at
+
+let scale f t =
+  if not (Float.is_finite f) || f <= 0. then
+    invalid_arg (Printf.sprintf "Trace.scale: factor = %g not positive" f);
+  Array.map (fun e -> { e with at = Sim.Time.us_f (Sim.Time.to_us e.at *. f) }) t
+
+let to_string t =
+  let buf = Buffer.create (256 + (Array.length t * 16)) in
+  Buffer.add_string buf "# amoeba-repro trace v1: arrival_us size_bytes\n";
+  Array.iter
+    (fun e -> Buffer.add_string buf (Printf.sprintf "%.3f %d\n" (Sim.Time.to_us e.at) e.size))
+    t;
+  Buffer.contents buf
+
+let parse s =
+  let err line msg = Error (Printf.sprintf "trace line %d: %s" line msg) in
+  let lines = String.split_on_char '\n' s in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest ->
+      let l = String.trim l in
+      if l = "" || l.[0] = '#' then go (lineno + 1) acc rest
+      else begin
+        match String.index_opt l ' ' with
+        | None -> err lineno (Printf.sprintf "expected \"arrival_us size\", got %S" l)
+        | Some i ->
+          let ts = String.sub l 0 i
+          and ss = String.trim (String.sub l (i + 1) (String.length l - i - 1)) in
+          (match (float_of_string_opt ts, int_of_string_opt ss) with
+           | Some us, Some size when Float.is_finite us && us >= 0. && size >= 0 ->
+             go (lineno + 1) ({ at = Sim.Time.us_f us; size } :: acc) rest
+           | _ -> err lineno (Printf.sprintf "bad entry %S" l))
+      end
+  in
+  match go 1 [] lines with
+  | Error _ as e -> e
+  | Ok entries ->
+    (match of_entries entries with
+     | t -> Ok t
+     | exception Invalid_argument m -> Error m)
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error m -> Error m
+  | ic ->
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    (match parse s with
+     | Ok _ as ok -> ok
+     | Error e -> Error (Printf.sprintf "%s: %s" path e))
+
+let save path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let pi = 4. *. atan 1.
+
+let synthesize ?(base = `Poisson) ?period ?(floor = 0.1) ?burst_every ?burst_len
+    ?(burst_mult = 3.) ?(mix = Mix.single 0) ~rate ~duration ~seed () =
+  if not (Float.is_finite rate) || rate <= 0. then
+    invalid_arg "Trace.synthesize: rate not positive";
+  if duration <= 0 then invalid_arg "Trace.synthesize: duration not positive";
+  let period = match period with Some p -> p | None -> duration in
+  if period <= 0 then invalid_arg "Trace.synthesize: period not positive";
+  if not (Float.is_finite floor) || floor <= 0. || floor > 1. then
+    invalid_arg "Trace.synthesize: floor not in (0, 1]";
+  if not (Float.is_finite burst_mult) || burst_mult < 1. then
+    invalid_arg "Trace.synthesize: burst_mult < 1";
+  let burst_every = match burst_every with Some b -> b | None -> period / 8 in
+  let burst_len = match burst_len with Some b -> b | None -> period / 40 in
+  let rng = Sim.Rng.create ~seed in
+  (* Instantaneous rate multiplier: raised-cosine diurnal shape between
+     [floor] and 1, times the burst factor inside its periodic windows. *)
+  let mult t =
+    let phase = float_of_int (t mod period) /. float_of_int period in
+    let diurnal = floor +. ((1. -. floor) *. 0.5 *. (1. -. cos (2. *. pi *. phase))) in
+    let bursting =
+      burst_mult > 1. && burst_every > 0 && burst_len > 0
+      && t mod burst_every < burst_len
+    in
+    diurnal *. if bursting then burst_mult else 1.
+  in
+  let max_mult = if burst_mult > 1. then burst_mult else 1. in
+  let entries = ref [] and n = ref 0 in
+  let push at =
+    entries := { at; size = Mix.pick mix rng } :: !entries;
+    incr n
+  in
+  (match base with
+   | `Poisson ->
+     (* Lewis–Shedler thinning of a homogeneous process at the peak rate:
+        every candidate consumes exactly two draws, so the accepted trace
+        is a deterministic function of the seed. *)
+     let peak_mean_ns = 1e9 /. (rate *. max_mult) in
+     let t = ref 0 in
+     let continue = ref true in
+     while !continue do
+       let u = Sim.Rng.float rng 1. in
+       t := !t + int_of_float (-.peak_mean_ns *. log (1. -. u));
+       if !t >= duration then continue := false
+       else begin
+         let accept = Sim.Rng.float rng 1. < mult !t /. max_mult in
+         if accept then push !t
+       end
+     done
+   | `Uniform ->
+     let t = ref 0 in
+     while !t < duration do
+       push !t;
+       let gap = int_of_float (1e9 /. (rate *. mult !t)) in
+       t := !t + max 1 gap
+     done);
+  validate (Array.of_list (List.rev !entries))

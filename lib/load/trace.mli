@@ -1,0 +1,86 @@
+(** Timestamped request traces: the replay side of scenario diversity.
+
+    A trace is a sorted list of request arrivals — an offset from the
+    start of the run plus a payload size — in a line-oriented text
+    format that survives a parse/print round trip bit-exactly:
+
+    {v
+    # amoeba-repro trace v1: arrival_us size_bytes
+    0.000 0
+    1250.000 64
+    ...
+    v}
+
+    Times are microseconds with nanosecond resolution (three decimals);
+    blank lines and [#] comments are ignored.  Traces drive
+    {!Load.Clients} unchanged through the {!Load.Arrival.Replay} arrival
+    source: entries are dealt round-robin to the client population and
+    each request's latency is measured from its {e scheduled} trace
+    time, so replay keeps the open-loop no-coordinated-omission
+    accounting.
+
+    {!synthesize} generates realistic traces deterministically from a
+    seed: a diurnal ramp (raised-cosine between a floor and the peak
+    rate) multiplied by periodic burst windows, modulating a Poisson or
+    evenly-spaced base process. *)
+
+type entry = {
+  at : Sim.Time.t;  (** arrival offset from the start of the run *)
+  size : int;  (** request payload bytes *)
+}
+
+type t = entry array
+(** Entries in non-decreasing [at] order (enforced by every
+    constructor). *)
+
+val of_entries : entry list -> t
+(** @raise Invalid_argument on negative times/sizes or unsorted input. *)
+
+val length : t -> int
+
+val duration : t -> Sim.Time.span
+(** Offset of the last entry; [0] for an empty trace. *)
+
+val scale : float -> t -> t
+(** [scale f t] multiplies every arrival offset by [f] (sizes are
+    unchanged): [f < 1] compresses the trace — higher offered load —
+    and [f > 1] stretches it.
+    @raise Invalid_argument unless [f] is finite and positive. *)
+
+val to_string : t -> string
+(** Canonical text form (header comment plus one line per entry);
+    [parse (to_string t) = Ok t] bit-exactly. *)
+
+val parse : string -> (t, string) result
+(** Errors carry a 1-based line number. *)
+
+val load : string -> (t, string) result
+(** Reads and parses a trace file; the error includes the path. *)
+
+val save : string -> t -> unit
+
+val synthesize :
+  ?base:[ `Poisson | `Uniform ] ->
+  ?period:Sim.Time.span ->
+  ?floor:float ->
+  ?burst_every:Sim.Time.span ->
+  ?burst_len:Sim.Time.span ->
+  ?burst_mult:float ->
+  ?mix:Mix.t ->
+  rate:float ->
+  duration:Sim.Time.span ->
+  seed:int ->
+  unit ->
+  t
+(** Deterministic trace generator: the instantaneous rate at offset [t]
+    is [rate * diurnal(t) * burst(t)], where [diurnal] is a raised
+    cosine between [floor] (default 0.1) and 1 with period [period]
+    (default [duration], one full day-shaped cycle) and [burst] is
+    [burst_mult] (default 3) inside periodic windows of [burst_len]
+    (default [period/40]) every [burst_every] (default [period/8]), 1
+    outside.  [`Poisson] (default) thins a homogeneous Poisson process
+    at the peak rate; [`Uniform] spaces arrivals at the deterministic
+    instantaneous gap.  Sizes are drawn from [mix] (default null
+    requests).  Identical arguments produce identical traces.
+    @raise Invalid_argument on a non-positive [rate], [duration],
+    [period] or [floor], or [burst_mult < 1]. *)

@@ -124,7 +124,7 @@ let csv t =
           Buffer.add_string buf
             (Printf.sprintf "series,%s,p%g,%.6f\n" name p
                (Sim.Stats.percentile stats name p)))
-        [ 50.; 90.; 95.; 99. ])
+        [ 50.; 90.; 95.; 99.; 99.9 ])
     (Sim.Stats.series stats);
   Buffer.contents buf
 

@@ -139,6 +139,7 @@ let p50 t name = percentile t name 50.
 let p90 t name = percentile t name 90.
 let p95 t name = percentile t name 95.
 let p99 t name = percentile t name 99.
+let p999 t name = percentile t name 99.9
 
 let histogram t name =
   match Hashtbl.find_opt t.floats name with Some s -> Some s.hist | None -> None

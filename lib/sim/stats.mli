@@ -52,8 +52,10 @@ val p50 : t -> string -> float
 val p90 : t -> string -> float
 val p95 : t -> string -> float
 val p99 : t -> string -> float
-(** Shorthands for the common percentiles ([percentile t name 95.]
-    etc.), matching the set exported by [Obs.Export.csv]. *)
+val p999 : t -> string -> float
+(** Shorthands for the common percentiles ([percentile t name 95.],
+    [p999] = [percentile t name 99.9] etc.), matching the set exported
+    by [Obs.Export.csv]. *)
 
 val histogram : t -> string -> Histogram.t option
 

@@ -12,15 +12,17 @@ let check_float = Alcotest.(check (float 1e-9))
 
 let test_arrival_uniform () =
   let rng = Sim.Rng.create ~seed:1 in
-  let g = Load.Arrival.gap Load.Arrival.Uniform ~rate:1000. rng in
+  let g = Load.Arrival.gap Load.Arrival.Uniform ~rate:1000. ~now:0 rng in
   check_int "1 kHz gap is 1 ms" (Sim.Time.ms 1) g;
   (* deterministic: no randomness consumed *)
-  check_int "same gap" g (Load.Arrival.gap Load.Arrival.Uniform ~rate:1000. rng)
+  check_int "same gap" g
+    (Load.Arrival.gap Load.Arrival.Uniform ~rate:1000. ~now:0 rng)
 
 let test_arrival_poisson () =
   let draw seed n =
     let rng = Sim.Rng.create ~seed in
-    List.init n (fun _ -> Load.Arrival.gap Load.Arrival.Poisson ~rate:1000. rng)
+    List.init n (fun _ ->
+        Load.Arrival.gap Load.Arrival.Poisson ~rate:1000. ~now:0 rng)
   in
   let a = draw 7 50 and b = draw 7 50 in
   Alcotest.(check (list int)) "same seed, same gaps" a b;
@@ -37,12 +39,44 @@ let test_arrival_poisson () =
 let test_arrival_invalid_rate () =
   let rng = Sim.Rng.create ~seed:1 in
   check_bool "zero rate rejected" true
-    (match Load.Arrival.gap Load.Arrival.Uniform ~rate:0. rng with
+    (match Load.Arrival.gap Load.Arrival.Uniform ~rate:0. ~now:0 rng with
      | _ -> false
      | exception Invalid_argument _ -> true);
   (* closed loop ignores the rate entirely *)
   check_int "closed think" (Sim.Time.us 500)
-    (Load.Arrival.gap (Load.Arrival.Closed (Sim.Time.us 500)) ~rate:0. rng)
+    (Load.Arrival.gap (Load.Arrival.Closed (Sim.Time.us 500)) ~rate:0. ~now:0 rng);
+  (* replay arrivals are trace-driven, never gap draws *)
+  check_bool "replay gap rejected" true
+    (match
+       Load.Arrival.gap
+         (Load.Arrival.Replay { rp_path = "t.trace"; rp_scale = 1. })
+         ~rate:100. ~now:0 rng
+     with
+     | _ -> false
+     | exception Invalid_argument _ -> true)
+
+let test_arrival_ramp () =
+  let ramp = { Load.Arrival.rp_period = Sim.Time.sec 10; rp_floor = 0.2 } in
+  (* Trough at phase 0, peak at half period. *)
+  check_float "floor at phase 0" 0.2 (Load.Arrival.ramp_mult ramp ~now:0);
+  check_bool "peak at half period" true
+    (abs_float (Load.Arrival.ramp_mult ramp ~now:(Sim.Time.sec 5) -. 1.) < 1e-9);
+  (* Gaps shrink as the multiplier rises: compare means at trough/peak. *)
+  let mean_gap now =
+    let rng = Sim.Rng.create ~seed:11 in
+    let a = Load.Arrival.Ramp ramp in
+    let n = 2000 in
+    let tot =
+      List.fold_left ( + ) 0
+        (List.init n (fun _ -> Load.Arrival.gap a ~rate:1000. ~now rng))
+    in
+    float_of_int tot /. float_of_int n
+  in
+  let trough = mean_gap 0 and peak = mean_gap (Sim.Time.sec 5) in
+  check_bool
+    (Printf.sprintf "trough gaps %.0f ~ 5x peak gaps %.0f" trough peak)
+    true
+    (trough > 4. *. peak && trough < 6. *. peak)
 
 let test_arrival_parse () =
   List.iter
@@ -51,11 +85,63 @@ let test_arrival_parse () =
       | Ok a' -> check_bool (Load.Arrival.to_string a) true (a = a')
       | Error e -> Alcotest.fail e)
     [ Load.Arrival.Uniform; Load.Arrival.Poisson;
-      Load.Arrival.Closed (Sim.Time.us 250) ];
+      Load.Arrival.Closed (Sim.Time.us 250);
+      Load.Arrival.Ramp { rp_period = Sim.Time.sec 60; rp_floor = 0.25 };
+      Load.Arrival.Replay { rp_path = "logs/day.trace"; rp_scale = 0.5 };
+      Load.Arrival.Replay { rp_path = "a@b.trace"; rp_scale = 1. } ];
+  (* floor defaults, case-insensitive keywords *)
+  check_bool "ramp floor default" true
+    (Load.Arrival.parse "ramp:30"
+    = Ok (Load.Arrival.Ramp { rp_period = Sim.Time.sec 30; rp_floor = 0.1 }));
+  check_bool "keyword case" true
+    (Load.Arrival.parse "RAMP:30"
+    = Ok (Load.Arrival.Ramp { rp_period = Sim.Time.sec 30; rp_floor = 0.1 }));
   check_bool "garbage rejected" true
     (Result.is_error (Load.Arrival.parse "bursty"));
   check_bool "negative think rejected" true
-    (Result.is_error (Load.Arrival.parse "closed=-5"))
+    (Result.is_error (Load.Arrival.parse "closed=-5"));
+  check_bool "zero ramp period rejected" true
+    (Result.is_error (Load.Arrival.parse "ramp:0"));
+  check_bool "bad ramp floor rejected" true
+    (Result.is_error (Load.Arrival.parse "ramp:10/1.5"));
+  check_bool "empty replay path rejected" true
+    (Result.is_error (Load.Arrival.parse "replay:"))
+
+(* QCheck: parse/to_string round-trips over every variant, including the
+   replay:/ramp: forms.  Generated values stay within the canonical
+   format's resolution (integer-microsecond times, hundredth floors and
+   scales, '@'-free paths) so equality is exact. *)
+let arrival_gen =
+  let open QCheck.Gen in
+  let path =
+    let seg = string_size ~gen:(oneof [ char_range 'a' 'z'; char_range '0' '9' ]) (1 -- 8) in
+    map (String.concat "/") (list_size (1 -- 3) seg)
+  in
+  oneof
+    [
+      return Load.Arrival.Uniform;
+      return Load.Arrival.Poisson;
+      map (fun us -> Load.Arrival.Closed (Sim.Time.us us)) (0 -- 1_000_000);
+      map2
+        (fun per_ms fl ->
+          Load.Arrival.Ramp
+            { rp_period = Sim.Time.ms per_ms;
+              rp_floor = float_of_int fl /. 100. })
+        (1 -- 3_600_000) (1 -- 100);
+      map2
+        (fun p s ->
+          Load.Arrival.Replay
+            { rp_path = p; rp_scale = float_of_int s /. 100. })
+        path (1 -- 10_000);
+    ]
+
+let arrival_roundtrip_prop =
+  QCheck.Test.make ~count:500 ~name:"arrival parse round-trip"
+    (QCheck.make arrival_gen ~print:Load.Arrival.to_string)
+    (fun a ->
+      match Load.Arrival.parse (Load.Arrival.to_string a) with
+      | Ok a' -> a = a'
+      | Error e -> QCheck.Test.fail_report e)
 
 (* ------------------------------------------------------------------ *)
 (* Size mixes *)
@@ -107,6 +193,7 @@ let synth offered achieved =
     p50_ms = 0.;
     p95_ms = 0.;
     p99_ms = 0.;
+    p999_ms = 0.;
     mean_ms = 0.;
     max_ms = 0.;
     client_util = 0.;
@@ -296,7 +383,9 @@ let () =
           Alcotest.test_case "uniform" `Quick test_arrival_uniform;
           Alcotest.test_case "poisson" `Quick test_arrival_poisson;
           Alcotest.test_case "invalid rate" `Quick test_arrival_invalid_rate;
+          Alcotest.test_case "ramp" `Quick test_arrival_ramp;
           Alcotest.test_case "parse round-trip" `Quick test_arrival_parse;
+          QCheck_alcotest.to_alcotest arrival_roundtrip_prop;
         ] );
       ( "mix",
         [
